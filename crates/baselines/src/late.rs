@@ -1,0 +1,204 @@
+//! The LATE scheduler (Longest Approximate Time to End).
+//!
+//! LATE improves on naive speculative execution with three rules, all
+//! implemented here against the [`SpeculationPolicy`] hook:
+//!
+//! 1. rank candidate stragglers by **estimated time to finish**
+//!    `(1 − progress) / progress_rate` and speculate the longest first;
+//! 2. only speculate tasks that are actually *slow* — progress rate below
+//!    the `slow_task_threshold` percentile of currently running tasks;
+//! 3. bound concurrent speculative copies by a **speculative cap** fraction
+//!    of the cluster's slots.
+//!
+//! Defaults follow the LATE paper: 25th-percentile slow-task threshold and a
+//! 10% speculative cap. The wait-and-observe delay (`min_elapsed`) is the
+//! inherent cost the PerfCloud paper criticizes: "a task is allowed to run
+//! for a significant amount of time before it can be identified as a
+//! straggler".
+
+use perfcloud_frameworks::scheduler::{SchedulerView, SpeculationPolicy};
+use perfcloud_frameworks::TaskId;
+use perfcloud_stats::quantile;
+
+/// The LATE speculative scheduler.
+#[derive(Debug, Clone)]
+pub struct LatePolicy {
+    /// Max fraction of total slots usable by speculative copies.
+    pub speculative_cap: f64,
+    /// Percentile (0–1) of progress rate below which a task is "slow".
+    pub slow_task_threshold: f64,
+    /// Seconds a task must have run before it can be speculated.
+    pub min_elapsed: f64,
+}
+
+impl Default for LatePolicy {
+    fn default() -> Self {
+        LatePolicy { speculative_cap: 0.10, slow_task_threshold: 0.25, min_elapsed: 10.0 }
+    }
+}
+
+impl LatePolicy {
+    /// Creates a policy with explicit parameters.
+    pub fn new(speculative_cap: f64, slow_task_threshold: f64, min_elapsed: f64) -> Self {
+        assert!((0.0..=1.0).contains(&speculative_cap));
+        assert!((0.0..=1.0).contains(&slow_task_threshold));
+        assert!(min_elapsed >= 0.0);
+        LatePolicy { speculative_cap, slow_task_threshold, min_elapsed }
+    }
+}
+
+impl SpeculationPolicy for LatePolicy {
+    fn name(&self) -> &'static str {
+        "late"
+    }
+
+    fn plan(&mut self, view: &SchedulerView) -> Vec<TaskId> {
+        // Speculative budget: cap minus already-running copies.
+        let cap = ((self.speculative_cap * view.total_slots as f64).floor() as usize).max(1);
+        let speculating = view.running.iter().filter(|t| t.attempts >= 2).count();
+        let budget = cap.saturating_sub(speculating).min(view.free_slots);
+        if budget == 0 {
+            return Vec::new();
+        }
+        // Slow-task threshold over the progress rates of singly-attempted,
+        // old-enough tasks.
+        let rates: Vec<f64> = view
+            .running
+            .iter()
+            .filter(|t| t.elapsed >= self.min_elapsed)
+            .map(|t| t.progress_rate())
+            .collect();
+        if rates.len() < 2 {
+            return Vec::new();
+        }
+        let Some(threshold) = quantile(&rates, self.slow_task_threshold) else {
+            return Vec::new();
+        };
+        let mut candidates: Vec<_> = view
+            .running
+            .iter()
+            .filter(|t| {
+                t.attempts == 1
+                    && t.elapsed >= self.min_elapsed
+                    && t.progress < 1.0
+                    // Strictly below the percentile: a task matching the
+                    // common-case rate is not a straggler.
+                    && t.progress_rate() < threshold
+            })
+            .collect();
+        // Longest estimated time to finish first.
+        candidates.sort_by(|a, b| {
+            b.estimated_time_left()
+                .partial_cmp(&a.estimated_time_left())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.task.cmp(&b.task))
+        });
+        candidates.into_iter().take(budget).map(|t| t.task).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfcloud_frameworks::scheduler::RunningTaskView;
+    use perfcloud_frameworks::JobId;
+    use perfcloud_sim::SimTime;
+
+    fn task(index: usize, progress: f64, elapsed: f64, attempts: usize) -> RunningTaskView {
+        RunningTaskView {
+            task: TaskId { job: JobId(0), stage: 0, index },
+            progress,
+            elapsed,
+            attempts,
+            nominal_seconds: 10.0,
+        }
+    }
+
+    fn view(running: Vec<RunningTaskView>, free: usize, total: usize) -> SchedulerView {
+        SchedulerView { now: SimTime::from_secs(100), running, free_slots: free, total_slots: total }
+    }
+
+    #[test]
+    fn speculates_the_slowest_task() {
+        let mut late = LatePolicy::default();
+        // 9 healthy tasks at rate 0.05/s, one straggler at 0.005/s.
+        let mut running: Vec<_> = (0..9).map(|i| task(i, 0.5, 10.0, 1)).collect();
+        running.push(task(9, 0.05, 10.0, 1));
+        let picks = late.plan(&view(running, 4, 20));
+        assert_eq!(picks.len(), 1, "10% of 20 slots = 2 budget, but only 1 is slow");
+        assert_eq!(picks[0].index, 9);
+    }
+
+    #[test]
+    fn respects_speculative_cap() {
+        let mut late = LatePolicy::new(0.10, 0.9, 0.0);
+        // Everything below the 90th percentile counts as slow; 20 tasks.
+        let running: Vec<_> = (0..20).map(|i| task(i, 0.1 + 0.01 * i as f64, 10.0, 1)).collect();
+        let picks = late.plan(&view(running, 20, 20));
+        assert!(picks.len() <= 2, "cap = 10% of 20 slots = 2, got {}", picks.len());
+    }
+
+    #[test]
+    fn counts_existing_speculation_against_cap() {
+        let mut late = LatePolicy::new(0.10, 0.9, 0.0);
+        let mut running: Vec<_> = (0..18).map(|i| task(i, 0.5, 10.0, 1)).collect();
+        // Two tasks already have speculative copies.
+        running.push(task(18, 0.1, 10.0, 2));
+        running.push(task(19, 0.1, 10.0, 2));
+        let picks = late.plan(&view(running, 20, 20));
+        assert!(picks.is_empty(), "budget exhausted by running copies: {picks:?}");
+    }
+
+    #[test]
+    fn waits_before_speculating() {
+        let mut late = LatePolicy::default(); // min_elapsed = 10 s
+        let running = vec![task(0, 0.01, 3.0, 1), task(1, 0.9, 3.0, 1)];
+        assert!(late.plan(&view(running, 4, 20)).is_empty(), "tasks too young");
+    }
+
+    #[test]
+    fn fast_tasks_are_not_speculated() {
+        let mut late = LatePolicy::default();
+        let running: Vec<_> = (0..10).map(|i| task(i, 0.5, 20.0, 1)).collect();
+        // All equal rates: threshold = rate, every task "slow" — but ranking
+        // by ETA is equal too; budget limits picks. The invariant we care
+        // about: never speculate a task whose rate is above the threshold.
+        let mut fast = running.clone();
+        fast[0].progress = 0.99; // nearly done, highest rate
+        let picks = late.plan(&view(fast, 4, 20));
+        assert!(!picks.iter().any(|t| t.index == 0), "fastest task speculated");
+    }
+
+    #[test]
+    fn no_speculation_with_no_free_slots() {
+        let mut late = LatePolicy::new(0.5, 0.5, 0.0);
+        let running = vec![task(0, 0.1, 10.0, 1), task(1, 0.9, 10.0, 1)];
+        assert!(late.plan(&view(running, 0, 4)).is_empty());
+    }
+
+    #[test]
+    fn zero_rate_task_has_infinite_eta_and_ranks_first() {
+        let mut late = LatePolicy::new(0.5, 0.5, 0.0);
+        let running = vec![
+            task(0, 0.0, 10.0, 1), // stuck
+            task(1, 0.2, 10.0, 1),
+            task(2, 0.8, 10.0, 1),
+        ];
+        let picks = late.plan(&view(running, 1, 10));
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].index, 0);
+    }
+
+    #[test]
+    fn single_running_task_is_not_judged() {
+        let mut late = LatePolicy::new(0.5, 0.5, 0.0);
+        let running = vec![task(0, 0.1, 50.0, 1)];
+        assert!(late.plan(&view(running, 4, 4)).is_empty(), "no peer group to compare against");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_cap_rejected() {
+        let _ = LatePolicy::new(1.5, 0.25, 10.0);
+    }
+}

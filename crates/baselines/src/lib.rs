@@ -1,0 +1,23 @@
+//! Baseline mitigation techniques PerfCloud is evaluated against.
+//!
+//! * [`LatePolicy`] — the LATE scheduler (Zaharia et al., OSDI'08):
+//!   speculative execution that ranks stragglers by *estimated time to
+//!   finish* and re-launches a bounded number of copies.
+//! * [`Dolly`] — proactive job-level cloning (Ananthanarayanan et al.,
+//!   NSDI'13): small jobs are submitted as k identical clones, the first
+//!   finisher wins, the rest are killed. Effective but wasteful — its
+//!   resource-utilization efficiency falls as k grows (paper Fig. 11c).
+//! * [`StaticCapping`] — the fixed-cap policy of the paper's Fig. 9
+//!   comparison: a 20% I/O cap on the fio VM and a 20% CPU cap on the
+//!   STREAM VM, applied unconditionally.
+//!
+//! The *default* baseline (no mitigation) is simply
+//! [`perfcloud_frameworks::NoSpeculation`] with no resource control.
+
+pub mod dolly;
+pub mod late;
+pub mod static_cap;
+
+pub use dolly::Dolly;
+pub use late::LatePolicy;
+pub use static_cap::StaticCapping;

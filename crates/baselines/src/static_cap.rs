@@ -1,0 +1,147 @@
+//! Static resource capping: the fixed-policy comparison point of Fig. 9.
+//!
+//! The paper's static policy "applies 20% I/O cap on the VM running fio
+//! random read benchmark, and 20% CPU cap on the VM running STREAM
+//! benchmark". It isolates the victim about as well as PerfCloud but keeps
+//! the antagonists pinned down even when they are harmless — the cost
+//! PerfCloud's dynamic control avoids.
+
+use perfcloud_host::throttle::{CpuCap, IoThrottle};
+use perfcloud_host::{PhysicalServer, VmId};
+use serde::{Deserialize, Serialize};
+
+/// One static cap assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StaticCap {
+    /// Cap a VM's I/O at a fraction of the given reference rates.
+    Io {
+        /// Target VM.
+        vm: VmId,
+        /// Cap as a fraction of the reference (0.2 = the paper's 20%).
+        fraction: f64,
+        /// Reference ops/s (the VM's solo throughput).
+        ref_iops: f64,
+        /// Reference bytes/s.
+        ref_bps: f64,
+    },
+    /// Cap a VM's CPU at a fraction of the given reference cores.
+    Cpu {
+        /// Target VM.
+        vm: VmId,
+        /// Cap fraction.
+        fraction: f64,
+        /// Reference cores (the VM's solo usage).
+        ref_cores: f64,
+    },
+}
+
+/// A set of static caps applied once at experiment start.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StaticCapping {
+    caps: Vec<StaticCap>,
+}
+
+impl StaticCapping {
+    /// No caps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an I/O cap (fraction of the reference rates).
+    pub fn cap_io(mut self, vm: VmId, fraction: f64, ref_iops: f64, ref_bps: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "cap fraction must be in [0,1]");
+        self.caps.push(StaticCap::Io { vm, fraction, ref_iops, ref_bps });
+        self
+    }
+
+    /// Adds a CPU cap (fraction of the reference cores).
+    pub fn cap_cpu(mut self, vm: VmId, fraction: f64, ref_cores: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "cap fraction must be in [0,1]");
+        self.caps.push(StaticCap::Cpu { vm, fraction, ref_cores });
+        self
+    }
+
+    /// The configured caps.
+    pub fn caps(&self) -> &[StaticCap] {
+        &self.caps
+    }
+
+    /// Applies every cap whose VM is hosted on `server`.
+    pub fn apply(&self, server: &mut PhysicalServer) {
+        for cap in &self.caps {
+            match *cap {
+                StaticCap::Io { vm, fraction, ref_iops, ref_bps } => {
+                    if server.hosts(vm) {
+                        server.set_io_throttle(
+                            vm,
+                            IoThrottle {
+                                iops: Some(fraction * ref_iops),
+                                bps: Some(fraction * ref_bps),
+                            },
+                        );
+                    }
+                }
+                StaticCap::Cpu { vm, fraction, ref_cores } => {
+                    if server.hosts(vm) {
+                        server.set_cpu_cap(vm, CpuCap { cores: Some(fraction * ref_cores) });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfcloud_host::{ServerConfig, ServerId, VmConfig};
+    use perfcloud_sim::{RngFactory, SimDuration};
+
+    fn server() -> PhysicalServer {
+        let mut s = PhysicalServer::new(
+            ServerId(0),
+            ServerConfig::default(),
+            RngFactory::new(1),
+            SimDuration::from_millis(100),
+        );
+        s.add_vm(VmId(0), VmConfig::low_priority());
+        s.add_vm(VmId(1), VmConfig::low_priority());
+        s
+    }
+
+    #[test]
+    fn applies_paper_20_percent_caps() {
+        let mut s = server();
+        let policy = StaticCapping::new()
+            .cap_io(VmId(0), 0.2, 4000.0, 16.0e6)
+            .cap_cpu(VmId(1), 0.2, 2.0);
+        policy.apply(&mut s);
+        let t = s.io_throttle(VmId(0)).unwrap();
+        assert_eq!(t.iops, Some(800.0));
+        assert_eq!(t.bps, Some(3.2e6));
+        let c = s.cpu_cap(VmId(1)).unwrap();
+        assert_eq!(c.cores, Some(0.4));
+    }
+
+    #[test]
+    fn skips_vms_not_hosted_here() {
+        let mut s = server();
+        let policy = StaticCapping::new().cap_io(VmId(99), 0.2, 1000.0, 1e6);
+        policy.apply(&mut s);
+        assert!(!s.io_throttle(VmId(0)).unwrap().is_throttled());
+    }
+
+    #[test]
+    fn empty_policy_is_noop() {
+        let mut s = server();
+        StaticCapping::new().apply(&mut s);
+        assert!(!s.io_throttle(VmId(0)).unwrap().is_throttled());
+        assert!(!s.cpu_cap(VmId(1)).unwrap().is_capped());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn out_of_range_fraction_rejected() {
+        let _ = StaticCapping::new().cap_io(VmId(0), 1.5, 100.0, 100.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Controller overhead (paper §IV-D.1): "applying resource caps on a VM
+//! takes less than 30 ms … increases linearly with the number of
+//! antagonists". Here the analogous costs are the CUBIC step itself and a
+//! full node-manager interval over servers with growing antagonist counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfcloud_core::cubic::{CubicController, CubicState};
+use perfcloud_core::{AppId, CloudManager, NodeManager, PerfCloudConfig, VmRecord};
+use perfcloud_host::{
+    PhysicalServer, Priority, ServerConfig, ServerId, VmConfig, VmId,
+};
+use perfcloud_sim::{RngFactory, SimDuration, SimTime};
+use perfcloud_workloads::FioRandRead;
+use std::hint::black_box;
+
+fn bench_cubic_step(c: &mut Criterion) {
+    c.bench_function("cubic/step", |b| {
+        let ctrl = CubicController::paper();
+        let mut state = CubicState::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(ctrl.step(&mut state, k % 13 == 0))
+        })
+    });
+}
+
+/// One node-manager interval on a server hosting 4 victims and `n`
+/// antagonists, with monitor state warmed up.
+fn bench_node_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node_manager_step");
+    g.sample_size(20);
+    for n_antagonists in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("antagonists", n_antagonists),
+            &n_antagonists,
+            |b, &n| {
+                let dt = SimDuration::from_millis(100);
+                let mut server = PhysicalServer::new(
+                    ServerId(0),
+                    ServerConfig::chameleon(),
+                    RngFactory::new(9),
+                    dt,
+                );
+                let mut cloud = CloudManager::new();
+                for i in 0..4u32 {
+                    server.add_vm(VmId(i), VmConfig::high_priority());
+                    server.spawn(VmId(i), Box::new(FioRandRead::with_rate(300.0, 4096.0, None)));
+                    cloud.register(
+                        VmId(i),
+                        VmRecord {
+                            server: ServerId(0),
+                            priority: Priority::High,
+                            app: Some(AppId(1)),
+                        },
+                    );
+                }
+                for i in 0..n as u32 {
+                    let vm = VmId(100 + i);
+                    server.add_vm(vm, VmConfig::low_priority());
+                    server.spawn(vm, Box::new(FioRandRead::with_rate(2_000.0, 4096.0, None)));
+                    cloud.register(
+                        vm,
+                        VmRecord { server: ServerId(0), priority: Priority::Low, app: None },
+                    );
+                }
+                let mut nm = NodeManager::new(PerfCloudConfig::default());
+                // Warm up: a few sampled intervals.
+                let mut now = SimTime::ZERO;
+                for _ in 0..6 {
+                    for _ in 0..50 {
+                        server.tick(dt);
+                    }
+                    now += SimDuration::from_secs(5.0);
+                    nm.step(now, &mut server, &mut cloud);
+                }
+                b.iter(|| {
+                    now += SimDuration::from_secs(5.0);
+                    black_box(nm.step(now, &mut server, &mut cloud))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cubic_step, bench_node_manager);
+criterion_main!(benches);

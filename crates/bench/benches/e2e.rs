@@ -1,0 +1,61 @@
+//! End-to-end simulation throughput: one tick of the paper's small-scale
+//! experiment (12-node cluster + four antagonists + a Spark job under
+//! PerfCloud control) and a complete short terasort run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfcloud_cluster::{
+    AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
+};
+use perfcloud_core::PerfCloudConfig;
+use perfcloud_frameworks::Benchmark;
+use perfcloud_sim::SimTime;
+use std::hint::black_box;
+
+fn small_scale_experiment() -> Experiment {
+    let mut cfg = ExperimentConfig::new(
+        ClusterSpec::small_scale(42),
+        Mitigation::PerfCloud(PerfCloudConfig::default()),
+    );
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::LogisticRegression.job(40)));
+    for kind in [
+        AntagonistKind::Fio,
+        AntagonistKind::Stream,
+        AntagonistKind::SysbenchOltp,
+        AntagonistKind::SysbenchCpu,
+    ] {
+        cfg.antagonists
+            .push(AntagonistPlacement::pinned(kind, 0).starting_at(SimTime::from_secs(15)));
+    }
+    cfg.max_sim_time = SimTime::from_secs(7_200);
+    Experiment::build(cfg)
+}
+
+fn bench_tick(c: &mut Criterion) {
+    c.bench_function("e2e/small_scale_tick", |b| {
+        let mut e = small_scale_experiment();
+        // Warm into the contended regime.
+        e.run_for(perfcloud_sim::SimDuration::from_secs(30.0));
+        b.iter(|| {
+            e.step_tick();
+            black_box(e.now())
+        })
+    });
+}
+
+fn bench_full_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.bench_function("terasort4_clean_run", |b| {
+        b.iter(|| {
+            let mut cfg =
+                ExperimentConfig::new(ClusterSpec::small_scale(42), Mitigation::Default);
+            cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(4)));
+            cfg.max_sim_time = SimTime::from_secs(3_600);
+            black_box(Experiment::build(cfg).run())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick, bench_full_job);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Throughput of the simulation substrate: event calendar operations and
+//! physical-server ticks at various VM counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfcloud_host::{PhysicalServer, ServerConfig, ServerId, VmConfig, VmId};
+use perfcloud_sim::{RngFactory, SimDuration, SimTime, Simulation};
+use perfcloud_workloads::{FioRandRead, Stream};
+use std::hint::black_box;
+
+fn bench_event_calendar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_and_fire", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(0u64);
+                for i in 0..n {
+                    sim.schedule_at(SimTime::from_micros(((i * 7919) % 100_000) as u64), |w, _| {
+                        *w += 1
+                    });
+                }
+                sim.run();
+                black_box(sim.into_world())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn server_with_vms(n: u32) -> PhysicalServer {
+    let mut s = PhysicalServer::new(
+        ServerId(0),
+        ServerConfig::chameleon(),
+        RngFactory::new(5),
+        SimDuration::from_millis(100),
+    );
+    for i in 0..n {
+        s.add_vm(VmId(i), VmConfig::high_priority());
+        if i % 2 == 0 {
+            s.spawn(VmId(i), Box::new(FioRandRead::with_rate(500.0, 4096.0, None)));
+        } else {
+            s.spawn(VmId(i), Box::new(Stream::with_threads(2, 1e9, None)));
+        }
+    }
+    s
+}
+
+fn bench_server_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_tick");
+    for n in [4u32, 12, 48] {
+        g.bench_with_input(BenchmarkId::new("vms", n), &n, |b, &n| {
+            let mut s = server_with_vms(n);
+            b.iter(|| black_box(s.tick(SimDuration::from_millis(100))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_calendar, bench_server_tick);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmarks of the statistics kernels on PerfCloud's hot path:
+//! Pearson correlation, across-VM deviation and EWMA updates run once per
+//! (suspect × resource) per 5-second interval per server.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfcloud_stats::{pearson, pearson_missing_as_zero, population_stddev, BoxplotSummary, Ewma};
+use std::hint::black_box;
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.37 + phase).sin() * 5.0 + i as f64 * 0.01).collect()
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pearson");
+    for n in [8usize, 24, 64, 256] {
+        let x = series(n, 0.0);
+        let y = series(n, 1.0);
+        g.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| pearson(black_box(&x), black_box(&y)))
+        });
+        let xo: Vec<Option<f64>> =
+            x.iter().enumerate().map(|(i, &v)| (i % 5 != 0).then_some(v)).collect();
+        let yo: Vec<Option<f64>> =
+            y.iter().enumerate().map(|(i, &v)| (i % 7 != 0).then_some(v)).collect();
+        g.bench_with_input(BenchmarkId::new("missing_as_zero", n), &n, |b, _| {
+            b.iter(|| pearson_missing_as_zero(black_box(&xo), black_box(&yo)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_deviation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deviation");
+    for n in [10usize, 150] {
+        let values = series(n, 0.3);
+        g.bench_with_input(BenchmarkId::new("population_stddev", n), &n, |b, _| {
+            b.iter(|| population_stddev(black_box(&values)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ewma(c: &mut Criterion) {
+    c.bench_function("ewma/update_1000", |b| {
+        let xs = series(1000, 0.9);
+        b.iter(|| {
+            let mut e = Ewma::new(0.5);
+            for &x in &xs {
+                black_box(e.update(x));
+            }
+            e.value()
+        })
+    });
+}
+
+fn bench_boxplot(c: &mut Criterion) {
+    let xs = series(200, 0.1);
+    c.bench_function("boxplot/200", |b| {
+        b.iter(|| BoxplotSummary::from_data(black_box(&xs)))
+    });
+}
+
+criterion_group!(benches, bench_pearson, bench_deviation, bench_ewma, bench_boxplot);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation — monitor tuning (DESIGN.md §5): EWMA smoothing weight and
+//! sampling interval vs. detection latency and false positives.
+//!
+//! For each (α, interval) pair, runs the Fig. 3 terasort scenario twice —
+//! alone and with a fio antagonist arriving mid-run — and reports:
+//!
+//! * detection latency: seconds from the fio onset until the smoothed
+//!   iowait-ratio deviation first exceeds ℋ = 10;
+//! * false positives: intervals in the *alone* run whose deviation exceeds
+//!   ℋ (should be zero).
+//!
+//! Expected shape: heavier smoothing (small α) suppresses false positives
+//! but delays detection; coarser sampling delays detection roughly by the
+//! interval length. The paper's 5 s / EWMA choice sits in the corner with
+//! zero false positives and single-interval latency.
+
+use perfcloud_bench::report::Table;
+use perfcloud_bench::scenarios::*;
+use perfcloud_cluster::{AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation};
+use perfcloud_core::antagonist::Resource;
+use perfcloud_core::PerfCloudConfig;
+use perfcloud_frameworks::Benchmark;
+use perfcloud_sim::{SimDuration, SimTime};
+
+fn run(alpha: f64, interval: f64, with_fio: bool, seed: u64) -> Vec<(f64, f64)> {
+    let pc = PerfCloudConfig {
+        ewma_alpha: alpha,
+        sample_interval: SimDuration::from_secs(interval),
+        h_io: f64::INFINITY, // monitoring only
+        h_cpi: f64::INFINITY,
+        ..Default::default()
+    };
+    let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(seed), Mitigation::PerfCloud(pc));
+    cfg.jobs.push((JOB_START, Benchmark::Terasort.job(20)));
+    if with_fio {
+        cfg.antagonists
+            .push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(ANTAGONIST_ONSET));
+    }
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    let mut e = Experiment::build(cfg);
+    let _ = e.run();
+    let s = e.node_managers[0].identifier().deviation_series(Resource::Io);
+    s.times()
+        .iter()
+        .zip(s.values())
+        .filter_map(|(&t, &v)| v.map(|v| (t.as_secs_f64(), v)))
+        .collect()
+}
+
+fn main() {
+    let seed = base_seed();
+    const H: f64 = 10.0;
+    println!("=== Ablation: EWMA weight x sampling interval ===");
+    println!("(terasort-20; fio onset at t = {}s; H = {H})\n", ANTAGONIST_ONSET.as_secs_f64());
+
+    let mut t = Table::new(vec![
+        "alpha",
+        "interval (s)",
+        "detection latency (s)",
+        "false positives (alone)",
+    ]);
+    for &alpha in &[0.2, 0.5, 1.0] {
+        for &interval in &[2.5, 5.0, 10.0] {
+            let alone = run(alpha, interval, false, seed);
+            let fp = alone.iter().filter(|&&(_, v)| v > H).count();
+            let contended = run(alpha, interval, true, seed);
+            let onset = ANTAGONIST_ONSET.as_secs_f64();
+            let latency = contended
+                .iter()
+                .find(|&&(time, v)| time > onset && v > H)
+                .map(|&(time, _)| time - onset);
+            t.row(vec![
+                format!("{alpha}"),
+                format!("{interval}"),
+                latency.map(|l| format!("{l:.0}")).unwrap_or_else(|| "none".into()),
+                fp.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\n(the paper's operating point is alpha-smoothed sampling at 5 s: detection within\n\
+ \"a few seconds\" and no false positives when running alone)"
+    );
+}

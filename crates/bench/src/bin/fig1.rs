@@ -1,0 +1,79 @@
+//! Figure 1 — performance degradation due to a colocated I/O-intensive
+//! workload, and the effect of static I/O caps on the antagonist.
+//!
+//! * (a) MapReduce terasort: normalized JCT and normalized fio IOPS as the
+//!   fio VM's I/O cap sweeps {uncapped, 50%, 40%, 30%, 20%, 10%}.
+//! * (b) the same sweep for Spark logistic regression.
+//! * (c) normalized JCT of all six benchmarks with the uncapped fio VM.
+//!
+//! Paper anchors: terasort degrades by ~72% and Spark LR by ~44% under the
+//! uncapped fio; MR/Spark performance improves as the cap tightens, while
+//! fio's own throughput falls roughly with the cap; capping below ~20%
+//! stops helping Spark (disk no longer its bottleneck).
+
+use perfcloud_baselines::StaticCapping;
+use perfcloud_bench::report::{f2, Table};
+use perfcloud_bench::scenarios::*;
+use perfcloud_cluster::{AntagonistKind, Mitigation};
+use perfcloud_frameworks::Benchmark;
+use perfcloud_host::VmId;
+
+fn capped_run(
+    bench: Benchmark,
+    tasks: usize,
+    cap: Option<f64>,
+    fio_ref: (f64, f64),
+    seed: u64,
+) -> (f64, f64) {
+    // The antagonist VM is the first VM added after the 10 workers => id 10.
+    let fio_vm = VmId(10);
+    let mitigation = match cap {
+        None => Mitigation::Default,
+        Some(frac) => Mitigation::StaticCap(
+            StaticCapping::new().cap_io(fio_vm, frac, fio_ref.0, fio_ref.1),
+        ),
+    };
+    let r = contended_run(bench, tasks, &[AntagonistKind::Fio], mitigation, seed);
+    let secs = r.duration.as_secs_f64();
+    (r.sole_jct(), r.antagonists[0].io_ops / secs)
+}
+
+fn sweep(bench: Benchmark, tasks: usize, label: &str, seed: u64) {
+    let (solo_iops, solo_bps) = fio_solo_reference(seed);
+    let solo = solo_jct(bench, tasks, seed);
+    println!("\nFig 1({label}): {} ({} tasks); solo JCT = {:.1}s, fio solo = {:.0} IOPS", bench.name(), tasks, solo, solo_iops);
+    let mut t = Table::new(vec!["fio I/O cap", "norm JCT", "norm fio IOPS"]);
+    for cap in [None, Some(0.5), Some(0.4), Some(0.3), Some(0.2), Some(0.1)] {
+        let (jct, iops) = capped_run(bench, tasks, cap, (solo_iops, solo_bps), seed);
+        let cap_label = match cap {
+            None => "uncapped".to_string(),
+            Some(c) => format!("{:.0}%", c * 100.0),
+        };
+        t.row(vec![cap_label, f2(jct / solo), f2(iops / solo_iops)]);
+    }
+    t.print();
+}
+
+fn main() {
+    let seed = base_seed();
+    println!("=== Figure 1: degradation under a colocated fio random-read VM ===");
+
+    sweep(Benchmark::Terasort, 10, "a", seed);
+    sweep(Benchmark::LogisticRegression, 40, "b", seed);
+
+    println!("\nFig 1(c): normalized JCT of each benchmark with uncapped fio");
+    println!("(paper anchors: terasort ≈ 1.72, logistic-regression ≈ 1.44)");
+    let mut t = Table::new(vec!["benchmark", "solo JCT (s)", "with fio", "norm JCT"]);
+    for bench in Benchmark::ALL {
+        let tasks = 10;
+        let solo = solo_jct(bench, tasks, seed);
+        let r = contended_run(bench, tasks, &[AntagonistKind::Fio], Mitigation::Default, seed);
+        t.row(vec![
+            bench.name().to_string(),
+            format!("{solo:.1}"),
+            format!("{:.1}", r.sole_jct()),
+            f2(r.sole_jct() / solo),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,133 @@
+//! Figure 12 — performance variability under randomly placed antagonists.
+//!
+//! Scenario (paper §IV-C): a terasort job with 50 tasks and a Spark
+//! logistic-regression job with 50 tasks per stage run on the 15-server
+//! cluster; on every repetition the fio and STREAM antagonist VMs land on
+//! random servers. 30 repetitions per system (LATE, Dolly, PerfCloud).
+//!
+//! Paper anchors: "the median and the spread of the normalized job
+//! completion time is much smaller in case of PerfCloud" — LATE's and
+//! Dolly's effectiveness depends on where the antagonists landed (a clone
+//! placed next to another antagonist still straggles), while PerfCloud
+//! throttles antagonists wherever they are.
+//!
+//! Flags: `--reps <n>` (default 30), `--scale-servers <n>` (default 15).
+
+use perfcloud_baselines::{Dolly, LatePolicy};
+use perfcloud_bench::report::{f2, Table};
+use perfcloud_bench::scenarios::base_seed;
+use perfcloud_cluster::{
+    AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
+};
+use perfcloud_core::PerfCloudConfig;
+use perfcloud_frameworks::Benchmark;
+use perfcloud_sim::{RngFactory, SimTime};
+use perfcloud_stats::BoxplotSummary;
+use rand::Rng;
+use rayon::prelude::*;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Random antagonist placement for one repetition: one fio and one STREAM
+/// VM per third of the servers, on seed-chosen servers. The antagonist VMs
+/// are booted during the run (the paper redistributes them "on each job
+/// execution"), at random times early in the job.
+fn random_antagonists(rng: &RngFactory, servers: usize) -> Vec<AntagonistPlacement> {
+    let mut r = rng.stream("fig12/placement");
+    let mut out = Vec::new();
+    for _ in 0..(servers / 3).max(1) {
+        for kind in [AntagonistKind::Fio, AntagonistKind::Stream] {
+            let start = SimTime::from_secs_f64(10.0 + 30.0 * r.gen::<f64>());
+            out.push(
+                AntagonistPlacement::pinned(kind, r.gen_range(0..servers)).starting_at(start),
+            );
+        }
+    }
+    out
+}
+
+fn run_once(
+    bench: Benchmark,
+    mitigation: Mitigation,
+    servers: usize,
+    rep_rng: &RngFactory,
+    seed: u64,
+) -> f64 {
+    let mut cluster = ClusterSpec::large_scale(seed);
+    cluster.servers = servers;
+    let mut cfg = ExperimentConfig::new(cluster, mitigation);
+    cfg.jobs.push((SimTime::from_secs(5), bench.job(50)));
+    cfg.antagonists = random_antagonists(rep_rng, servers);
+    cfg.max_sim_time = SimTime::from_secs(7_200);
+    Experiment::build(cfg).run().sole_jct()
+}
+
+fn main() {
+    let seed = base_seed();
+    let reps: usize = arg_value("--reps").and_then(|s| s.parse().ok()).unwrap_or(30);
+    let servers: usize =
+        arg_value("--scale-servers").and_then(|s| s.parse().ok()).unwrap_or(15);
+    println!("=== Figure 12: variability over {reps} repetitions, {servers} servers ===\n");
+
+    let systems: Vec<(&str, fn() -> Mitigation)> = vec![
+        ("late", || Mitigation::Late(LatePolicy::default())),
+        ("dolly-4", || Mitigation::Dolly(Dolly::new(4))),
+        ("perfcloud", || Mitigation::PerfCloud(PerfCloudConfig::default())),
+    ];
+
+    for (bench, label) in [
+        (Benchmark::Terasort, "a) MapReduce terasort, 50 tasks"),
+        (Benchmark::LogisticRegression, "b) Spark logistic regression, 50 tasks/stage"),
+    ] {
+        // Interference-free baseline for normalization.
+        let mut cluster = ClusterSpec::large_scale(seed);
+        cluster.servers = servers;
+        let mut cfg = ExperimentConfig::new(cluster, Mitigation::Default);
+        cfg.jobs.push((SimTime::from_secs(5), bench.job(50)));
+        cfg.max_sim_time = SimTime::from_secs(7_200);
+        let solo = Experiment::build(cfg).run().sole_jct();
+
+        println!("Fig 12({label}); solo JCT = {solo:.1}s");
+        let mut t = Table::new(vec![
+            "system", "median", "q1", "q3", "whisker span", "max",
+        ]);
+        let mut spreads = Vec::new();
+        for (name, make) in &systems {
+            let jcts: Vec<f64> = (0..reps)
+                .into_par_iter()
+                .map(|rep| {
+                    let rep_rng = RngFactory::new(seed).child_indexed("rep", rep as u64);
+                    run_once(bench, make(), servers, &rep_rng, seed ^ (rep as u64) << 8)
+                        / solo
+                })
+                .collect();
+            let b = BoxplotSummary::from_data(&jcts).expect("non-empty");
+            spreads.push((name.to_string(), b.median, b.whisker_spread()));
+            t.row(vec![
+                name.to_string(),
+                f2(b.median),
+                f2(b.q1),
+                f2(b.q3),
+                f2(b.whisker_spread()),
+                f2(b.max),
+            ]);
+        }
+        t.print();
+
+        let pc = spreads.iter().find(|s| s.0 == "perfcloud").expect("perfcloud row");
+        let others: Vec<_> = spreads.iter().filter(|s| s.0 != "perfcloud").collect();
+        let median_ok = others.iter().all(|o| pc.1 <= o.1 + 1e-9);
+        let spread_ok = others.iter().all(|o| pc.2 <= o.2 + 1e-9);
+        println!(
+            "shape check (PerfCloud has the smallest median): {}",
+            if median_ok { "HOLDS" } else { "VIOLATED" }
+        );
+        println!(
+            "shape check (PerfCloud has the smallest spread): {}\n",
+            if spread_ok { "HOLDS" } else { "VIOLATED" }
+        );
+    }
+}

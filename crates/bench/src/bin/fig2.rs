@@ -1,0 +1,49 @@
+//! Figure 2 — performance degradation due to a colocated memory-intensive
+//! (STREAM) workload.
+//!
+//! Paper anchor: all six benchmarks degrade significantly, and the Spark
+//! benchmarks are hit harder than MapReduce because they "frequently reuse
+//! intermediate results residing in memory" — LLC and memory-bandwidth
+//! contention inflates exactly the phases Spark spends most time in.
+
+use perfcloud_bench::report::{f2, Table};
+use perfcloud_bench::scenarios::*;
+use perfcloud_cluster::{AntagonistKind, Mitigation};
+use perfcloud_frameworks::Benchmark;
+
+fn main() {
+    let seed = base_seed();
+    println!("=== Figure 2: degradation under a colocated STREAM VM ===");
+    println!("(paper shape: every benchmark degrades; Spark > MapReduce)\n");
+
+    let mut t = Table::new(vec!["benchmark", "family", "solo JCT (s)", "with STREAM", "norm JCT"]);
+    let mut mr_norm = Vec::new();
+    let mut spark_norm = Vec::new();
+    for bench in Benchmark::ALL {
+        let tasks = 10;
+        let solo = solo_jct(bench, tasks, seed);
+        let r = contended_run(bench, tasks, &[AntagonistKind::Stream], Mitigation::Default, seed);
+        let norm = r.sole_jct() / solo;
+        if bench.is_spark() {
+            spark_norm.push(norm);
+        } else {
+            mr_norm.push(norm);
+        }
+        t.row(vec![
+            bench.name().to_string(),
+            if bench.is_spark() { "spark" } else { "mapreduce" }.to_string(),
+            format!("{solo:.1}"),
+            format!("{:.1}", r.sole_jct()),
+            f2(norm),
+        ]);
+    }
+    t.print();
+
+    let mr = mr_norm.iter().sum::<f64>() / mr_norm.len() as f64;
+    let spark = spark_norm.iter().sum::<f64>() / spark_norm.len() as f64;
+    println!("\nmean normalized JCT: mapreduce {mr:.2}, spark {spark:.2}");
+    println!(
+        "shape check (Spark hit harder than MapReduce): {}",
+        if spark > mr { "HOLDS" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,59 @@
+//! Runs every figure harness and ablation in sequence.
+//!
+//! `cargo run --release -p perfcloud-bench --bin run_all [-- --fast]`
+//!
+//! `--fast` shrinks the expensive sweeps (fig11 scale 0.1, fig12 reps 8) so
+//! the full suite finishes in a few minutes; without it the defaults match
+//! the per-binary defaults.
+
+use std::process::Command;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let bins: Vec<(&str, Vec<&str>)> = vec![
+        ("fig1", vec![]),
+        ("fig2", vec![]),
+        ("fig3", vec![]),
+        ("fig4", vec![]),
+        ("fig5", vec![]),
+        ("fig6", vec![]),
+        ("fig7", vec![]),
+        ("fig9", vec![]),
+        ("fig10", vec![]),
+        ("fig11", if fast { vec!["--scale", "0.1"] } else { vec![] }),
+        (
+            "fig12",
+            if fast { vec!["--reps", "8", "--scale-servers", "6"] } else { vec![] },
+        ),
+        ("future_work", vec![]),
+        ("ablation_controller", vec![]),
+        ("ablation_threshold", vec![]),
+        ("ablation_monitor", vec![]),
+    ];
+
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for (bin, args) in bins {
+        println!("\n################################################################");
+        println!("## {bin} {}", args.join(" "));
+        println!("################################################################");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall harnesses completed");
+    } else {
+        println!("\nFAILED harnesses: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,487 @@
+//! The experiment driver.
+//!
+//! One [`Experiment`] is a single run: a cluster topology, a mitigation
+//! strategy, a set of antagonist placements, and a schedule of job
+//! submissions. The driver advances the world in fixed ticks — servers
+//! arbitrate resources, the framework scheduler launches/reaps task
+//! attempts — and fires every server's node manager at the PerfCloud
+//! sampling interval. With a non-PerfCloud mitigation the node managers run
+//! in *monitoring-only* mode (detection thresholds at infinity), so
+//! deviation time series are recorded identically across strategies — how
+//! the paper's Fig. 9 compares the default system against PerfCloud.
+
+use crate::antagonists::{AntagonistKind, AntagonistPlacement};
+use crate::topology::{ClusterSpec, Testbed};
+use perfcloud_baselines::{Dolly, LatePolicy, StaticCapping};
+use perfcloud_core::{CloudManager, NodeManager, PerfCloudConfig};
+use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, SpeculationPolicy};
+use perfcloud_frameworks::{JobOutcome, JobSpec};
+use perfcloud_host::{PhysicalServer, VmId};
+use perfcloud_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The mitigation strategy of one run.
+pub enum Mitigation {
+    /// No mitigation at all.
+    Default,
+    /// LATE speculative execution.
+    Late(LatePolicy),
+    /// Dolly job cloning.
+    Dolly(Dolly),
+    /// Fixed caps applied at experiment start.
+    StaticCap(StaticCapping),
+    /// PerfCloud dynamic resource control.
+    PerfCloud(PerfCloudConfig),
+    /// The paper's future-work hybrid (§IV-D.2): PerfCloud resource control
+    /// plus LATE speculative execution, so application-level speculation
+    /// covers what host-level throttling cannot (e.g. slow servers in a
+    /// heterogeneous cluster).
+    PerfCloudWithLate(PerfCloudConfig, LatePolicy),
+}
+
+impl Mitigation {
+    /// Display name for result tables.
+    pub fn name(&self) -> String {
+        match self {
+            Mitigation::Default => "default".into(),
+            Mitigation::Late(_) => "late".into(),
+            Mitigation::Dolly(d) => format!("dolly-{}", d.clones),
+            Mitigation::StaticCap(_) => "static-cap".into(),
+            Mitigation::PerfCloud(_) => "perfcloud".into(),
+            Mitigation::PerfCloudWithLate(_, _) => "perfcloud+late".into(),
+        }
+    }
+}
+
+/// Configuration of one experiment run.
+pub struct ExperimentConfig {
+    /// Cluster topology.
+    pub cluster: ClusterSpec,
+    /// Mitigation strategy.
+    pub mitigation: Mitigation,
+    /// Antagonists to place.
+    pub antagonists: Vec<AntagonistPlacement>,
+    /// Jobs with their submission times.
+    pub jobs: Vec<(SimTime, JobSpec)>,
+    /// Hard wall on simulated time.
+    pub max_sim_time: SimTime,
+}
+
+impl ExperimentConfig {
+    /// A minimal config over a cluster spec, extended with builder calls.
+    pub fn new(cluster: ClusterSpec, mitigation: Mitigation) -> Self {
+        ExperimentConfig {
+            cluster,
+            mitigation,
+            antagonists: Vec::new(),
+            jobs: Vec::new(),
+            max_sim_time: SimTime::from_secs(3_600),
+        }
+    }
+}
+
+/// Final counters of one antagonist VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AntagonistStats {
+    /// The antagonist's VM.
+    pub vm: VmId,
+    /// Its workload.
+    pub kind: AntagonistKind,
+    /// Total I/O operations completed.
+    pub io_ops: f64,
+    /// Total I/O bytes moved.
+    pub io_bytes: f64,
+    /// Total instructions retired.
+    pub instructions: f64,
+    /// Total CPU time consumed, core-seconds.
+    pub cpu_time: f64,
+}
+
+/// Results of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Mitigation name.
+    pub mitigation: String,
+    /// Outcomes of all logical jobs, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Simulated time the run took.
+    pub duration: SimDuration,
+    /// Final antagonist counters.
+    pub antagonists: Vec<AntagonistStats>,
+}
+
+impl ExperimentResult {
+    /// JCT of the single job of a one-job experiment.
+    pub fn sole_jct(&self) -> f64 {
+        assert_eq!(self.outcomes.len(), 1, "experiment has {} outcomes", self.outcomes.len());
+        self.outcomes[0].jct
+    }
+}
+
+/// A fully built, runnable experiment.
+pub struct Experiment {
+    /// The physical servers.
+    pub servers: Vec<PhysicalServer>,
+    /// The cloud registry.
+    pub cloud: CloudManager,
+    /// The framework scheduler.
+    pub scheduler: FrameworkScheduler,
+    /// One node manager per server (monitoring-only for non-PerfCloud).
+    pub node_managers: Vec<NodeManager>,
+    policy: Box<dyn SpeculationPolicy>,
+    dolly: Option<Dolly>,
+    mitigation_name: String,
+    antagonist_vms: Vec<(VmId, AntagonistPlacement)>,
+    antagonist_seeds: Vec<u64>,
+    pending_antagonists: Vec<usize>,
+    pending_jobs: Vec<(SimTime, JobSpec)>,
+    submitted_jobs: usize,
+    tick: SimDuration,
+    sample_interval: SimDuration,
+    next_sample: SimTime,
+    now: SimTime,
+    max_sim_time: SimTime,
+}
+
+impl Experiment {
+    /// Builds an experiment from its configuration.
+    pub fn build(config: ExperimentConfig) -> Self {
+        let mut tb = Testbed::build(&config.cluster);
+        let mitigation_name = config.mitigation.name();
+
+        // Place antagonist VMs up front; their workloads start later.
+        let mut antagonist_vms = Vec::new();
+        let mut antagonist_seeds = Vec::new();
+        for (i, p) in config.antagonists.iter().enumerate() {
+            let vm = tb.add_low_priority_vm(p.server_idx);
+            antagonist_vms.push((vm, *p));
+            let idx = p.seed_group.unwrap_or(i as u64 + 1_000);
+            antagonist_seeds.push(tb.rng.child_indexed("antagonist", idx).master_seed());
+        }
+        let pending_antagonists: Vec<usize> = (0..antagonist_vms.len()).collect();
+
+        let (policy, dolly, pc_config): (Box<dyn SpeculationPolicy>, Option<Dolly>, PerfCloudConfig) =
+            match config.mitigation {
+                Mitigation::Default => {
+                    (Box::new(NoSpeculation), None, monitoring_only())
+                }
+                Mitigation::Late(l) => (Box::new(l), None, monitoring_only()),
+                Mitigation::Dolly(d) => (Box::new(NoSpeculation), Some(d), monitoring_only()),
+                Mitigation::StaticCap(s) => {
+                    for server in &mut tb.servers {
+                        s.apply(server);
+                    }
+                    (Box::new(NoSpeculation), None, monitoring_only())
+                }
+                Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg),
+                Mitigation::PerfCloudWithLate(cfg, late) => (Box::new(late), None, cfg),
+            };
+
+        let node_managers: Vec<NodeManager> =
+            (0..tb.servers.len()).map(|_| NodeManager::new(pc_config.clone())).collect();
+
+        let mut jobs = config.jobs;
+        jobs.sort_by_key(|(t, _)| *t);
+        jobs.reverse(); // pop from the back = earliest first
+
+        let scheduler = FrameworkScheduler::new(tb.workers.clone());
+        let sample_interval = pc_config.sample_interval;
+        Experiment {
+            servers: tb.servers,
+            cloud: tb.cloud,
+            scheduler,
+            node_managers,
+            policy,
+            dolly,
+            mitigation_name,
+            antagonist_vms,
+            antagonist_seeds,
+            pending_antagonists,
+            pending_jobs: jobs,
+            submitted_jobs: 0,
+            tick: tb.tick,
+            sample_interval,
+            next_sample: SimTime::ZERO + sample_interval,
+            now: SimTime::ZERO,
+            max_sim_time: config.max_sim_time,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The antagonist VMs with their placements, in placement order.
+    pub fn antagonist_vms(&self) -> &[(VmId, AntagonistPlacement)] {
+        &self.antagonist_vms
+    }
+
+    /// Advances one tick.
+    pub fn step_tick(&mut self) {
+        self.now += self.tick;
+        let now = self.now;
+
+        // Start due antagonists.
+        let antagonist_vms = &self.antagonist_vms;
+        let seeds = &self.antagonist_seeds;
+        let servers = &mut self.servers;
+        self.pending_antagonists.retain(|&i| {
+            let (vm, p) = antagonist_vms[i];
+            if p.start <= now {
+                servers[p.server_idx].spawn(vm, p.kind.spawn(p.duration, seeds[i]));
+                false
+            } else {
+                true
+            }
+        });
+
+        // Submit due jobs.
+        while let Some((t, _)) = self.pending_jobs.last() {
+            if *t > now {
+                break;
+            }
+            let (t, spec) = self.pending_jobs.pop().expect("peeked");
+            match &self.dolly {
+                Some(d) => {
+                    d.submit(&mut self.scheduler, spec, t.max(now));
+                }
+                None => {
+                    self.scheduler.submit(spec, t.max(now));
+                }
+            }
+            self.submitted_jobs += 1;
+        }
+
+        // Advance the world.
+        let mut finished = Vec::new();
+        for (i, server) in self.servers.iter_mut().enumerate() {
+            let report = server.tick(self.tick);
+            for f in report.finished {
+                finished.push((i, f));
+            }
+        }
+        self.scheduler.on_tick(now, &mut self.servers, &finished, self.policy.as_mut());
+
+        // Node managers at the sampling cadence.
+        if now >= self.next_sample {
+            for (i, nm) in self.node_managers.iter_mut().enumerate() {
+                nm.step(now, &mut self.servers[i], &mut self.cloud);
+            }
+            self.next_sample = self.next_sample + self.sample_interval;
+        }
+    }
+
+    /// True when all jobs have been submitted and completed.
+    pub fn drained(&self) -> bool {
+        self.pending_jobs.is_empty() && self.submitted_jobs > 0 && self.scheduler.is_idle()
+    }
+
+    /// Runs to completion: until the jobs drain, or — for job-less runs —
+    /// until `max_sim_time`. Panics if jobs fail to drain before the wall.
+    pub fn run(&mut self) -> ExperimentResult {
+        let has_jobs = !self.pending_jobs.is_empty() || self.submitted_jobs > 0;
+        while self.now < self.max_sim_time {
+            if has_jobs && self.drained() {
+                break;
+            }
+            self.step_tick();
+        }
+        assert!(
+            !has_jobs || self.drained(),
+            "jobs did not drain within {} simulated seconds",
+            self.max_sim_time.as_secs_f64()
+        );
+        self.result()
+    }
+
+    /// Runs for a fixed additional span of simulated time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let end = self.now + span;
+        while self.now < end {
+            self.step_tick();
+        }
+    }
+
+    /// Collects the result snapshot.
+    pub fn result(&self) -> ExperimentResult {
+        let antagonists = self
+            .antagonist_vms
+            .iter()
+            .map(|&(vm, p)| {
+                let c = self.servers[p.server_idx]
+                    .counters(vm)
+                    .expect("antagonist VM exists")
+                    .counters;
+                AntagonistStats {
+                    vm,
+                    kind: p.kind,
+                    io_ops: c.io_serviced,
+                    io_bytes: c.io_service_bytes,
+                    instructions: c.instructions,
+                    cpu_time: c.cpu_time,
+                }
+            })
+            .collect();
+        ExperimentResult {
+            mitigation: self.mitigation_name.clone(),
+            outcomes: self.scheduler.outcomes().to_vec(),
+            duration: self.now.saturating_since(SimTime::ZERO),
+            antagonists,
+        }
+    }
+}
+
+/// A PerfCloud configuration that samples and records but never detects
+/// contention (thresholds at infinity) — used to trace deviations under
+/// non-PerfCloud mitigations.
+fn monitoring_only() -> PerfCloudConfig {
+    PerfCloudConfig { h_io: f64::INFINITY, h_cpi: f64::INFINITY, ..Default::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfcloud_frameworks::Benchmark;
+
+    fn one_job_config(
+        bench: Benchmark,
+        tasks: usize,
+        mitigation: Mitigation,
+        antagonist_at: Option<u64>,
+    ) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(7), mitigation);
+        cfg.jobs.push((SimTime::from_secs(10), bench.job(tasks)));
+        if let Some(at) = antagonist_at {
+            cfg.antagonists.push(
+                AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
+                    .starting_at(SimTime::from_secs(at)),
+            );
+        }
+        cfg.max_sim_time = SimTime::from_secs(2_000);
+        cfg
+    }
+
+    #[test]
+    fn terasort_completes_on_clean_cluster() {
+        let mut e = Experiment::build(one_job_config(
+            Benchmark::Terasort,
+            10,
+            Mitigation::Default,
+            None,
+        ));
+        let r = e.run();
+        assert_eq!(r.outcomes.len(), 1);
+        let jct = r.sole_jct();
+        assert!(jct > 5.0 && jct < 600.0, "implausible JCT {jct}");
+        assert_eq!(r.mitigation, "default");
+    }
+
+    #[test]
+    fn antagonist_slows_the_job_down() {
+        // The fio antagonist runs for the whole job (degradation scenario).
+        let clean =
+            Experiment::build(one_job_config(Benchmark::Terasort, 10, Mitigation::Default, None))
+                .run();
+        let dirty =
+            Experiment::build(one_job_config(Benchmark::Terasort, 10, Mitigation::Default, Some(0)))
+                .run();
+        assert!(
+            dirty.sole_jct() > 1.25 * clean.sole_jct(),
+            "fio must hurt terasort: clean {} dirty {}",
+            clean.sole_jct(),
+            dirty.sole_jct()
+        );
+        assert_eq!(dirty.antagonists.len(), 1);
+        assert!(dirty.antagonists[0].io_ops > 0.0);
+    }
+
+    #[test]
+    fn perfcloud_recovers_part_of_the_loss() {
+        // A longer I/O-heavy job with the antagonist arriving mid-run, so
+        // the identification pipeline observes the onset (as in Figs. 9-10).
+        let bench = Benchmark::Terasort;
+        let clean =
+            Experiment::build(one_job_config(bench, 20, Mitigation::Default, None)).run();
+        let dirty =
+            Experiment::build(one_job_config(bench, 20, Mitigation::Default, Some(15))).run();
+        let pc = Experiment::build(one_job_config(
+            bench,
+            20,
+            Mitigation::PerfCloud(PerfCloudConfig::default()),
+            Some(15),
+        ))
+        .run();
+        let c = clean.sole_jct();
+        let d = dirty.sole_jct();
+        let p = pc.sole_jct();
+        assert!(d > c, "antagonist must slow the job: {d} !> {c}");
+        assert!(p < d, "PerfCloud must beat the default under contention: {p} !< {d}");
+        let recovered = (d - p) / (d - c);
+        assert!(
+            recovered > 0.25,
+            "recovered only {:.0}% (clean {c:.0} dirty {d:.0} pc {p:.0})",
+            recovered * 100.0
+        );
+    }
+
+    #[test]
+    fn dolly_clones_small_jobs_and_reduces_efficiency() {
+        let mut cfg = ExperimentConfig::new(
+            ClusterSpec::small_scale(9),
+            Mitigation::Dolly(Dolly::new(4)),
+        );
+        cfg.jobs.push((SimTime::from_secs(5), Benchmark::Wordcount.job(4)));
+        cfg.max_sim_time = SimTime::from_secs(2_000);
+        let r = Experiment::build(cfg).run();
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.outcomes[0].clones, 4);
+        assert!(r.outcomes[0].efficiency() < 0.8, "cloning must waste work");
+        assert_eq!(r.mitigation, "dolly-4");
+    }
+
+    #[test]
+    fn job_less_run_terminates_at_wall() {
+        let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(3), Mitigation::Default);
+        cfg.antagonists.push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0));
+        cfg.max_sim_time = SimTime::from_secs(30);
+        let r = Experiment::build(cfg).run();
+        assert!(r.outcomes.is_empty());
+        assert!((r.duration.as_secs_f64() - 30.0).abs() < 0.2);
+        assert!(r.antagonists[0].io_ops > 0.0);
+    }
+
+    #[test]
+    fn hybrid_runs_speculation_and_control_together() {
+        let mut cfg = ExperimentConfig::new(
+            ClusterSpec::small_scale(13),
+            Mitigation::PerfCloudWithLate(
+                PerfCloudConfig::default(),
+                perfcloud_baselines::LatePolicy::default(),
+            ),
+        );
+        cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(12)));
+        cfg.antagonists.push(
+            AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
+                .starting_at(SimTime::from_secs(15)),
+        );
+        cfg.max_sim_time = SimTime::from_secs(2_000);
+        let mut e = Experiment::build(cfg);
+        let r = e.run();
+        assert_eq!(r.mitigation, "perfcloud+late");
+        assert_eq!(r.outcomes.len(), 1);
+        assert!(r.outcomes[0].jct > 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            Experiment::build(one_job_config(Benchmark::Terasort, 10, Mitigation::Default, Some(0)))
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sole_jct(), b.sole_jct());
+        assert_eq!(a.antagonists[0].io_ops, b.antagonists[0].io_ops);
+    }
+}

@@ -1,0 +1,219 @@
+//! Antagonist identification by online cross-correlation (§III-B).
+//!
+//! The identifier keeps the victim application's deviation time series (one
+//! per resource dimension) and correlates its sliding window against each
+//! low-priority VM's resource-usage series: **I/O throughput** for disk
+//! contention, **LLC miss rate** for processor contention. Pearson
+//! correlation ≥ 0.8 marks a suspect as an antagonist; missing suspect
+//! samples count as zero, so a VM that was idle while the victim suffered is
+//! (correctly) exonerated rather than judged on two data points.
+
+use crate::config::PerfCloudConfig;
+use crate::monitor::{PerformanceMonitor, VmMetricKind};
+use perfcloud_host::VmId;
+use perfcloud_sim::SimTime;
+use perfcloud_stats::pearson::pearson_victim_aware;
+use perfcloud_stats::timeseries::align_tail;
+use perfcloud_stats::TimeSeries;
+
+/// Which contended resource an identification concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Disk I/O (deviation of block-iowait ratio ↔ suspect I/O throughput).
+    Io,
+    /// Shared processor resources (deviation of CPI ↔ suspect LLC misses).
+    Cpu,
+}
+
+impl Resource {
+    /// The suspect-side metric used for correlation.
+    pub fn suspect_metric(self) -> VmMetricKind {
+        match self {
+            Resource::Io => VmMetricKind::IoBps,
+            Resource::Cpu => VmMetricKind::LlcMissRate,
+        }
+    }
+}
+
+/// Maintains victim deviation series and identifies antagonists.
+#[derive(Debug)]
+pub struct AntagonistIdentifier {
+    corr_threshold: f64,
+    window: usize,
+    min_samples: usize,
+    io_deviation: TimeSeries,
+    cpi_deviation: TimeSeries,
+}
+
+impl AntagonistIdentifier {
+    /// Creates an identifier with the pipeline configuration.
+    pub fn new(config: &PerfCloudConfig) -> Self {
+        config.validate();
+        AntagonistIdentifier {
+            corr_threshold: config.corr_threshold,
+            window: config.corr_window,
+            min_samples: config.min_corr_samples,
+            io_deviation: TimeSeries::new(),
+            cpi_deviation: TimeSeries::new(),
+        }
+    }
+
+    /// Appends the victim's deviations observed at `now`.
+    pub fn observe(&mut self, now: SimTime, io_dev: Option<f64>, cpi_dev: Option<f64>) {
+        self.io_deviation.push(now, io_dev);
+        self.cpi_deviation.push(now, cpi_dev);
+        self.io_deviation.retain_last(self.window * 8);
+        self.cpi_deviation.retain_last(self.window * 8);
+    }
+
+    /// The victim deviation series for `resource`.
+    pub fn deviation_series(&self, resource: Resource) -> &TimeSeries {
+        match resource {
+            Resource::Io => &self.io_deviation,
+            Resource::Cpu => &self.cpi_deviation,
+        }
+    }
+
+    /// Correlation between the victim deviation and one suspect's usage
+    /// series, over the sliding window. `None` until enough aligned samples
+    /// exist or when either series is constant.
+    pub fn correlation(
+        &self,
+        monitor: &PerformanceMonitor,
+        suspect: VmId,
+        resource: Resource,
+    ) -> Option<f64> {
+        let victim = self.deviation_series(resource);
+        let usage = monitor.series(suspect, resource.suspect_metric())?;
+        // Window over the victim's most recent *present* samples: intervals
+        // where the application was idle carry no evidence about suspects.
+        let (x, y) = align_tail(victim, usage, self.window);
+        let present = x.iter().filter(|v| v.is_some()).count();
+        if present < self.min_samples {
+            return None;
+        }
+        pearson_victim_aware(&x, &y)
+    }
+
+    /// The suspects whose correlation meets the threshold.
+    pub fn identify(
+        &self,
+        monitor: &PerformanceMonitor,
+        suspects: &[VmId],
+        resource: Resource,
+    ) -> Vec<VmId> {
+        suspects
+            .iter()
+            .copied()
+            .filter(|&vm| {
+                self.correlation(monitor, vm, resource)
+                    .is_some_and(|r| r >= self.corr_threshold)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PerfCloudConfig;
+    use perfcloud_host::{PhysicalServer, ServerConfig, ServerId, VmConfig};
+    use perfcloud_sim::{RngFactory, SimDuration};
+    use perfcloud_workloads::{FioRandRead, SysbenchCpu};
+
+    const DT: SimDuration = SimDuration::from_micros(100_000);
+
+    /// Drives a server where VM 0 is the victim (mild fio), VM 1 an
+    /// on-off heavy fio antagonist, VM 2 a CPU-only decoy. Returns the
+    /// identifier (fed with victim deviations) and the monitor.
+    fn scenario() -> (AntagonistIdentifier, PerformanceMonitor) {
+        let cfg = PerfCloudConfig::default();
+        let mut server =
+            PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(23), DT);
+        // Victim application: 4 VMs with mild I/O.
+        let victims: Vec<VmId> = (0..4).map(VmId).collect();
+        for &vm in &victims {
+            server.add_vm(vm, VmConfig::high_priority());
+            server.spawn(vm, Box::new(FioRandRead::with_rate(300.0, 4096.0, None)));
+        }
+        server.add_vm(VmId(10), VmConfig::low_priority()); // fio antagonist
+        server.add_vm(VmId(11), VmConfig::low_priority()); // cpu decoy
+        server.spawn(VmId(11), Box::new(SysbenchCpu::new()));
+
+        let mut mon = PerformanceMonitor::new(&cfg);
+        let mut ident = AntagonistIdentifier::new(&cfg);
+        let mut now = perfcloud_sim::SimTime::ZERO;
+        mon.sample(now, &server);
+        // 12 intervals; antagonist active on intervals 4..9.
+        for k in 0..12 {
+            if k == 4 {
+                server.spawn(
+                    VmId(10),
+                    Box::new(FioRandRead::with_rate(
+                        20_000.0,
+                        4096.0,
+                        Some(SimDuration::from_secs(25.0)),
+                    )),
+                );
+            }
+            for _ in 0..50 {
+                server.tick(DT);
+            }
+            now += SimDuration::from_secs(5.0);
+            mon.sample(now, &server);
+            let dev = crate::detector::deviation_across_vms(
+                &mon,
+                &victims,
+                VmMetricKind::IowaitRatio,
+            );
+            let cdev =
+                crate::detector::deviation_across_vms(&mon, &victims, VmMetricKind::Cpi);
+            ident.observe(now, dev, cdev);
+        }
+        (ident, mon)
+    }
+
+    #[test]
+    fn fio_antagonist_correlates_decoy_does_not() {
+        let (ident, mon) = scenario();
+        let r_fio = ident.correlation(&mon, VmId(10), Resource::Io).unwrap();
+        let r_cpu = ident.correlation(&mon, VmId(11), Resource::Io).unwrap_or(0.0);
+        assert!(r_fio > 0.8, "fio should correlate strongly, got {r_fio}");
+        assert!(r_cpu < 0.8, "decoy must not cross the threshold, got {r_cpu}");
+        let found = ident.identify(&mon, &[VmId(10), VmId(11)], Resource::Io);
+        assert_eq!(found, vec![VmId(10)]);
+    }
+
+    #[test]
+    fn unknown_suspect_yields_none() {
+        let (ident, mon) = scenario();
+        assert_eq!(ident.correlation(&mon, VmId(99), Resource::Io), None);
+    }
+
+    #[test]
+    fn requires_min_samples() {
+        let cfg = PerfCloudConfig { min_corr_samples: 3, ..Default::default() };
+        let mut ident = AntagonistIdentifier::new(&cfg);
+        let mon = PerformanceMonitor::new(&cfg);
+        ident.observe(perfcloud_sim::SimTime::from_secs(5), Some(1.0), None);
+        ident.observe(perfcloud_sim::SimTime::from_secs(10), Some(2.0), None);
+        // Monitor has no series for the suspect at all -> None regardless.
+        assert_eq!(ident.correlation(&mon, VmId(0), Resource::Io), None);
+    }
+
+    #[test]
+    fn deviation_series_retained() {
+        let cfg = PerfCloudConfig::default();
+        let mut ident = AntagonistIdentifier::new(&cfg);
+        for k in 1..=1000u64 {
+            ident.observe(perfcloud_sim::SimTime::from_secs(5 * k), Some(k as f64), None);
+        }
+        assert!(ident.deviation_series(Resource::Io).len() <= cfg.corr_window * 8);
+    }
+
+    #[test]
+    fn suspect_metric_mapping() {
+        assert_eq!(Resource::Io.suspect_metric(), VmMetricKind::IoBps);
+        assert_eq!(Resource::Cpu.suspect_metric(), VmMetricKind::LlcMissRate);
+    }
+}

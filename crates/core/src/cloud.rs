@@ -1,0 +1,184 @@
+//! The cloud manager: the OpenStack-Nova role in the paper's architecture.
+//!
+//! Node managers "periodically contact the cloud manager to fetch relevant
+//! information about the VMs hosted on the physical server, including VM
+//! priority (high/low), and a list of VMs that belong to the same
+//! high-priority application", staying aware of placement changes from VM
+//! arrivals and migrations (§III-D.2).
+
+use perfcloud_host::{Priority, ServerId, VmId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a (high-priority) application whose VMs form one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+/// Registry record for one VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmRecord {
+    /// Where the VM currently runs.
+    pub server: ServerId,
+    /// Administrator-assigned priority.
+    pub priority: Priority,
+    /// Application membership (high-priority VMs only).
+    pub app: Option<AppId>,
+}
+
+/// The central VM registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CloudManager {
+    vms: BTreeMap<VmId, VmRecord>,
+    /// Colocation conflicts reported by node managers (multiple high-priority
+    /// applications on one server) — the paper's future-work migration hook.
+    notifications: Vec<(ServerId, Vec<AppId>)>,
+}
+
+impl CloudManager {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers) a VM.
+    pub fn register(&mut self, vm: VmId, record: VmRecord) {
+        if record.priority == Priority::Low {
+            assert!(record.app.is_none(), "low-priority VMs have no application group");
+        }
+        self.vms.insert(vm, record);
+    }
+
+    /// Removes a VM (teardown).
+    pub fn deregister(&mut self, vm: VmId) -> Option<VmRecord> {
+        self.vms.remove(&vm)
+    }
+
+    /// Moves a VM to another server (migration).
+    pub fn migrate(&mut self, vm: VmId, to: ServerId) {
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.server = to;
+        }
+    }
+
+    /// Looks up one VM.
+    pub fn record(&self, vm: VmId) -> Option<&VmRecord> {
+        self.vms.get(&vm)
+    }
+
+    /// All VMs placed on `server`, in id order.
+    pub fn vms_on(&self, server: ServerId) -> Vec<(VmId, VmRecord)> {
+        self.vms
+            .iter()
+            .filter(|(_, r)| r.server == server)
+            .map(|(&v, &r)| (v, r))
+            .collect()
+    }
+
+    /// High-priority application groups present on `server`: app id → its
+    /// member VMs *on that server*, in id order.
+    pub fn apps_on(&self, server: ServerId) -> Vec<(AppId, Vec<VmId>)> {
+        let mut groups: BTreeMap<AppId, Vec<VmId>> = BTreeMap::new();
+        for (vm, r) in self.vms_on(server) {
+            if r.priority == Priority::High {
+                if let Some(app) = r.app {
+                    groups.entry(app).or_default().push(vm);
+                }
+            }
+        }
+        groups.into_iter().collect()
+    }
+
+    /// Low-priority VMs on `server` (the antagonist suspects), in id order.
+    pub fn low_priority_on(&self, server: ServerId) -> Vec<VmId> {
+        self.vms_on(server)
+            .into_iter()
+            .filter(|(_, r)| r.priority == Priority::Low)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Called by a node manager that observed multiple high-priority
+    /// applications colocated on its server (the paper's signal for
+    /// complementary solutions such as VM migration).
+    pub fn notify_colocation(&mut self, server: ServerId, apps: Vec<AppId>) {
+        self.notifications.push((server, apps));
+    }
+
+    /// Conflicts reported so far.
+    pub fn notifications(&self) -> &[(ServerId, Vec<AppId>)] {
+        &self.notifications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hi(server: u32, app: u32) -> VmRecord {
+        VmRecord { server: ServerId(server), priority: Priority::High, app: Some(AppId(app)) }
+    }
+
+    fn lo(server: u32) -> VmRecord {
+        VmRecord { server: ServerId(server), priority: Priority::Low, app: None }
+    }
+
+    #[test]
+    fn registry_partition_by_priority() {
+        let mut cm = CloudManager::new();
+        cm.register(VmId(0), hi(0, 1));
+        cm.register(VmId(1), hi(0, 1));
+        cm.register(VmId(2), lo(0));
+        cm.register(VmId(3), hi(1, 1));
+        assert_eq!(cm.low_priority_on(ServerId(0)), vec![VmId(2)]);
+        let apps = cm.apps_on(ServerId(0));
+        assert_eq!(apps.len(), 1);
+        assert_eq!(apps[0], (AppId(1), vec![VmId(0), VmId(1)]));
+        assert!(cm.low_priority_on(ServerId(1)).is_empty());
+    }
+
+    #[test]
+    fn migration_updates_placement() {
+        let mut cm = CloudManager::new();
+        cm.register(VmId(0), hi(0, 1));
+        cm.migrate(VmId(0), ServerId(5));
+        assert_eq!(cm.record(VmId(0)).unwrap().server, ServerId(5));
+        assert!(cm.vms_on(ServerId(0)).is_empty());
+        assert_eq!(cm.vms_on(ServerId(5)).len(), 1);
+    }
+
+    #[test]
+    fn multiple_apps_grouped_separately() {
+        let mut cm = CloudManager::new();
+        cm.register(VmId(0), hi(0, 1));
+        cm.register(VmId(1), hi(0, 2));
+        let apps = cm.apps_on(ServerId(0));
+        assert_eq!(apps.len(), 2);
+    }
+
+    #[test]
+    fn notifications_accumulate() {
+        let mut cm = CloudManager::new();
+        cm.notify_colocation(ServerId(3), vec![AppId(1), AppId(2)]);
+        assert_eq!(cm.notifications().len(), 1);
+        assert_eq!(cm.notifications()[0].0, ServerId(3));
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut cm = CloudManager::new();
+        cm.register(VmId(0), lo(0));
+        assert!(cm.deregister(VmId(0)).is_some());
+        assert!(cm.record(VmId(0)).is_none());
+        assert!(cm.deregister(VmId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no application group")]
+    fn low_priority_with_app_rejected() {
+        let mut cm = CloudManager::new();
+        cm.register(
+            VmId(0),
+            VmRecord { server: ServerId(0), priority: Priority::Low, app: Some(AppId(1)) },
+        );
+    }
+}

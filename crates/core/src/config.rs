@@ -1,0 +1,107 @@
+//! PerfCloud tuning parameters, with the paper's published defaults.
+
+use perfcloud_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the PerfCloud pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfCloudConfig {
+    /// Monititoring/sampling interval. Paper: 5 seconds.
+    pub sample_interval: SimDuration,
+    /// EWMA smoothing weight on the newest sample.
+    pub ewma_alpha: f64,
+    /// Detection threshold ℋ for the standard deviation of block-iowait
+    /// ratio (ms per op) across the application's VMs. Paper: 10.
+    pub h_io: f64,
+    /// Detection threshold ℋ for the standard deviation of CPI across the
+    /// application's VMs. Paper: 1.
+    pub h_cpi: f64,
+    /// Multiplicative-decrease factor β of Eq. 1. Paper: 0.8 (caps drop to
+    /// 20% on contention).
+    pub beta: f64,
+    /// Cubic-growth scaling constant γ of Eq. 1. Paper: 0.005.
+    pub gamma: f64,
+    /// Pearson correlation threshold above which a low-priority VM is
+    /// declared an antagonist. Paper: 0.8.
+    pub corr_threshold: f64,
+    /// Sliding window (number of samples) over which correlation is
+    /// computed.
+    pub corr_window: usize,
+    /// Minimum aligned samples before correlating (paper: identification
+    /// works "with dataset size as small as three").
+    pub min_corr_samples: usize,
+    /// Normalized cap level at which a throttle is considered non-binding
+    /// and removed, returning the controller to the dormant state.
+    pub release_level: f64,
+}
+
+impl Default for PerfCloudConfig {
+    fn default() -> Self {
+        PerfCloudConfig {
+            sample_interval: SimDuration::from_secs(5.0),
+            ewma_alpha: 0.5,
+            h_io: 10.0,
+            h_cpi: 1.0,
+            beta: 0.8,
+            gamma: 0.005,
+            corr_threshold: 0.8,
+            corr_window: 24,
+            min_corr_samples: 3,
+            release_level: 1.5,
+        }
+    }
+}
+
+impl PerfCloudConfig {
+    /// Validates parameter ranges; panics with a descriptive message on
+    /// nonsense values. Builders call this once at construction.
+    pub fn validate(&self) {
+        assert!(!self.sample_interval.is_zero(), "sample interval must be positive");
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "ewma_alpha must be in (0,1]"
+        );
+        assert!(self.h_io > 0.0 && self.h_cpi > 0.0, "thresholds must be positive");
+        assert!(self.beta > 0.0 && self.beta < 1.0, "beta must be in (0,1)");
+        assert!(self.gamma > 0.0, "gamma must be positive");
+        assert!(
+            self.corr_threshold > 0.0 && self.corr_threshold <= 1.0,
+            "correlation threshold must be in (0,1]"
+        );
+        assert!(self.min_corr_samples >= 2, "correlation needs at least 2 samples");
+        assert!(self.corr_window >= self.min_corr_samples, "window smaller than minimum");
+        assert!(self.release_level > 1.0, "release level must exceed the reference (1.0)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PerfCloudConfig::default();
+        assert_eq!(c.sample_interval, SimDuration::from_secs(5.0));
+        assert_eq!(c.h_io, 10.0);
+        assert_eq!(c.h_cpi, 1.0);
+        assert_eq!(c.beta, 0.8);
+        assert_eq!(c.gamma, 0.005);
+        assert_eq!(c.corr_threshold, 0.8);
+        assert_eq!(c.min_corr_samples, 3);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_rejected() {
+        let c = PerfCloudConfig { beta: 1.0, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn bad_window_rejected() {
+        let c = PerfCloudConfig { corr_window: 1, ..Default::default() };
+        c.validate();
+    }
+}

@@ -1,0 +1,278 @@
+//! The CUBIC-inspired dynamic resource controller (Eq. 1, §III-C).
+//!
+//! Caps are managed in **normalized units**: 1.0 is the antagonist VM's
+//! observed resource usage when control began (the paper initializes the cap
+//! "to be equal to the VM's observed CPU usage or I/O throughput"). On each
+//! sampling interval:
+//!
+//! * **contention** (`I(t) > ℋ`): multiplicative decrease,
+//!   `C ← (1 − β)·C` — with the paper's β = 0.8 the cap drops to 20%;
+//! * **otherwise**: cubic growth `C(T) = γ·(T − K)³ + C_max`, where `C_max`
+//!   is the cap at the last decrease event, `T` counts intervals since that
+//!   event, and `K = ∛((C_max − C₀)/γ)` anchors the curve so growth resumes
+//!   exactly from the post-decrease cap `C₀`.
+//!
+//! The curve gives the paper's three regions (Fig. 7): steep *initial
+//! growth* back toward `C_max`, a *plateau* around `C_max` whose length is
+//! set by γ, then aggressive *probing* for more bandwidth. When the cap
+//! grows past `release_level` (≥ the observed usage), the throttle is no
+//! longer binding and the controller releases the VM.
+
+use serde::{Deserialize, Serialize};
+
+/// Controller parameters (β, γ of Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CubicController {
+    /// Multiplicative-decrease factor β ∈ (0, 1).
+    pub beta: f64,
+    /// Growth scaling constant γ > 0.
+    pub gamma: f64,
+}
+
+impl CubicController {
+    /// Creates a controller; panics on out-of-range parameters.
+    pub fn new(beta: f64, gamma: f64) -> Self {
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+        assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
+        CubicController { beta, gamma }
+    }
+
+    /// The paper's tuning: β = 0.8, γ = 0.005.
+    pub fn paper() -> Self {
+        Self::new(0.8, 0.005)
+    }
+
+    /// Advances one interval. `contended` is `I(t) > ℋ` for the resource
+    /// this state controls. Returns the new normalized cap.
+    pub fn step(&self, state: &mut CubicState, contended: bool) -> f64 {
+        if contended {
+            state.c_max = state.cap;
+            state.cap *= 1.0 - self.beta;
+            state.anchor = state.cap;
+            state.intervals_since_decrease = 0;
+            state.ever_decreased = true;
+        } else {
+            state.intervals_since_decrease += 1;
+            let t = state.intervals_since_decrease as f64;
+            let k = ((state.c_max - state.anchor) / self.gamma).cbrt();
+            let next = self.gamma * (t - k).powi(3) + state.c_max;
+            // Growth never moves the cap downward.
+            state.cap = state.cap.max(next);
+        }
+        state.cap
+    }
+}
+
+/// Per-(VM, resource) controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CubicState {
+    /// Current normalized cap (1.0 = usage observed at control start).
+    pub cap: f64,
+    /// Cap at the last decrease event (`C_max` of Eq. 1).
+    pub c_max: f64,
+    /// Post-decrease cap the cubic curve is anchored at.
+    anchor: f64,
+    /// Intervals elapsed since the last decrease (`T_i` of Eq. 1).
+    pub intervals_since_decrease: u64,
+    /// Whether any decrease has happened yet.
+    pub ever_decreased: bool,
+}
+
+impl CubicState {
+    /// Fresh state with the cap at the observed usage (normalized 1.0).
+    pub fn new() -> Self {
+        Self::with_cap(1.0)
+    }
+
+    /// Fresh state with an explicit starting cap.
+    pub fn with_cap(cap: f64) -> Self {
+        assert!(cap > 0.0, "initial cap must be positive");
+        CubicState {
+            cap,
+            c_max: cap,
+            anchor: cap,
+            intervals_since_decrease: 0,
+            ever_decreased: false,
+        }
+    }
+}
+
+impl Default for CubicState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Classification of where on the growth curve a state currently sits —
+/// used by the Fig. 7 / Fig. 10 harnesses to label the regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthRegion {
+    /// Below ~95% of `C_max`: steep recovery toward fairness.
+    InitialGrowth,
+    /// Within ±5% of `C_max`: conservative plateau.
+    Plateau,
+    /// Above 105% of `C_max`: aggressive probing for spare bandwidth.
+    Probing,
+}
+
+impl CubicState {
+    /// Current growth region.
+    pub fn region(&self) -> GrowthRegion {
+        if self.cap < 0.95 * self.c_max {
+            GrowthRegion::InitialGrowth
+        } else if self.cap <= 1.05 * self.c_max {
+            GrowthRegion::Plateau
+        } else {
+            GrowthRegion::Probing
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let c = CubicController::paper();
+        assert_eq!(c.beta, 0.8);
+        assert_eq!(c.gamma, 0.005);
+    }
+
+    #[test]
+    fn contention_decreases_multiplicatively() {
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        let cap = c.step(&mut s, true);
+        assert!((cap - 0.2).abs() < 1e-12, "β=0.8 → cap drops to 20%");
+        assert_eq!(s.c_max, 1.0);
+        assert!(s.ever_decreased);
+        let cap = c.step(&mut s, true);
+        assert!((cap - 0.04).abs() < 1e-12, "repeated contention keeps shrinking");
+    }
+
+    #[test]
+    fn growth_recovers_to_cmax_then_probes() {
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        c.step(&mut s, true); // drop to 0.2
+        let mut saw_plateau = false;
+        let mut last = s.cap;
+        let mut recovered_at = None;
+        for t in 1..=40 {
+            let cap = c.step(&mut s, false);
+            assert!(cap >= last - 1e-12, "growth must be monotone");
+            last = cap;
+            if s.region() == GrowthRegion::Plateau {
+                saw_plateau = true;
+            }
+            if recovered_at.is_none() && cap >= 0.99 {
+                recovered_at = Some(t);
+            }
+        }
+        assert!(saw_plateau, "curve must pass through the plateau region");
+        let r = recovered_at.expect("cap must recover to C_max");
+        // K = ∛(0.8/0.005) ≈ 5.4 intervals: recovery in a handful of
+        // intervals, not instantly and not after hundreds.
+        assert!((3..=10).contains(&r), "recovered at interval {r}");
+        assert!(s.cap > 1.05, "after recovery the controller probes beyond C_max");
+        assert_eq!(s.region(), GrowthRegion::Probing);
+    }
+
+    #[test]
+    fn growth_is_slow_near_cmax_fast_far_away() {
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        c.step(&mut s, true);
+        let mut caps = vec![s.cap];
+        for _ in 0..30 {
+            caps.push(c.step(&mut s, false));
+        }
+        // Find increments: early (initial growth) and around recovery
+        // (plateau) — plateau increments must be smaller.
+        let increments: Vec<f64> = caps.windows(2).map(|w| w[1] - w[0]).collect();
+        let k = ((s.c_max * 0.8) / c.gamma).cbrt().round() as usize;
+        let early = increments[0];
+        let plateau = increments[k.min(increments.len() - 2)];
+        assert!(
+            early > 3.0 * plateau,
+            "initial growth ({early:.4}) should outpace plateau ({plateau:.4})"
+        );
+        // Probing increments grow again.
+        let probe = increments[increments.len() - 1];
+        assert!(probe > plateau, "probing should accelerate: {probe:.4} vs {plateau:.4}");
+    }
+
+    #[test]
+    fn fresh_state_probes_immediately() {
+        // Never-decreased state: K = 0, cubic grows from C_max upward.
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        let cap = c.step(&mut s, false);
+        assert!(cap >= 1.0);
+        for _ in 0..20 {
+            c.step(&mut s, false);
+        }
+        assert!(s.cap > 1.0, "uncontended control probes upward");
+    }
+
+    #[test]
+    fn decrease_after_recovery_uses_new_cmax() {
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        c.step(&mut s, true);
+        for _ in 0..20 {
+            c.step(&mut s, false);
+        }
+        let high = s.cap;
+        assert!(high > 1.0);
+        c.step(&mut s, true);
+        assert!((s.cap - 0.2 * high).abs() < 1e-9);
+        assert!((s.c_max - high).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_classification() {
+        let mut s = CubicState::new();
+        s.c_max = 1.0;
+        s.cap = 0.5;
+        assert_eq!(s.region(), GrowthRegion::InitialGrowth);
+        s.cap = 1.0;
+        assert_eq!(s.region(), GrowthRegion::Plateau);
+        s.cap = 1.2;
+        assert_eq!(s.region(), GrowthRegion::Probing);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_rejected() {
+        let _ = CubicController::new(0.0, 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial cap")]
+    fn zero_cap_rejected() {
+        let _ = CubicState::with_cap(0.0);
+    }
+
+    /// Replays the shape of the paper's Fig. 7: the cubic function's three
+    /// regions appear in order after a single decrease.
+    #[test]
+    fn fig7_region_ordering() {
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        c.step(&mut s, true);
+        let mut regions = Vec::new();
+        for _ in 0..40 {
+            c.step(&mut s, false);
+            let r = s.region();
+            if regions.last() != Some(&r) {
+                regions.push(r);
+            }
+        }
+        assert_eq!(
+            regions,
+            vec![GrowthRegion::InitialGrowth, GrowthRegion::Plateau, GrowthRegion::Probing]
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The performance monitor (§III-D.1).
+//!
+//! Every sampling interval (5 s in the paper) the monitor reads each VM's
+//! cumulative counters from the hypervisor, computes delta-derived interval
+//! metrics, smooths them with an EWMA, and appends them to per-VM time
+//! series. Metrics with no activity in the interval are recorded as missing
+//! (`None`): the block-iowait ratio is undefined with no serviced I/O, and
+//! "LLC miss rates are not counted when the VMs are not running any
+//! workload".
+
+use crate::config::PerfCloudConfig;
+use perfcloud_host::counters::IntervalMetrics;
+use perfcloud_host::{CounterSnapshot, PhysicalServer, VmId};
+use perfcloud_sim::SimTime;
+use perfcloud_stats::{Ewma, TimeSeries};
+use std::collections::BTreeMap;
+
+/// The per-VM metrics the monitor maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VmMetricKind {
+    /// Block iowait ratio, ms per op (victim detection signal).
+    IowaitRatio,
+    /// Cycles per instruction (victim detection signal).
+    Cpi,
+    /// LLC miss rate (suspect correlation signal).
+    LlcMissRate,
+    /// I/O throughput, bytes/s (suspect correlation signal).
+    IoBps,
+    /// I/O throughput, ops/s (cap reference).
+    IoIops,
+    /// CPU usage, cores (cap reference).
+    CpuCores,
+}
+
+impl VmMetricKind {
+    /// All metric kinds.
+    pub const ALL: [VmMetricKind; 6] = [
+        VmMetricKind::IowaitRatio,
+        VmMetricKind::Cpi,
+        VmMetricKind::LlcMissRate,
+        VmMetricKind::IoBps,
+        VmMetricKind::IoIops,
+        VmMetricKind::CpuCores,
+    ];
+}
+
+#[derive(Debug, Default)]
+struct VmMonitorState {
+    prev: Option<CounterSnapshot>,
+    ewma: BTreeMap<VmMetricKind, Ewma>,
+    series: BTreeMap<VmMetricKind, TimeSeries>,
+}
+
+/// Samples and retains smoothed per-VM metric series for one server.
+#[derive(Debug)]
+pub struct PerformanceMonitor {
+    alpha: f64,
+    retain: usize,
+    vms: BTreeMap<VmId, VmMonitorState>,
+}
+
+impl PerformanceMonitor {
+    /// Creates a monitor with the pipeline configuration.
+    pub fn new(config: &PerfCloudConfig) -> Self {
+        config.validate();
+        PerformanceMonitor {
+            alpha: config.ewma_alpha,
+            // Keep an ample multiple of the correlation window.
+            retain: (config.corr_window * 8).max(64),
+            vms: BTreeMap::new(),
+        }
+    }
+
+    /// Samples every VM on `server` at time `now`. The first sample of a VM
+    /// only establishes its baseline snapshot (no series point).
+    pub fn sample(&mut self, now: SimTime, server: &PhysicalServer) {
+        let interval_guess = 5.0; // replaced below by the actual delta time
+        for vm in server.vm_ids() {
+            let Some(snap) = server.counters(vm) else { continue };
+            let state = self.vms.entry(vm).or_default();
+            if let Some(prev) = state.prev {
+                let delta = prev.delta_to(&snap);
+                // Interval length: derive from last series timestamp if any.
+                let interval = state
+                    .series
+                    .values()
+                    .find_map(|s| s.last().map(|(t, _)| now.saturating_since(t).as_secs_f64()))
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or(interval_guess);
+                let m = IntervalMetrics::from_delta(&delta, interval);
+                self.record(vm, now, VmMetricKind::IowaitRatio, m.iowait_ratio_ms);
+                self.record(vm, now, VmMetricKind::Cpi, m.cpi);
+                self.record(vm, now, VmMetricKind::LlcMissRate, m.llc_miss_rate);
+                self.record(vm, now, VmMetricKind::IoBps, Some(m.io_bps));
+                self.record(vm, now, VmMetricKind::IoIops, Some(m.io_iops));
+                self.record(vm, now, VmMetricKind::CpuCores, Some(m.cpu_cores));
+            }
+            let state = self.vms.get_mut(&vm).expect("just inserted");
+            state.prev = Some(snap);
+        }
+    }
+
+    fn record(&mut self, vm: VmId, now: SimTime, kind: VmMetricKind, raw: Option<f64>) {
+        let alpha = self.alpha;
+        let retain = self.retain;
+        let state = self.vms.get_mut(&vm).expect("state exists");
+        let series = state.series.entry(kind).or_default();
+        let smoothed = match raw {
+            None => None,
+            Some(x) => {
+                let e = state.ewma.entry(kind).or_insert_with(|| Ewma::new(alpha));
+                Some(e.update(x))
+            }
+        };
+        series.push(now, smoothed);
+        series.retain_last(retain);
+    }
+
+    /// The smoothed series of `kind` for `vm`, if any samples exist.
+    pub fn series(&self, vm: VmId, kind: VmMetricKind) -> Option<&TimeSeries> {
+        self.vms.get(&vm)?.series.get(&kind)
+    }
+
+    /// Latest smoothed value of `kind` for `vm` (missing samples yield
+    /// `None`).
+    pub fn latest(&self, vm: VmId, kind: VmMetricKind) -> Option<f64> {
+        self.series(vm, kind)?.last()?.1
+    }
+
+    /// Latest *present* smoothed value, looking back past missing samples.
+    pub fn latest_present(&self, vm: VmId, kind: VmMetricKind) -> Option<f64> {
+        self.series(vm, kind)?.last_present().map(|(_, v)| v)
+    }
+
+    /// VMs with at least one recorded sample.
+    pub fn monitored_vms(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+
+    /// Drops a VM's state (it migrated away or was torn down).
+    pub fn forget(&mut self, vm: VmId) {
+        self.vms.remove(&vm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfcloud_host::{ServerConfig, ServerId, VmConfig};
+    use perfcloud_sim::{RngFactory, SimDuration};
+    use perfcloud_workloads::FioRandRead;
+
+    const DT: SimDuration = SimDuration::from_micros(100_000);
+
+    fn busy_server() -> PhysicalServer {
+        let mut s = PhysicalServer::new(
+            ServerId(0),
+            ServerConfig::default(),
+            RngFactory::new(5),
+            DT,
+        );
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        s.spawn(VmId(0), Box::new(FioRandRead::with_rate(1000.0, 4096.0, None)));
+        s.add_vm(VmId(1), VmConfig::low_priority());
+        s
+    }
+
+    fn sample_after(monitor: &mut PerformanceMonitor, server: &mut PhysicalServer, now: &mut SimTime) {
+        for _ in 0..50 {
+            server.tick(DT);
+        }
+        *now += SimDuration::from_secs(5.0);
+        monitor.sample(*now, server);
+    }
+
+    #[test]
+    fn first_sample_is_baseline_only() {
+        let mut server = busy_server();
+        let mut mon = PerformanceMonitor::new(&PerfCloudConfig::default());
+        mon.sample(SimTime::from_secs(5), &server);
+        assert!(mon.series(VmId(0), VmMetricKind::IoBps).is_none());
+        for _ in 0..50 {
+            server.tick(DT);
+        }
+        mon.sample(SimTime::from_secs(10), &server);
+        let s = mon.series(VmId(0), VmMetricKind::IoBps).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.last().unwrap().1.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn active_vm_has_iowait_and_cpi() {
+        let mut server = busy_server();
+        let mut mon = PerformanceMonitor::new(&PerfCloudConfig::default());
+        let mut now = SimTime::ZERO;
+        mon.sample(now, &server);
+        for _ in 0..3 {
+            sample_after(&mut mon, &mut server, &mut now);
+        }
+        assert!(mon.latest(VmId(0), VmMetricKind::IowaitRatio).unwrap() > 0.0);
+        assert!(mon.latest(VmId(0), VmMetricKind::Cpi).unwrap() > 0.0);
+        assert!(mon.latest(VmId(0), VmMetricKind::IoIops).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn idle_vm_metrics_are_missing_not_zero() {
+        let mut server = busy_server();
+        let mut mon = PerformanceMonitor::new(&PerfCloudConfig::default());
+        let mut now = SimTime::ZERO;
+        mon.sample(now, &server);
+        sample_after(&mut mon, &mut server, &mut now);
+        // VM 1 runs nothing: ratio/CPI/LLC are missing, throughputs are 0.
+        assert_eq!(mon.latest(VmId(1), VmMetricKind::IowaitRatio), None);
+        assert_eq!(mon.latest(VmId(1), VmMetricKind::Cpi), None);
+        assert_eq!(mon.latest(VmId(1), VmMetricKind::LlcMissRate), None);
+        assert_eq!(mon.latest(VmId(1), VmMetricKind::IoBps), Some(0.0));
+        assert_eq!(mon.latest(VmId(1), VmMetricKind::CpuCores), Some(0.0));
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        // Alternate busy/idle intervals; smoothed IoBps must move gradually.
+        let mut server = busy_server();
+        let cfg = PerfCloudConfig { ewma_alpha: 0.3, ..Default::default() };
+        let mut mon = PerformanceMonitor::new(&cfg);
+        let mut now = SimTime::ZERO;
+        mon.sample(now, &server);
+        sample_after(&mut mon, &mut server, &mut now);
+        let v1 = mon.latest(VmId(0), VmMetricKind::IoBps).unwrap();
+        // Next interval: no ticking (no I/O activity) -> raw value 0.
+        now += SimDuration::from_secs(5.0);
+        mon.sample(now, &server);
+        let v2 = mon.latest(VmId(0), VmMetricKind::IoBps).unwrap();
+        assert!(v2 > 0.0, "EWMA must not jump straight to zero");
+        assert!(v2 < v1);
+        assert!((v2 - 0.7 * v1).abs() < 0.01 * v1, "alpha=0.3: v2 = 0.7*v1");
+    }
+
+    #[test]
+    fn series_are_retained_with_bounded_length() {
+        let mut server = busy_server();
+        let cfg = PerfCloudConfig { corr_window: 8, ..Default::default() };
+        let mut mon = PerformanceMonitor::new(&cfg);
+        let mut now = SimTime::ZERO;
+        mon.sample(now, &server);
+        for _ in 0..100 {
+            now += SimDuration::from_secs(5.0);
+            server.tick(DT);
+            mon.sample(now, &server);
+        }
+        let len = mon.series(VmId(0), VmMetricKind::CpuCores).unwrap().len();
+        assert!(len <= 64.max(8 * 8));
+    }
+
+    #[test]
+    fn forget_drops_vm() {
+        let mut server = busy_server();
+        let mut mon = PerformanceMonitor::new(&PerfCloudConfig::default());
+        let mut now = SimTime::ZERO;
+        mon.sample(now, &server);
+        sample_after(&mut mon, &mut server, &mut now);
+        assert_eq!(mon.monitored_vms().len(), 2);
+        mon.forget(VmId(1));
+        assert_eq!(mon.monitored_vms(), vec![VmId(0)]);
+    }
+}

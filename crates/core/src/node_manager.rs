@@ -1,0 +1,470 @@
+//! The node manager: Algorithm 1 (§III-D.2).
+//!
+//! One decentralized agent per physical server. Each sampling interval it
+//! (1) fetches VM priorities and application membership from the cloud
+//! manager, (2) samples the performance monitor, (3) computes the across-VM
+//! deviations of block-iowait ratio and CPI for the high-priority
+//! application, (4) identifies antagonists by cross-correlation, and (5)
+//! runs the CUBIC CPU-control and I/O-control modules, applying the
+//! resulting caps through the hypervisor's `vcpu_quota` and blkio-throttle
+//! actuators. Caps are released once the controller has probed past the
+//! point where the throttle binds.
+
+use crate::antagonist::{AntagonistIdentifier, Resource};
+use crate::cloud::{AppId, CloudManager};
+use crate::config::PerfCloudConfig;
+use crate::cubic::{CubicController, CubicState};
+use crate::detector::{detect, ContentionSignal};
+use crate::monitor::{PerformanceMonitor, VmMetricKind};
+use perfcloud_host::throttle::{CpuCap, IoThrottle};
+use perfcloud_host::{PhysicalServer, VmId};
+use perfcloud_sim::SimTime;
+use perfcloud_stats::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Floors below which an observed usage is not worth capping at; avoids
+/// freezing a VM that happened to be momentarily idle when control began.
+const MIN_REF_IOPS: f64 = 20.0;
+const MIN_REF_BPS: f64 = 1.0e6;
+const MIN_REF_CORES: f64 = 0.1;
+
+#[derive(Debug, Clone, Copy)]
+struct Controlled {
+    state: CubicState,
+    ref_iops: f64,
+    ref_bps: f64,
+    ref_cores: f64,
+}
+
+/// What one node-manager step observed and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// The contention signal at this interval (for the controlled app).
+    pub signal: Option<ContentionSignal>,
+    /// VMs identified as I/O antagonists this interval.
+    pub io_antagonists: Vec<VmId>,
+    /// VMs identified as processor antagonists this interval.
+    pub cpu_antagonists: Vec<VmId>,
+    /// Normalized I/O caps currently applied (VM, cap fraction).
+    pub io_caps: Vec<(VmId, f64)>,
+    /// Normalized CPU caps currently applied (VM, cap fraction).
+    pub cpu_caps: Vec<(VmId, f64)>,
+}
+
+/// The per-server PerfCloud agent.
+pub struct NodeManager {
+    config: PerfCloudConfig,
+    controller: CubicController,
+    monitor: PerformanceMonitor,
+    identifier: AntagonistIdentifier,
+    io_controlled: BTreeMap<VmId, Controlled>,
+    cpu_controlled: BTreeMap<VmId, Controlled>,
+    io_cap_trace: BTreeMap<VmId, TimeSeries>,
+    cpu_cap_trace: BTreeMap<VmId, TimeSeries>,
+    controlled_app: Option<AppId>,
+}
+
+impl NodeManager {
+    /// Creates an agent with the given configuration.
+    pub fn new(config: PerfCloudConfig) -> Self {
+        config.validate();
+        NodeManager {
+            controller: CubicController::new(config.beta, config.gamma),
+            monitor: PerformanceMonitor::new(&config),
+            identifier: AntagonistIdentifier::new(&config),
+            config,
+            io_controlled: BTreeMap::new(),
+            cpu_controlled: BTreeMap::new(),
+            io_cap_trace: BTreeMap::new(),
+            cpu_cap_trace: BTreeMap::new(),
+            controlled_app: None,
+        }
+    }
+
+    /// The underlying monitor (read access for experiments).
+    pub fn monitor(&self) -> &PerformanceMonitor {
+        &self.monitor
+    }
+
+    /// The identifier, which holds the victim deviation time series.
+    pub fn identifier(&self) -> &AntagonistIdentifier {
+        &self.identifier
+    }
+
+    /// Trace of normalized I/O caps applied to `vm` over time.
+    pub fn io_cap_trace(&self, vm: VmId) -> Option<&TimeSeries> {
+        self.io_cap_trace.get(&vm)
+    }
+
+    /// Trace of normalized CPU caps applied to `vm` over time.
+    pub fn cpu_cap_trace(&self, vm: VmId) -> Option<&TimeSeries> {
+        self.cpu_cap_trace.get(&vm)
+    }
+
+    /// One interval of Algorithm 1. Call every `config.sample_interval`.
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        cloud: &mut CloudManager,
+    ) -> StepReport {
+        // (1) Fetch placement and priorities from the cloud manager.
+        let apps = cloud.apps_on(server.id);
+        let suspects = cloud.low_priority_on(server.id);
+
+        // (2) Sample all VMs.
+        self.monitor.sample(now, server);
+
+        // Multiple high-priority applications colocated → notify (the
+        // paper's hook for migration-based resolution); control the first.
+        if apps.len() > 1 {
+            cloud.notify_colocation(server.id, apps.iter().map(|(a, _)| *a).collect());
+        }
+        let Some((app, app_vms)) = apps.into_iter().next() else {
+            // Nothing to protect on this server; release any leftover caps.
+            self.release_all(server, now);
+            return StepReport {
+                signal: None,
+                io_antagonists: Vec::new(),
+                cpu_antagonists: Vec::new(),
+                io_caps: Vec::new(),
+                cpu_caps: Vec::new(),
+            };
+        };
+        if self.controlled_app != Some(app) {
+            self.controlled_app = Some(app);
+        }
+
+        // (3) Deviations across the application's VMs.
+        let signal = detect(&self.monitor, &app_vms, self.config.h_io, self.config.h_cpi);
+        self.identifier.observe(now, signal.io_deviation, signal.cpi_deviation);
+
+        // (4) Identify antagonists.
+        let io_ants = self.identifier.identify(&self.monitor, &suspects, Resource::Io);
+        let cpu_ants = self.identifier.identify(&self.monitor, &suspects, Resource::Cpu);
+
+        // (5) Control modules.
+        let io_caps = self.control(
+            Resource::Io,
+            signal.io_contended,
+            &io_ants,
+            &suspects,
+            server,
+            now,
+        );
+        let cpu_caps = self.control(
+            Resource::Cpu,
+            signal.cpu_contended,
+            &cpu_ants,
+            &suspects,
+            server,
+            now,
+        );
+
+        StepReport {
+            signal: Some(signal),
+            io_antagonists: io_ants,
+            cpu_antagonists: cpu_ants,
+            io_caps,
+            cpu_caps,
+        }
+    }
+
+    fn control(
+        &mut self,
+        resource: Resource,
+        contended: bool,
+        antagonists: &[VmId],
+        suspects: &[VmId],
+        server: &mut PhysicalServer,
+        now: SimTime,
+    ) -> Vec<(VmId, f64)> {
+        // Drop control state for VMs that left this server (migration,
+        // teardown) — their caps travel with the hypervisor, not with us.
+        for set in [&mut self.io_controlled, &mut self.cpu_controlled] {
+            set.retain(|vm, _| suspects.contains(vm));
+        }
+        // Enroll newly identified antagonists while contention persists.
+        if contended {
+            for &vm in antagonists {
+                let already = match resource {
+                    Resource::Io => self.io_controlled.contains_key(&vm),
+                    Resource::Cpu => self.cpu_controlled.contains_key(&vm),
+                };
+                if already {
+                    continue;
+                }
+                let ref_iops = self
+                    .monitor
+                    .latest_present(vm, VmMetricKind::IoIops)
+                    .unwrap_or(0.0)
+                    .max(MIN_REF_IOPS);
+                let ref_bps = self
+                    .monitor
+                    .latest_present(vm, VmMetricKind::IoBps)
+                    .unwrap_or(0.0)
+                    .max(MIN_REF_BPS);
+                let ref_cores = self
+                    .monitor
+                    .latest_present(vm, VmMetricKind::CpuCores)
+                    .unwrap_or(0.0)
+                    .max(MIN_REF_CORES);
+                let c = Controlled { state: CubicState::new(), ref_iops, ref_bps, ref_cores };
+                match resource {
+                    Resource::Io => self.io_controlled.insert(vm, c),
+                    Resource::Cpu => self.cpu_controlled.insert(vm, c),
+                };
+            }
+        }
+
+        // Step every controlled VM. Control is persistent, as in Algorithm 1:
+        // once identified, an antagonist stays under CUBIC control — during
+        // quiet periods the cap probes up to `release_level` × the reference
+        // usage, where the throttle no longer binds, and the next contention
+        // event crashes it multiplicatively without needing a fresh
+        // identification.
+        let controller = self.controller;
+        let ceiling = self.config.release_level;
+        let controlled = match resource {
+            Resource::Io => &mut self.io_controlled,
+            Resource::Cpu => &mut self.cpu_controlled,
+        };
+        let mut applied = Vec::new();
+        for (&vm, c) in controlled.iter_mut() {
+            let cap = controller.step(&mut c.state, contended).min(ceiling);
+            c.state.cap = cap;
+            match resource {
+                Resource::Io => {
+                    server.set_io_throttle(
+                        vm,
+                        IoThrottle { iops: Some(cap * c.ref_iops), bps: Some(cap * c.ref_bps) },
+                    );
+                }
+                Resource::Cpu => {
+                    server.set_cpu_cap(vm, CpuCap { cores: Some(cap * c.ref_cores) });
+                }
+            }
+            applied.push((vm, cap));
+        }
+
+        // Trace the applied caps for the Fig. 10 harness.
+        let trace = match resource {
+            Resource::Io => &mut self.io_cap_trace,
+            Resource::Cpu => &mut self.cpu_cap_trace,
+        };
+        for &(vm, cap) in &applied {
+            let series = trace.entry(vm).or_default();
+            series.push(now, Some(cap));
+            series.retain_last(4096);
+        }
+        applied
+    }
+
+    fn release_all(&mut self, server: &mut PhysicalServer, _now: SimTime) {
+        for (&vm, _) in self.io_controlled.iter() {
+            server.set_io_throttle(vm, IoThrottle::unlimited());
+        }
+        for (&vm, _) in self.cpu_controlled.iter() {
+            server.set_cpu_cap(vm, CpuCap::unlimited());
+        }
+        self.io_controlled.clear();
+        self.cpu_controlled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::VmRecord;
+    use perfcloud_host::{Priority, ServerConfig, ServerId, VmConfig};
+    use perfcloud_sim::{RngFactory, SimDuration};
+    use perfcloud_workloads::{FioRandRead, SysbenchCpu};
+
+    const DT: SimDuration = SimDuration::from_micros(100_000);
+
+    struct Testbed {
+        server: PhysicalServer,
+        cloud: CloudManager,
+        nm: NodeManager,
+        now: SimTime,
+        victims: Vec<VmId>,
+    }
+
+    /// 4 victim VMs (mild fio) + heavy fio antagonist (VM 10) + CPU decoy
+    /// (VM 11) on one server.
+    fn testbed(with_perfcloud_thresholds: (f64, f64)) -> Testbed {
+        let mut server =
+            PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(31), DT);
+        let mut cloud = CloudManager::new();
+        let victims: Vec<VmId> = (0..4).map(VmId).collect();
+        for &vm in &victims {
+            server.add_vm(vm, VmConfig::high_priority());
+            server.spawn(vm, Box::new(FioRandRead::with_rate(300.0, 4096.0, None)));
+            cloud.register(
+                vm,
+                VmRecord { server: ServerId(0), priority: Priority::High, app: Some(AppId(1)) },
+            );
+        }
+        for vm in [VmId(10), VmId(11)] {
+            server.add_vm(vm, VmConfig::low_priority());
+            cloud.register(
+                vm,
+                VmRecord { server: ServerId(0), priority: Priority::Low, app: None },
+            );
+        }
+        server.spawn(VmId(11), Box::new(SysbenchCpu::new()));
+        let (h_io, h_cpi) = with_perfcloud_thresholds;
+        let nm = NodeManager::new(PerfCloudConfig { h_io, h_cpi, ..Default::default() });
+        Testbed { server, cloud, nm, now: SimTime::ZERO, victims }
+    }
+
+    impl Testbed {
+        /// Runs `n` sampling intervals (5 s each), returning all reports.
+        fn run(&mut self, n: usize) -> Vec<StepReport> {
+            let mut reports = Vec::new();
+            for _ in 0..n {
+                for _ in 0..50 {
+                    self.server.tick(DT);
+                }
+                self.now += SimDuration::from_secs(5.0);
+                reports.push(self.nm.step(self.now, &mut self.server, &mut self.cloud));
+            }
+            reports
+        }
+
+        /// Starts the heavy fio antagonist on VM 10 (the identification
+        /// signal keys on this onset, as in the paper's case studies).
+        fn start_antagonist(&mut self) {
+            self.server
+                .spawn(VmId(10), Box::new(FioRandRead::with_rate(20_000.0, 4096.0, None)));
+        }
+    }
+
+    #[test]
+    fn detects_identifies_and_throttles_the_fio_antagonist() {
+        let mut tb = testbed((10.0, 1.0));
+        let mut reports = tb.run(3);
+        tb.start_antagonist();
+        reports.extend(tb.run(10));
+        // Detection: some interval flagged I/O contention.
+        assert!(
+            reports.iter().any(|r| r.signal.is_some_and(|s| s.io_contended)),
+            "contention never detected"
+        );
+        // Identification: the fio VM (10) and never the CPU decoy (11).
+        let ants: Vec<VmId> =
+            reports.iter().flat_map(|r| r.io_antagonists.clone()).collect();
+        assert!(ants.contains(&VmId(10)), "fio antagonist not identified");
+        assert!(!ants.contains(&VmId(11)), "decoy wrongly identified");
+        // Actuation: a throttle was applied to VM 10.
+        assert!(
+            reports.iter().any(|r| r.io_caps.iter().any(|&(vm, _)| vm == VmId(10))),
+            "no cap applied"
+        );
+        assert!(tb.nm.io_cap_trace(VmId(10)).is_some());
+    }
+
+    #[test]
+    fn throttling_reduces_victim_deviation() {
+        // Same scenario with PerfCloud active vs. detection disabled
+        // (thresholds at infinity): the tail-end deviation must be lower
+        // with control.
+        let tail_dev = |active: bool| {
+            let th = if active { (10.0, 1.0) } else { (f64::INFINITY, f64::INFINITY) };
+            let mut tb = testbed(th);
+            tb.run(3);
+            tb.start_antagonist();
+            let reports = tb.run(16);
+            let tail: Vec<f64> = reports[8..]
+                .iter()
+                .filter_map(|r| r.signal.and_then(|s| s.io_deviation))
+                .collect();
+            tail.iter().sum::<f64>() / tail.len() as f64
+        };
+        let with = tail_dev(true);
+        let without = tail_dev(false);
+        assert!(
+            with < 0.7 * without,
+            "PerfCloud should cut the iowait deviation: with={with:.2} without={without:.2}"
+        );
+    }
+
+    #[test]
+    fn caps_follow_cubic_shape() {
+        let mut tb = testbed((10.0, 1.0));
+        tb.run(3);
+        tb.start_antagonist();
+        tb.run(30);
+        let trace = tb.nm.io_cap_trace(VmId(10)).expect("trace exists");
+        let caps: Vec<f64> = trace.values().iter().filter_map(|v| *v).collect();
+        assert!(caps.len() >= 3);
+        // First applied cap is the multiplicative decrease (≈ 0.2).
+        assert!(
+            (caps[0] - 0.2).abs() < 1e-9,
+            "first cap should be 1-β = 0.2, got {}",
+            caps[0]
+        );
+        // Caps must later recover above 0.5 of the reference (cubic growth).
+        assert!(
+            caps.iter().any(|&c| c > 0.5),
+            "caps never recovered: max {:?}",
+            caps.iter().cloned().fold(0.0f64, f64::max)
+        );
+    }
+
+    #[test]
+    fn no_app_on_server_means_no_control() {
+        let mut server =
+            PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(3), DT);
+        let mut cloud = CloudManager::new();
+        server.add_vm(VmId(0), VmConfig::low_priority());
+        cloud.register(
+            VmId(0),
+            VmRecord { server: ServerId(0), priority: Priority::Low, app: None },
+        );
+        server.spawn(VmId(0), Box::new(FioRandRead::new(None)));
+        let mut nm = NodeManager::new(PerfCloudConfig::default());
+        for k in 1..=5u64 {
+            for _ in 0..50 {
+                server.tick(DT);
+            }
+            let r = nm.step(SimTime::from_secs(5 * k), &mut server, &mut cloud);
+            assert_eq!(r.signal, None);
+            assert!(r.io_caps.is_empty());
+        }
+        assert!(!server.io_throttle(VmId(0)).unwrap().is_throttled());
+    }
+
+    #[test]
+    fn colocated_apps_trigger_notification() {
+        let mut tb = testbed((10.0, 1.0));
+        // Add a second high-priority app on the same server.
+        tb.server.add_vm(VmId(20), VmConfig::high_priority());
+        tb.cloud.register(
+            VmId(20),
+            VmRecord { server: ServerId(0), priority: Priority::High, app: Some(AppId(2)) },
+        );
+        tb.run(2);
+        assert!(
+            !tb.cloud.notifications().is_empty(),
+            "node manager must notify the cloud manager about colocated apps"
+        );
+    }
+
+    #[test]
+    fn antagonist_keeps_nonzero_throughput_under_control() {
+        let mut tb = testbed((10.0, 1.0));
+        tb.run(3);
+        tb.start_antagonist();
+        tb.run(20);
+        let c = tb.server.counters(VmId(10)).unwrap().counters;
+        assert!(
+            c.io_serviced > 0.0,
+            "throttled antagonist must still make progress"
+        );
+        // And the victims must still be doing I/O too.
+        for &vm in &tb.victims {
+            assert!(tb.server.counters(vm).unwrap().counters.io_serviced > 0.0);
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Benchmark profiles: PUMA MapReduce and SparkBench resource mixes.
+//!
+//! Each benchmark is characterized by the resource mix of its tasks —
+//! instructions per input byte, shuffle/output volume, memory intensity and
+//! cache reuse. The mixes are chosen so the *relative* sensitivities match
+//! the paper's motivation experiments: terasort is the most disk-bound (worst
+//! hit by fio, Fig. 1), wordcount the most CPU-bound, and the Spark
+//! benchmarks reuse in-memory intermediate data, making them the most
+//! sensitive to LLC/memory-bandwidth contention (Fig. 2) while their I/O
+//! sensitivity is concentrated in the load stage (Fig. 1's ~44% for LR vs
+//! ~72% for terasort).
+
+use crate::hdfs::DEFAULT_BLOCK_SIZE;
+use crate::job::{JobSpec, StageSpec};
+use crate::task::{Phase, TaskSpec};
+use perfcloud_host::IoPattern;
+use serde::{Deserialize, Serialize};
+
+/// The six benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// PUMA terasort — I/O bound sort over TeraGen data.
+    Terasort,
+    /// PUMA wordcount — CPU-bound tokenization of Wikipedia text.
+    Wordcount,
+    /// PUMA inverted-index — mixed CPU/shuffle document indexing.
+    InvertedIndex,
+    /// SparkBench page-rank — iterative, shuffle- and memory-heavy.
+    PageRank,
+    /// SparkBench logistic regression — iterative, memory/compute heavy.
+    LogisticRegression,
+    /// SparkBench SVM — iterative, memory/compute heavy.
+    Svm,
+}
+
+impl Benchmark {
+    /// All six benchmarks in paper order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Terasort,
+        Benchmark::Wordcount,
+        Benchmark::InvertedIndex,
+        Benchmark::PageRank,
+        Benchmark::LogisticRegression,
+        Benchmark::Svm,
+    ];
+
+    /// The three PUMA MapReduce benchmarks.
+    pub const MAPREDUCE: [Benchmark; 3] =
+        [Benchmark::Terasort, Benchmark::Wordcount, Benchmark::InvertedIndex];
+
+    /// The three SparkBench benchmarks.
+    pub const SPARK: [Benchmark; 3] =
+        [Benchmark::PageRank, Benchmark::LogisticRegression, Benchmark::Svm];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Terasort => "terasort",
+            Benchmark::Wordcount => "wordcount",
+            Benchmark::InvertedIndex => "inverted-index",
+            Benchmark::PageRank => "page-rank",
+            Benchmark::LogisticRegression => "logistic-regression",
+            Benchmark::Svm => "svm",
+        }
+    }
+
+    /// True for the SparkBench members.
+    pub fn is_spark(self) -> bool {
+        matches!(self, Benchmark::PageRank | Benchmark::LogisticRegression | Benchmark::Svm)
+    }
+
+    /// Builds a job sized by task count, the paper's job-size knob ("jobs
+    /// with fewer than ten tasks", "10 to 50 tasks", "40 tasks per stage").
+    /// For MapReduce, `tasks` is the map count (reduces scale as ~40%); for
+    /// Spark it is the tasks-per-stage width.
+    pub fn job(self, tasks: usize) -> JobSpec {
+        assert!(tasks >= 1, "job needs at least one task");
+        if self.is_spark() {
+            self.spark_job(tasks, 64.0e6)
+        } else {
+            let reduces = (tasks * 2 / 5).max(1);
+            self.mapreduce_job(tasks as u64 * DEFAULT_BLOCK_SIZE, reduces)
+        }
+    }
+
+    /// Builds a MapReduce job over `input_bytes` of HDFS data with the given
+    /// reduce count. The map count is the number of 64 MB blocks.
+    pub fn mapreduce_job(self, input_bytes: u64, reduces: usize) -> JobSpec {
+        assert!(!self.is_spark(), "{} is a Spark benchmark", self.name());
+        assert!(input_bytes > 0 && reduces >= 1);
+        let p = self.mr_params();
+        let nmaps = input_bytes.div_ceil(DEFAULT_BLOCK_SIZE).max(1);
+        let mut maps = Vec::with_capacity(nmaps as usize);
+        for i in 0..nmaps {
+            let bytes = if i == nmaps - 1 {
+                (input_bytes - i * DEFAULT_BLOCK_SIZE) as f64
+            } else {
+                DEFAULT_BLOCK_SIZE as f64
+            };
+            maps.push(self.mr_map_task(bytes, &p));
+        }
+        let shuffle_total = input_bytes as f64 * p.shuffle_ratio;
+        let per_reduce = shuffle_total / reduces as f64;
+        let reduces: Vec<TaskSpec> =
+            (0..reduces).map(|_| self.mr_reduce_task(per_reduce, &p)).collect();
+        JobSpec {
+            name: format!("{}/{}m+{}r", self.name(), nmaps, reduces.len()),
+            stages: vec![StageSpec { tasks: maps }, StageSpec { tasks: reduces }],
+        }
+    }
+
+    /// Builds a Spark job with `tasks_per_stage` tasks and `bytes_per_task`
+    /// of input per task in the load stage.
+    pub fn spark_job(self, tasks_per_stage: usize, bytes_per_task: f64) -> JobSpec {
+        assert!(self.is_spark(), "{} is a MapReduce benchmark", self.name());
+        assert!(tasks_per_stage >= 1 && bytes_per_task > 0.0);
+        let p = self.spark_params();
+        let load: Vec<TaskSpec> =
+            (0..tasks_per_stage).map(|_| self.spark_load_task(bytes_per_task)).collect();
+        let mut stages = vec![StageSpec { tasks: load }];
+        for it in 0..p.iterations {
+            let tasks: Vec<TaskSpec> = (0..tasks_per_stage)
+                .map(|_| self.spark_iter_task(bytes_per_task, it, &p))
+                .collect();
+            stages.push(StageSpec { tasks });
+        }
+        JobSpec {
+            name: format!("{}/{}t x{}st", self.name(), tasks_per_stage, stages.len()),
+            stages,
+        }
+    }
+
+    fn mr_params(self) -> MrParams {
+        match self {
+            // terasort: sort is cheap per byte but moves every byte through
+            // shuffle and output — the disk-bound extreme.
+            Benchmark::Terasort => MrParams {
+                instr_per_byte_map: 200.0,
+                instr_per_byte_reduce: 150.0,
+                shuffle_ratio: 1.0,
+                output_ratio: 1.0,
+                mem_refs_per_instr: 0.009,
+                cache_reuse: 0.85,
+            },
+            // wordcount: heavy tokenization CPU, tiny aggregated output.
+            Benchmark::Wordcount => MrParams {
+                instr_per_byte_map: 800.0,
+                instr_per_byte_reduce: 200.0,
+                shuffle_ratio: 0.10,
+                output_ratio: 0.02,
+                mem_refs_per_instr: 0.010,
+                cache_reuse: 0.9,
+            },
+            // inverted-index: in between.
+            Benchmark::InvertedIndex => MrParams {
+                instr_per_byte_map: 450.0,
+                instr_per_byte_reduce: 180.0,
+                shuffle_ratio: 0.35,
+                output_ratio: 0.20,
+                mem_refs_per_instr: 0.016,
+                cache_reuse: 0.88,
+            },
+            _ => unreachable!("spark benchmark"),
+        }
+    }
+
+    fn spark_params(self) -> SparkParams {
+        match self {
+            // page-rank: shuffle traffic every iteration on top of the
+            // memory-resident rank vectors.
+            Benchmark::PageRank => SparkParams {
+                iterations: 5,
+                instr_per_byte_iter: 250.0,
+                shuffle_ratio_iter: 0.15,
+                mem_refs_per_instr: 0.014,
+                working_set: 4.0e6,
+                cache_reuse: 0.96,
+            },
+            // logistic regression: gradient passes over cached partitions.
+            Benchmark::LogisticRegression => SparkParams {
+                iterations: 5,
+                instr_per_byte_iter: 300.0,
+                shuffle_ratio_iter: 0.05,
+                mem_refs_per_instr: 0.016,
+                working_set: 4.0e6,
+                cache_reuse: 0.97,
+            },
+            // svm: like LR with slightly heavier math per pass.
+            Benchmark::Svm => SparkParams {
+                iterations: 4,
+                instr_per_byte_iter: 350.0,
+                shuffle_ratio_iter: 0.04,
+                mem_refs_per_instr: 0.015,
+                working_set: 4.0e6,
+                cache_reuse: 0.97,
+            },
+            _ => unreachable!("mapreduce benchmark"),
+        }
+    }
+
+    fn mr_map_task(self, bytes: f64, p: &MrParams) -> TaskSpec {
+        let read = Phase {
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            cache_reuse: p.cache_reuse,
+            ..Phase::io(bytes, IoPattern::Sequential)
+        };
+        let compute = Phase {
+            instructions: bytes * p.instr_per_byte_map,
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            cache_reuse: p.cache_reuse,
+            working_set: 6.0e6,
+            ..Phase::compute(bytes * p.instr_per_byte_map)
+        };
+        let spill = Phase {
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            cache_reuse: p.cache_reuse,
+            ..Phase::io(bytes * p.shuffle_ratio, IoPattern::Sequential)
+        };
+        let phases = vec![read, compute, spill];
+        TaskSpec::new(format!("{}-map", self.name()), phases)
+    }
+
+    fn mr_reduce_task(self, shuffle_bytes: f64, p: &MrParams) -> TaskSpec {
+        let fetch = Phase {
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            cache_reuse: p.cache_reuse,
+            ..Phase::io(shuffle_bytes, IoPattern::Random)
+        };
+        let compute = Phase {
+            working_set: 6.0e6,
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            cache_reuse: p.cache_reuse,
+            ..Phase::compute(shuffle_bytes * p.instr_per_byte_reduce)
+        };
+        let write = Phase {
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            cache_reuse: p.cache_reuse,
+            ..Phase::io(shuffle_bytes * p.output_ratio / p.shuffle_ratio.max(1e-9), IoPattern::Sequential)
+        };
+        let phases = vec![fetch, compute, write];
+        TaskSpec::new(format!("{}-reduce", self.name()), phases)
+    }
+
+    fn spark_load_task(self, bytes: f64) -> TaskSpec {
+        let read = Phase::io(bytes, IoPattern::Sequential);
+        let cache = Phase {
+            working_set: 4.0e6,
+            mem_refs_per_instr: 0.01,
+            cache_reuse: 0.9,
+            ..Phase::compute(bytes * 50.0)
+        };
+        TaskSpec::new(format!("{}-load", self.name()), vec![read, cache])
+    }
+
+    fn spark_iter_task(self, bytes: f64, _iter: usize, p: &SparkParams) -> TaskSpec {
+        let mut phases = Vec::with_capacity(2);
+        if p.shuffle_ratio_iter > 0.0 {
+            phases.push(Phase {
+                mem_refs_per_instr: p.mem_refs_per_instr,
+                cache_reuse: p.cache_reuse,
+                ..Phase::io(bytes * p.shuffle_ratio_iter, IoPattern::Random)
+            });
+        }
+        phases.push(Phase {
+            working_set: p.working_set,
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            cache_reuse: p.cache_reuse,
+            base_cpi: 0.9,
+            ..Phase::compute(bytes * p.instr_per_byte_iter)
+        });
+        TaskSpec::new(format!("{}-iter", self.name()), phases)
+    }
+}
+
+struct MrParams {
+    instr_per_byte_map: f64,
+    instr_per_byte_reduce: f64,
+    shuffle_ratio: f64,
+    output_ratio: f64,
+    mem_refs_per_instr: f64,
+    cache_reuse: f64,
+}
+
+struct SparkParams {
+    iterations: usize,
+    instr_per_byte_iter: f64,
+    shuffle_ratio_iter: f64,
+    mem_refs_per_instr: f64,
+    working_set: f64,
+    cache_reuse: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_families() {
+        assert_eq!(Benchmark::ALL.len(), 6);
+        for b in Benchmark::MAPREDUCE {
+            assert!(!b.is_spark());
+        }
+        for b in Benchmark::SPARK {
+            assert!(b.is_spark());
+        }
+        assert_eq!(Benchmark::Terasort.name(), "terasort");
+        assert_eq!(Benchmark::LogisticRegression.name(), "logistic-regression");
+    }
+
+    #[test]
+    fn mapreduce_job_shape() {
+        let j = Benchmark::Terasort.mapreduce_job(10 * DEFAULT_BLOCK_SIZE, 10);
+        assert_eq!(j.stages.len(), 2, "map + reduce");
+        assert_eq!(j.stages[0].tasks.len(), 10, "one map per 64 MB block");
+        assert_eq!(j.stages[1].tasks.len(), 10);
+        assert_eq!(j.max_tasks_per_stage(), 10);
+    }
+
+    #[test]
+    fn spark_job_shape() {
+        let j = Benchmark::LogisticRegression.spark_job(40, 64.0e6);
+        assert_eq!(j.stages.len(), 6, "load + 5 iterations");
+        assert!(j.stages.iter().all(|s| s.tasks.len() == 40));
+    }
+
+    #[test]
+    fn job_sizing_by_tasks() {
+        let j = Benchmark::Wordcount.job(8);
+        assert_eq!(j.stages[0].tasks.len(), 8);
+        let j = Benchmark::Svm.job(10);
+        assert_eq!(j.max_tasks_per_stage(), 10);
+    }
+
+    #[test]
+    fn terasort_moves_more_io_than_wordcount() {
+        let io_of = |b: Benchmark| {
+            let j = b.job(10);
+            j.stages
+                .iter()
+                .flat_map(|s| &s.tasks)
+                .flat_map(|t| &t.phases)
+                .map(|p| p.io_bytes)
+                .sum::<f64>()
+        };
+        assert!(io_of(Benchmark::Terasort) > 3.0 * io_of(Benchmark::Wordcount));
+    }
+
+    #[test]
+    fn wordcount_computes_more_than_terasort() {
+        let instr_of = |b: Benchmark| {
+            let j = b.job(10);
+            j.stages
+                .iter()
+                .flat_map(|s| &s.tasks)
+                .flat_map(|t| &t.phases)
+                .map(|p| p.instructions)
+                .sum::<f64>()
+        };
+        assert!(instr_of(Benchmark::Wordcount) > 2.0 * instr_of(Benchmark::Terasort));
+    }
+
+    #[test]
+    fn spark_iterations_have_high_cache_reuse() {
+        let j = Benchmark::LogisticRegression.spark_job(4, 64.0e6);
+        let iter_task = &j.stages[2].tasks[0];
+        let compute = iter_task.phases.last().unwrap();
+        assert!(compute.cache_reuse > 0.9);
+        assert!(compute.mem_refs_per_instr > 0.01);
+    }
+
+    #[test]
+    fn pagerank_shuffles_each_iteration() {
+        let j = Benchmark::PageRank.spark_job(4, 64.0e6);
+        let iter_task = &j.stages[2].tasks[0];
+        assert!(iter_task.phases.iter().any(|p| p.io_bytes > 0.0));
+        // LR iterations are almost shuffle-free by comparison.
+        let lr = Benchmark::LogisticRegression.spark_job(4, 64.0e6);
+        let lr_io: f64 = lr.stages[2].tasks[0].phases.iter().map(|p| p.io_bytes).sum();
+        let pr_io: f64 = iter_task.phases.iter().map(|p| p.io_bytes).sum();
+        assert!(pr_io > 2.0 * lr_io);
+    }
+
+    #[test]
+    fn short_tail_block_shrinks_last_map() {
+        let j = Benchmark::Terasort.mapreduce_job(DEFAULT_BLOCK_SIZE + (DEFAULT_BLOCK_SIZE / 2), 2);
+        assert_eq!(j.stages[0].tasks.len(), 2);
+        let t0: f64 = j.stages[0].tasks[0].phases[0].io_bytes;
+        let t1: f64 = j.stages[0].tasks[1].phases[0].io_bytes;
+        assert!((t1 - t0 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Spark benchmark")]
+    fn spark_job_via_mapreduce_api_rejected() {
+        let _ = Benchmark::PageRank.mapreduce_job(1 << 30, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "MapReduce benchmark")]
+    fn mapreduce_job_via_spark_api_rejected() {
+        let _ = Benchmark::Terasort.spark_job(4, 1e6);
+    }
+}

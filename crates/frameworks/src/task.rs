@@ -1,0 +1,362 @@
+//! Tasks as multi-phase processes.
+//!
+//! A task runs its phases in order; each phase carries an instruction budget
+//! and an I/O budget plus the memory attributes of that phase's code. A phase
+//! ends when *both* budgets are exhausted — a map task's read phase finishes
+//! when the block is read, its compute phase when the records are processed,
+//! and so on. Contention slows whichever budget is bottlenecked, which is
+//! exactly how real tasks straggle.
+
+use perfcloud_host::{Achieved, IoPattern, Process, ResourceDemand};
+use perfcloud_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One phase of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Instructions to retire in this phase.
+    pub instructions: f64,
+    /// Block I/O bytes to move in this phase.
+    pub io_bytes: f64,
+    /// Block I/O operations to perform (ops and bytes drain proportionally).
+    pub io_ops: f64,
+    /// Access pattern of this phase's I/O.
+    pub io_pattern: IoPattern,
+    /// Outstanding-request depth of this phase's I/O streams.
+    pub io_queue_depth: f64,
+    /// Degree of parallelism of this phase (task slots are single-threaded
+    /// in Hadoop/Spark, so usually 1).
+    pub parallelism: f64,
+    /// LLC references per instruction.
+    pub mem_refs_per_instr: f64,
+    /// Hot working set during the phase, bytes.
+    pub working_set: f64,
+    /// Cache reuse in [0, 1].
+    pub cache_reuse: f64,
+    /// Base CPI of the phase's instruction mix.
+    pub base_cpi: f64,
+    /// Rate limits: how fast the task *could* consume resources with zero
+    /// contention (closed-loop bounds). Instructions per second:
+    pub max_instr_rate: f64,
+    /// Max I/O bytes per second the phase can request.
+    pub max_io_rate: f64,
+}
+
+impl Phase {
+    /// A pure-compute phase.
+    pub fn compute(instructions: f64) -> Self {
+        Phase {
+            instructions,
+            io_bytes: 0.0,
+            io_ops: 0.0,
+            io_pattern: IoPattern::Random,
+            io_queue_depth: 32.0,
+            parallelism: 1.0,
+            mem_refs_per_instr: 0.01,
+            working_set: 8.0e6,
+            cache_reuse: 0.9,
+            base_cpi: 1.0,
+            max_instr_rate: 2.3e9,
+            max_io_rate: 0.0,
+        }
+    }
+
+    /// A pure-I/O phase moving `bytes` with the given pattern.
+    pub fn io(bytes: f64, pattern: IoPattern) -> Self {
+        let op_size: f64 = match pattern {
+            // Shuffle fetches are sizeable merged transfers, not tiny
+            // point reads.
+            IoPattern::Random => 256.0 * 1024.0,
+            IoPattern::Sequential => 4.0e6,
+        };
+        Phase {
+            instructions: bytes * 0.5, // per-byte handling cost
+            io_bytes: bytes,
+            io_ops: bytes / op_size,
+            io_pattern: pattern,
+            // Buffered guest streams with readahead: a moderate queue.
+            io_queue_depth: 48.0,
+            parallelism: 1.0,
+            mem_refs_per_instr: 0.005,
+            working_set: 4.0e6,
+            cache_reuse: 0.6,
+            base_cpi: 1.2,
+            max_instr_rate: 2.3e9,
+            // Per-stream guest I/O rate: a virtio disk stream moves tens of
+            // MB/s, not the device's full bandwidth.
+            max_io_rate: 30.0e6,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.instructions <= 0.0 && self.io_bytes <= 0.0
+    }
+
+    /// Total abstract work for progress reporting: seconds of uncontended
+    /// execution this phase represents.
+    fn nominal_seconds(&self) -> f64 {
+        let cpu = if self.max_instr_rate > 0.0 { self.instructions / self.max_instr_rate } else { 0.0 };
+        let io = if self.max_io_rate > 0.0 { self.io_bytes / self.max_io_rate } else { 0.0 };
+        cpu + io
+    }
+}
+
+/// The specification of a task: its label and phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Label carried into server traces, e.g. `"terasort-map"`.
+    pub label: String,
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl TaskSpec {
+    /// Creates a spec; empty phases are dropped. Panics if nothing remains.
+    pub fn new(label: impl Into<String>, phases: Vec<Phase>) -> Self {
+        let phases: Vec<Phase> = phases.into_iter().filter(|p| !p.is_empty()).collect();
+        assert!(!phases.is_empty(), "task must have at least one non-empty phase");
+        TaskSpec { label: label.into(), phases }
+    }
+
+    /// Uncontended runtime estimate, seconds.
+    pub fn nominal_seconds(&self) -> f64 {
+        self.phases.iter().map(Phase::nominal_seconds).sum()
+    }
+}
+
+/// Execution state of a task attempt: a [`Process`] the server can host.
+#[derive(Debug, Clone)]
+pub struct TaskProcess {
+    spec: TaskSpec,
+    phase: usize,
+    instr_left: f64,
+    io_left: f64,
+    nominal_total: f64,
+    nominal_done_prior: f64,
+}
+
+impl TaskProcess {
+    /// Instantiates an attempt of `spec`.
+    pub fn new(spec: TaskSpec) -> Self {
+        let nominal_total = spec.nominal_seconds().max(1e-12);
+        let p0 = spec.phases[0].clone();
+        TaskProcess {
+            instr_left: p0.instructions,
+            io_left: p0.io_bytes,
+            spec,
+            phase: 0,
+            nominal_total,
+            nominal_done_prior: 0.0,
+        }
+    }
+
+    fn current(&self) -> &Phase {
+        &self.spec.phases[self.phase]
+    }
+
+    fn advance_phase_if_complete(&mut self) {
+        while self.phase < self.spec.phases.len()
+            && self.instr_left <= 1e-9
+            && self.io_left <= 1e-9
+        {
+            self.nominal_done_prior += self.current().nominal_seconds();
+            self.phase += 1;
+            if self.phase < self.spec.phases.len() {
+                let p = self.spec.phases[self.phase].clone();
+                self.instr_left = p.instructions;
+                self.io_left = p.io_bytes;
+            }
+        }
+    }
+}
+
+impl Process for TaskProcess {
+    fn demand(&self, dt: SimDuration) -> ResourceDemand {
+        if self.is_done() {
+            return ResourceDemand::idle();
+        }
+        let dt_s = dt.as_secs_f64();
+        let p = self.current();
+        let want_instr = (p.max_instr_rate * p.parallelism * dt_s).min(self.instr_left);
+        let want_bytes = (p.max_io_rate * dt_s).min(self.io_left);
+        let ops_per_byte = if p.io_bytes > 0.0 { p.io_ops / p.io_bytes } else { 0.0 };
+        ResourceDemand {
+            cpu_parallelism: if want_instr > 0.0 { p.parallelism } else { 0.0 },
+            cpu_instructions: want_instr,
+            io_ops: want_bytes * ops_per_byte,
+            io_bytes: want_bytes,
+            io_pattern: p.io_pattern,
+            io_queue_depth: p.io_queue_depth,
+            mem_refs_per_instr: p.mem_refs_per_instr,
+            working_set: p.working_set,
+            cache_reuse: p.cache_reuse,
+            base_cpi: p.base_cpi,
+        }
+    }
+
+    fn advance(&mut self, achieved: &Achieved, _dt: SimDuration) {
+        if self.is_done() {
+            return;
+        }
+        self.instr_left = (self.instr_left - achieved.instructions).max(0.0);
+        self.io_left = (self.io_left - achieved.io_bytes).max(0.0);
+        self.advance_phase_if_complete();
+    }
+
+    fn is_done(&self) -> bool {
+        self.phase >= self.spec.phases.len()
+    }
+
+    fn progress(&self) -> f64 {
+        if self.is_done() {
+            return 1.0;
+        }
+        let p = self.current();
+        let phase_total = p.nominal_seconds().max(1e-12);
+        let instr_frac = if p.instructions > 0.0 { 1.0 - self.instr_left / p.instructions } else { 1.0 };
+        let io_frac = if p.io_bytes > 0.0 { 1.0 - self.io_left / p.io_bytes } else { 1.0 };
+        // Weight sub-progress by each budget's share of the phase's time.
+        let cpu_w = if p.max_instr_rate > 0.0 { p.instructions / p.max_instr_rate } else { 0.0 };
+        let io_w = if p.max_io_rate > 0.0 { p.io_bytes / p.max_io_rate } else { 0.0 };
+        let phase_frac = if cpu_w + io_w > 0.0 {
+            (instr_frac * cpu_w + io_frac * io_w) / (cpu_w + io_w)
+        } else {
+            0.0
+        };
+        ((self.nominal_done_prior + phase_frac * phase_total) / self.nominal_total).clamp(0.0, 1.0)
+    }
+
+    fn label(&self) -> &str {
+        &self.spec.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration::from_micros(100_000);
+
+    fn run_to_completion(mut t: TaskProcess, instr_rate: f64, io_rate: f64) -> usize {
+        let mut ticks = 0;
+        while !t.is_done() {
+            let d = t.demand(DT);
+            let a = Achieved {
+                instructions: d.cpu_instructions.min(instr_rate * 0.1),
+                io_bytes: d.io_bytes.min(io_rate * 0.1),
+                io_ops: d.io_ops,
+                ..Default::default()
+            };
+            t.advance(&a, DT);
+            ticks += 1;
+            assert!(ticks < 100_000, "task did not terminate");
+        }
+        ticks
+    }
+
+    #[test]
+    fn phases_run_in_order() {
+        let spec = TaskSpec::new(
+            "t",
+            vec![Phase::io(1e6, IoPattern::Sequential), Phase::compute(1e6)],
+        );
+        let mut t = TaskProcess::new(spec);
+        // Initially the task demands I/O.
+        let d = t.demand(DT);
+        assert!(d.io_bytes > 0.0);
+        // Complete phase 1 budgets.
+        t.advance(
+            &Achieved { io_bytes: 1e6, instructions: 5e5, ..Default::default() },
+            DT,
+        );
+        let d = t.demand(DT);
+        assert_eq!(d.io_bytes, 0.0, "now in compute phase");
+        assert!(d.cpu_instructions > 0.0);
+    }
+
+    #[test]
+    fn completes_and_reports_done() {
+        let spec = TaskSpec::new("t", vec![Phase::compute(1e9)]);
+        let ticks = run_to_completion(TaskProcess::new(spec), 2.3e9, 0.0);
+        // 1e9 instructions at 2.3e9/s ≈ 0.43 s ≈ 5 ticks.
+        assert!((4..=6).contains(&ticks), "{ticks}");
+    }
+
+    #[test]
+    fn progress_is_monotone_and_reaches_one() {
+        let spec = TaskSpec::new(
+            "t",
+            vec![Phase::io(12.0e6, IoPattern::Sequential), Phase::compute(1e9)],
+        );
+        let mut t = TaskProcess::new(spec);
+        let mut last = t.progress();
+        assert!(last < 0.01);
+        while !t.is_done() {
+            let d = t.demand(DT);
+            let a = Achieved {
+                instructions: d.cpu_instructions * 0.8,
+                io_bytes: d.io_bytes * 0.8,
+                ..Default::default()
+            };
+            t.advance(&a, DT);
+            let p = t.progress();
+            assert!(p >= last - 1e-9, "progress regressed: {last} -> {p}");
+            last = p;
+        }
+        assert_eq!(t.progress(), 1.0);
+    }
+
+    #[test]
+    fn starved_task_makes_no_progress() {
+        let spec = TaskSpec::new("t", vec![Phase::compute(1e9)]);
+        let mut t = TaskProcess::new(spec);
+        let p0 = t.progress();
+        for _ in 0..10 {
+            t.advance(&Achieved::default(), DT);
+        }
+        assert_eq!(t.progress(), p0);
+        assert!(!t.is_done());
+    }
+
+    #[test]
+    fn slower_io_rate_stretches_runtime() {
+        let spec = TaskSpec::new("t", vec![Phase::io(50.0e6, IoPattern::Sequential)]);
+        let fast = run_to_completion(TaskProcess::new(spec.clone()), 2.3e9, 30.0e6);
+        let slow = run_to_completion(TaskProcess::new(spec), 2.3e9, 3.0e6);
+        assert!(slow > 5 * fast, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn demand_respects_rate_limits() {
+        let spec = TaskSpec::new("t", vec![Phase::io(1e12, IoPattern::Sequential)]);
+        let t = TaskProcess::new(spec);
+        let d = t.demand(DT);
+        assert!(d.io_bytes <= 30.0e6 * 0.1 + 1.0);
+    }
+
+    #[test]
+    fn nominal_seconds_sums_phases() {
+        let spec = TaskSpec::new(
+            "t",
+            vec![Phase::compute(2.3e9), Phase::io(30.0e6, IoPattern::Sequential)],
+        );
+        // 1 s compute + 1 s I/O (plus the I/O phase's small instruction cost).
+        let s = spec.nominal_seconds();
+        assert!((2.0..2.2).contains(&s), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty phase")]
+    fn all_empty_phases_rejected() {
+        let _ = TaskSpec::new("t", vec![]);
+    }
+
+    #[test]
+    fn done_task_demands_nothing() {
+        let spec = TaskSpec::new("t", vec![Phase::compute(1.0)]);
+        let mut t = TaskProcess::new(spec);
+        t.advance(&Achieved { instructions: 1.0, ..Default::default() }, DT);
+        assert!(t.is_done());
+        assert!(t.demand(DT).is_idle());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the framework scheduler's invariants under
+//! randomized job shapes.
+
+use perfcloud_frameworks::job::{JobSpec, StageSpec};
+use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, Worker};
+use perfcloud_frameworks::task::{Phase, TaskSpec};
+use perfcloud_host::{PhysicalServer, ServerConfig, ServerId, VmConfig, VmId};
+use perfcloud_sim::{RngFactory, SimDuration, SimTime};
+use proptest::prelude::*;
+
+const DT: SimDuration = SimDuration::from_micros(100_000);
+
+fn testbed(workers: u32, slots: u32) -> (Vec<PhysicalServer>, Vec<Worker>) {
+    let mut server = PhysicalServer::new(
+        ServerId(0),
+        ServerConfig::default(),
+        RngFactory::new(19),
+        DT,
+    );
+    let mut ws = Vec::new();
+    for i in 0..workers {
+        server.add_vm(VmId(i), VmConfig::high_priority());
+        ws.push(Worker { server_idx: 0, vm: VmId(i), slots });
+    }
+    (vec![server], ws)
+}
+
+fn job(name: &str, stages: &[u8]) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        stages: stages
+            .iter()
+            .map(|&n| StageSpec {
+                tasks: (0..n.max(1))
+                    .map(|i| TaskSpec::new(format!("{name}-{i}"), vec![Phase::compute(2.0e8)]))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any mix of jobs drains; every task completes exactly once; running
+    /// attempts never exceed the slot supply; efficiency of non-speculative
+    /// runs is 1.
+    #[test]
+    fn scheduler_drains_all_jobs(
+        shapes in proptest::collection::vec(
+            proptest::collection::vec(1u8..6, 1..4),
+            1..5,
+        ),
+        workers in 2u32..6,
+        slots in 1u32..3,
+        clones in 1usize..4,
+    ) {
+        let (mut servers, ws) = testbed(workers, slots);
+        let total_slots = (workers * slots) as usize;
+        let mut sched = FrameworkScheduler::new(ws);
+        let mut logical_jobs = 0;
+        for (k, shape) in shapes.iter().enumerate() {
+            let spec = job(&format!("j{k}"), shape);
+            // Alternate plain and cloned submissions.
+            if k % 2 == 0 {
+                sched.submit(spec, SimTime::ZERO);
+            } else {
+                sched.submit_cloned(spec, clones, SimTime::ZERO);
+            }
+            logical_jobs += 1;
+        }
+        let mut now = SimTime::ZERO;
+        let mut policy = NoSpeculation;
+        sched.on_tick(now, &mut servers, &[], &mut policy);
+        let mut ticks = 0;
+        while !sched.is_idle() {
+            now += DT;
+            let mut fin = Vec::new();
+            for (i, s) in servers.iter_mut().enumerate() {
+                for f in s.tick(DT).finished {
+                    fin.push((i, f));
+                }
+            }
+            // Invariant: running attempts never exceed the slot supply.
+            let running: usize =
+                (0..workers).map(|i| servers[0].process_count(VmId(i))).sum();
+            prop_assert!(running <= total_slots, "{running} attempts > {total_slots} slots");
+            sched.on_tick(now, &mut servers, &fin, &mut policy);
+            ticks += 1;
+            prop_assert!(ticks < 40_000, "scheduler did not drain");
+        }
+        prop_assert_eq!(sched.outcomes().len(), logical_jobs);
+        for o in sched.outcomes() {
+            prop_assert!(o.jct > 0.0);
+            prop_assert!(o.successful_task_secs <= o.total_task_secs + 1e-9);
+            if o.clones == 1 {
+                prop_assert!((o.efficiency() - 1.0).abs() < 1e-9,
+                    "un-cloned, un-speculated jobs waste nothing");
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Static configuration of servers, devices and VMs.
+//!
+//! Defaults approximate the paper's testbed: Dell PowerEdge R630 bare-metal
+//! servers with a 2.3 GHz 48-core Xeon and 125 GB RAM, hosting 2-vCPU / 8 GB
+//! VMs, with a local disk whose random-read capability is in the
+//! few-thousand-IOPS range typical of the 2017-era testbed.
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling priority of a VM, assigned by the cloud administrator
+/// "possibly based on the cost of reserving the specific instance types".
+/// PerfCloud isolates *high*-priority applications by throttling *low*-
+/// priority antagonists; high-priority VMs are never throttled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Data-intensive scale-out application VMs (Hadoop / Spark workers).
+    High,
+    /// Best-effort colocated tenants (fio, STREAM, sysbench, …).
+    Low,
+}
+
+/// Block-device model parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskConfig {
+    /// Random-access operations the device can serve per second.
+    pub max_random_iops: f64,
+    /// Sequential throughput in bytes per second.
+    pub max_seq_bps: f64,
+    /// Mean device service time per random op at low load, seconds.
+    /// (The iowait ratio is reported in milliseconds per op; this constant
+    /// anchors its uncontended scale.)
+    pub base_service_time: f64,
+    /// Cap on the queueing-delay multiplier `1/(1-ρ)` so the fluid model
+    /// stays finite at saturation.
+    pub max_queue_factor: f64,
+    /// Effective queue depth of guest I/O streams: how many requests a
+    /// process keeps outstanding. Queueing wait slows a closed-loop
+    /// requester by `1 + wait/(service × depth)` — deep queues hide latency,
+    /// shallow ones feel it fully.
+    pub queue_depth: f64,
+    /// Amplitude of per-VM iowait jitter at full saturation (log-scale).
+    pub jitter_amplitude: f64,
+    /// Utilization below which jitter stays at the floor.
+    pub jitter_onset: f64,
+    /// Baseline jitter amplitude whenever the device is in use at all.
+    pub jitter_floor: f64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            max_random_iops: 4_000.0,
+            max_seq_bps: 400.0e6,
+            base_service_time: 0.004,
+            max_queue_factor: 40.0,
+            queue_depth: 32.0,
+            jitter_amplitude: 1.1,
+            jitter_onset: 0.55,
+            jitter_floor: 0.3,
+        }
+    }
+}
+
+/// Memory-hierarchy model parameters (last-level cache + memory bandwidth).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Last-level cache capacity in bytes (R630 Xeon: 2 × 30 MB).
+    pub llc_bytes: f64,
+    /// Memory bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Extra CPI cycles charged per LLC miss-reference per instruction.
+    pub miss_penalty_cycles: f64,
+    /// Cap on the bandwidth queueing multiplier.
+    pub max_queue_factor: f64,
+    /// Amplitude of per-VM CPI jitter at full bandwidth saturation.
+    pub jitter_amplitude: f64,
+    /// Bandwidth utilization below which CPI jitter stays at the floor.
+    pub jitter_onset: f64,
+    /// Baseline CPI jitter amplitude whenever instructions are executing.
+    pub jitter_floor: f64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            llc_bytes: 60.0e6,
+            bandwidth_bps: 60.0e9,
+            miss_penalty_cycles: 22.0,
+            max_queue_factor: 12.0,
+            jitter_amplitude: 0.9,
+            jitter_onset: 0.45,
+            jitter_floor: 0.1,
+        }
+    }
+}
+
+/// Physical-server configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Number of physical cores.
+    pub cores: u32,
+    /// Core clock frequency in cycles per second.
+    pub frequency_hz: f64,
+    /// Relative speed factor (1.0 = nominal). Models the heterogeneous
+    /// clusters of the paper's future-work discussion: effective frequency
+    /// and disk rates scale by this factor.
+    pub speed_factor: f64,
+    /// Block-device model.
+    pub disk: DiskConfig,
+    /// Memory-hierarchy model.
+    pub memory: MemoryConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cores: 48,
+            frequency_hz: 2.3e9,
+            speed_factor: 1.0,
+            disk: DiskConfig::default(),
+            memory: MemoryConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Effective core frequency after the heterogeneity speed factor.
+    pub fn effective_frequency(&self) -> f64 {
+        self.frequency_hz * self.speed_factor
+    }
+
+    /// The experiment preset modelling a Chameleon Dell R630 with local
+    /// SSD-class storage, tuned so that a 12-node virtual Hadoop cluster
+    /// alone keeps the device below the jitter onset while a saturating fio
+    /// antagonist pushes it past it (the regimes of the paper's Figs. 3–4).
+    pub fn chameleon() -> Self {
+        ServerConfig {
+            cores: 48,
+            frequency_hz: 2.3e9,
+            speed_factor: 1.0,
+            disk: DiskConfig {
+                max_random_iops: 20_000.0,
+                max_seq_bps: 1.2e9,
+                base_service_time: 0.002,
+                max_queue_factor: 40.0,
+                queue_depth: 32.0,
+                jitter_amplitude: 0.9,
+                jitter_onset: 0.5,
+                jitter_floor: 0.35,
+            },
+            memory: MemoryConfig::default(),
+        }
+    }
+}
+
+/// Virtual-machine configuration (the paper's instances: 2 vCPU, 8 GB).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// Number of virtual CPUs.
+    pub vcpus: u32,
+    /// Guest memory in bytes.
+    pub memory_bytes: u64,
+    /// Scheduling priority.
+    pub priority: Priority,
+}
+
+impl VmConfig {
+    /// The paper's standard instance: 2 vCPU / 8 GB, high priority.
+    pub fn high_priority() -> Self {
+        VmConfig { vcpus: 2, memory_bytes: 8 << 30, priority: Priority::High }
+    }
+
+    /// The paper's standard instance at low (antagonist) priority.
+    pub fn low_priority() -> Self {
+        VmConfig { vcpus: 2, memory_bytes: 8 << 30, priority: Priority::Low }
+    }
+
+    /// Same instance with a custom vCPU count.
+    pub fn with_vcpus(mut self, vcpus: u32) -> Self {
+        self.vcpus = vcpus;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_the_r630() {
+        let s = ServerConfig::default();
+        assert_eq!(s.cores, 48);
+        assert!((s.effective_frequency() - 2.3e9).abs() < 1.0);
+        assert!(s.disk.max_random_iops > 0.0);
+        assert!(s.memory.llc_bytes > 0.0);
+    }
+
+    #[test]
+    fn speed_factor_scales_frequency() {
+        let mut s = ServerConfig::default();
+        s.speed_factor = 0.5;
+        assert!((s.effective_frequency() - 1.15e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn vm_presets_match_paper() {
+        let hi = VmConfig::high_priority();
+        assert_eq!(hi.vcpus, 2);
+        assert_eq!(hi.memory_bytes, 8 << 30);
+        assert_eq!(hi.priority, Priority::High);
+        let lo = VmConfig::low_priority().with_vcpus(4);
+        assert_eq!(lo.vcpus, 4);
+        assert_eq!(lo.priority, Priority::Low);
+    }
+}

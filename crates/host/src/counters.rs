@@ -1,0 +1,217 @@
+//! Per-VM cumulative performance counters.
+//!
+//! Semantics mirror what the paper's performance monitor reads on real
+//! hardware: cgroup blkio counters via libvirt (`io_serviced`,
+//! `io_service_bytes`, `io_wait_time`) and `perf_event` in counting mode
+//! (cycles, instructions, LLC references and misses). All counters are
+//! **cumulative since VM boot**; consumers take deltas between samples
+//! (§III-D.1). Values are monotonically non-decreasing `f64` accumulators —
+//! the fluid model produces fractional ops per tick, and keeping fractions
+//! avoids systematic rounding drift at small tick sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters for one VM (one cgroup).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VmCounters {
+    /// Block I/O operations completed (`blkio.io_serviced`).
+    pub io_serviced: f64,
+    /// Bytes of block I/O completed (`blkio.io_service_bytes`).
+    pub io_service_bytes: f64,
+    /// Total time I/O operations spent waiting in scheduler queues, in
+    /// seconds (`blkio.io_wait_time`; the kernel reports nanoseconds).
+    pub io_wait_time: f64,
+    /// CPU time consumed, in core-seconds.
+    pub cpu_time: f64,
+    /// Clock cycles retired.
+    pub cycles: f64,
+    /// Instructions retired.
+    pub instructions: f64,
+    /// Last-level-cache references.
+    pub llc_references: f64,
+    /// Last-level-cache misses.
+    pub llc_misses: f64,
+}
+
+impl VmCounters {
+    /// Accumulates a tick's achieved work into the counters.
+    pub fn accumulate(&mut self, delta: &VmCounters) {
+        self.io_serviced += delta.io_serviced;
+        self.io_service_bytes += delta.io_service_bytes;
+        self.io_wait_time += delta.io_wait_time;
+        self.cpu_time += delta.cpu_time;
+        self.cycles += delta.cycles;
+        self.instructions += delta.instructions;
+        self.llc_references += delta.llc_references;
+        self.llc_misses += delta.llc_misses;
+    }
+}
+
+/// A point-in-time snapshot of one VM's counters, as the monitor would read
+/// them from the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// The counters at the snapshot instant.
+    pub counters: VmCounters,
+}
+
+impl CounterSnapshot {
+    /// Difference of two snapshots (`later - self`), i.e. activity in the
+    /// interval between them. Panics in debug builds if `later` is not
+    /// actually later (counters are monotone).
+    pub fn delta_to(&self, later: &CounterSnapshot) -> VmCounters {
+        let a = &self.counters;
+        let b = &later.counters;
+        debug_assert!(b.io_serviced >= a.io_serviced, "counters must be monotone");
+        VmCounters {
+            io_serviced: b.io_serviced - a.io_serviced,
+            io_service_bytes: b.io_service_bytes - a.io_service_bytes,
+            io_wait_time: b.io_wait_time - a.io_wait_time,
+            cpu_time: b.cpu_time - a.cpu_time,
+            cycles: b.cycles - a.cycles,
+            instructions: b.instructions - a.instructions,
+            llc_references: b.llc_references - a.llc_references,
+            llc_misses: b.llc_misses - a.llc_misses,
+        }
+    }
+}
+
+/// Derived per-interval metrics computed from a counter delta — the exact
+/// quantities in the paper's detection pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalMetrics {
+    /// Block iowait ratio: `Δio_wait_time / Δio_serviced`, in **milliseconds
+    /// per operation**. `None` when no I/O was serviced in the interval.
+    pub iowait_ratio_ms: Option<f64>,
+    /// Cycles per instruction. `None` when no instructions retired.
+    pub cpi: Option<f64>,
+    /// LLC miss rate in misses per second. `None` when idle — the paper's
+    /// "LLC miss rates are not counted when the VMs are not running any
+    /// workload". (A per-time rate, not the miss *ratio*: a saturating
+    /// streaming workload has a flat ratio of ~1.0 but a strongly varying
+    /// rate, and the rate is what tracks the pressure it exerts.)
+    pub llc_miss_rate: Option<f64>,
+    /// I/O throughput in bytes per second over the interval.
+    pub io_bps: f64,
+    /// I/O throughput in operations per second over the interval.
+    pub io_iops: f64,
+    /// Average CPU usage in cores over the interval.
+    pub cpu_cores: f64,
+}
+
+impl IntervalMetrics {
+    /// Computes derived metrics from a counter delta over `interval_secs`.
+    pub fn from_delta(delta: &VmCounters, interval_secs: f64) -> Self {
+        assert!(interval_secs > 0.0, "interval must be positive");
+        let iowait_ratio_ms = if delta.io_serviced > 0.0 {
+            Some(delta.io_wait_time / delta.io_serviced * 1e3)
+        } else {
+            None
+        };
+        let cpi = if delta.instructions > 0.0 {
+            Some(delta.cycles / delta.instructions)
+        } else {
+            None
+        };
+        let llc_miss_rate = if delta.instructions > 0.0 {
+            Some(delta.llc_misses / interval_secs)
+        } else {
+            None
+        };
+        IntervalMetrics {
+            iowait_ratio_ms,
+            cpi,
+            llc_miss_rate,
+            io_bps: delta.io_service_bytes / interval_secs,
+            io_iops: delta.io_serviced / interval_secs,
+            cpu_cores: delta.cpu_time / interval_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VmCounters {
+        VmCounters {
+            io_serviced: 100.0,
+            io_service_bytes: 1e6,
+            io_wait_time: 0.5,
+            cpu_time: 2.0,
+            cycles: 4.6e9,
+            instructions: 4.0e9,
+            llc_references: 1e8,
+            llc_misses: 5e6,
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_fields() {
+        let mut c = VmCounters::default();
+        c.accumulate(&sample());
+        c.accumulate(&sample());
+        assert_eq!(c.io_serviced, 200.0);
+        assert_eq!(c.cpu_time, 4.0);
+        assert_eq!(c.llc_misses, 1e7);
+    }
+
+    #[test]
+    fn snapshot_delta_recovers_interval_activity() {
+        let start = CounterSnapshot { counters: sample() };
+        let mut later = sample();
+        later.accumulate(&sample());
+        let end = CounterSnapshot { counters: later };
+        let d = start.delta_to(&end);
+        assert_eq!(d.io_serviced, 100.0);
+        assert_eq!(d.io_wait_time, 0.5);
+        assert_eq!(d.cycles, 4.6e9);
+    }
+
+    #[test]
+    fn interval_metrics_formulas() {
+        let d = sample();
+        let m = IntervalMetrics::from_delta(&d, 5.0);
+        // 0.5 s wait over 100 ops = 5 ms/op.
+        assert!((m.iowait_ratio_ms.unwrap() - 5.0).abs() < 1e-12);
+        assert!((m.cpi.unwrap() - 1.15).abs() < 1e-12);
+        // 5e6 misses over 5 s = 1e6 misses/s.
+        assert!((m.llc_miss_rate.unwrap() - 1e6).abs() < 1e-6);
+        assert!((m.io_bps - 2e5).abs() < 1e-9);
+        assert!((m.io_iops - 20.0).abs() < 1e-12);
+        assert!((m.cpu_cores - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_intervals_yield_missing_metrics() {
+        let d = VmCounters::default();
+        let m = IntervalMetrics::from_delta(&d, 5.0);
+        assert_eq!(m.iowait_ratio_ms, None);
+        assert_eq!(m.cpi, None);
+        assert_eq!(m.llc_miss_rate, None);
+        assert_eq!(m.io_bps, 0.0);
+        assert_eq!(m.cpu_cores, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = IntervalMetrics::from_delta(&VmCounters::default(), 0.0);
+    }
+
+    #[test]
+    fn cpu_only_interval_has_cpi_but_no_iowait() {
+        let d = VmCounters {
+            cpu_time: 1.0,
+            cycles: 2.0e9,
+            instructions: 1.0e9,
+            ..Default::default()
+        };
+        let m = IntervalMetrics::from_delta(&d, 5.0);
+        assert_eq!(m.iowait_ratio_ms, None);
+        assert_eq!(m.cpi, Some(2.0));
+        // Executing instructions with zero misses is a present zero rate,
+        // not a missing sample.
+        assert_eq!(m.llc_miss_rate, Some(0.0));
+    }
+}

@@ -1,0 +1,683 @@
+//! The physical server: one tick of multi-resource arbitration.
+//!
+//! Each tick the server (1) steps every VM's luck processes, (2) aggregates
+//! per-VM demand, (3) applies blkio throttles, (4) arbitrates the block
+//! device, (5) evaluates the memory model to get per-VM CPI and miss rates,
+//! (6) allocates CPU time with hard caps, (7) updates cgroup counters, and
+//! (8) distributes achieved work back to processes, reaping finished ones.
+//!
+//! Jitter amplitudes use the *previous* tick's utilization — the fluid-model
+//! equivalent of queue state carrying over — which avoids a circular
+//! dependency between allocation and luck.
+
+use crate::config::{Priority, ServerConfig, VmConfig};
+use crate::counters::{CounterSnapshot, VmCounters};
+use crate::cpu::{allocate as cpu_allocate, CpuRequest};
+use crate::demand::{Achieved, Process, ProcessId};
+use crate::disk::{allocate as disk_allocate, DiskRequest};
+use crate::jitter::{amplitude, luck_multiplier, Ar1};
+use crate::memory::{model as mem_model, MemRequest};
+use crate::throttle::{CpuCap, IoThrottle};
+use crate::vm::{Vm, VmId};
+use perfcloud_sim::{RngFactory, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a physical server within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server{}", self.0)
+    }
+}
+
+/// A process that completed during a tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedProcess {
+    /// VM that hosted the process.
+    pub vm: VmId,
+    /// Server-local process id.
+    pub pid: ProcessId,
+    /// The process's label.
+    pub label: String,
+}
+
+/// Summary of one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// Processes that finished this tick.
+    pub finished: Vec<FinishedProcess>,
+    /// Offered block-device utilization (may exceed 1).
+    pub disk_utilization: f64,
+    /// Offered memory-bandwidth utilization (may exceed 1).
+    pub memory_utilization: f64,
+    /// CPU utilization in [0, 1].
+    pub cpu_utilization: f64,
+}
+
+/// A simulated physical server hosting VMs.
+pub struct PhysicalServer {
+    /// Identifier within the cluster.
+    pub id: ServerId,
+    config: ServerConfig,
+    rng: RngFactory,
+    vms: Vec<Vm>,
+    index: HashMap<VmId, usize>,
+    next_pid: u64,
+    last_disk_rho: f64,
+    last_mem_rho: f64,
+    ar1_dt: f64,
+}
+
+/// Time constant (seconds) of per-VM luck processes; a few seconds so luck
+/// persists across the monitor's 5-second sampling interval.
+const LUCK_TAU_SECS: f64 = 6.0;
+
+impl PhysicalServer {
+    /// Creates a server. `rng` seeds the per-VM jitter streams; `tick_dt` is
+    /// the tick length the server will be driven at (needed to discretize
+    /// the AR(1) processes consistently).
+    pub fn new(id: ServerId, config: ServerConfig, rng: RngFactory, tick_dt: SimDuration) -> Self {
+        assert!(!tick_dt.is_zero(), "tick length must be positive");
+        PhysicalServer {
+            id,
+            config,
+            rng,
+            vms: Vec::new(),
+            index: HashMap::new(),
+            next_pid: 0,
+            last_disk_rho: 0.0,
+            last_mem_rho: 0.0,
+            ar1_dt: tick_dt.as_secs_f64(),
+        }
+    }
+
+    /// The server's static configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Boots a VM on this server. Panics if the id is already present.
+    pub fn add_vm(&mut self, id: VmId, cfg: VmConfig) {
+        assert!(!self.index.contains_key(&id), "duplicate VM id {id}");
+        let io_rng = self.rng.stream_indexed("io-luck", id.0 as u64);
+        let cpi_rng = self.rng.stream_indexed("cpi-luck", id.0 as u64);
+        let vm = Vm::new(
+            id,
+            cfg,
+            Ar1::with_time_constant(LUCK_TAU_SECS, self.ar1_dt),
+            Ar1::with_time_constant(LUCK_TAU_SECS, self.ar1_dt),
+            io_rng,
+            cpi_rng,
+        );
+        self.index.insert(id, self.vms.len());
+        self.vms.push(vm);
+    }
+
+    /// All hosted VM ids, in boot order.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.iter().map(|v| v.id).collect()
+    }
+
+    /// True if the VM is hosted here.
+    pub fn hosts(&self, vm: VmId) -> bool {
+        self.index.contains_key(&vm)
+    }
+
+    /// Priority of a hosted VM.
+    pub fn priority(&self, vm: VmId) -> Option<Priority> {
+        self.vm(vm).map(|v| v.config.priority)
+    }
+
+    fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.index.get(&id).map(|&i| &self.vms[i])
+    }
+
+    fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
+        let i = *self.index.get(&id)?;
+        Some(&mut self.vms[i])
+    }
+
+    /// Starts a process on a VM, returning its server-local id.
+    pub fn spawn(&mut self, vm: VmId, process: Box<dyn Process>) -> ProcessId {
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        self.vm_mut(vm)
+            .unwrap_or_else(|| panic!("spawn on unknown VM {vm}"))
+            .processes
+            .push((pid, process));
+        pid
+    }
+
+    /// Kills a process (used by speculation/cloning schedulers). Returns
+    /// true if the process existed and was removed.
+    pub fn kill(&mut self, vm: VmId, pid: ProcessId) -> bool {
+        match self.vm_mut(vm) {
+            None => false,
+            Some(v) => {
+                let before = v.processes.len();
+                v.processes.retain(|(p, _)| *p != pid);
+                v.processes.len() != before
+            }
+        }
+    }
+
+    /// Progress of a running process, if it exists.
+    pub fn process_progress(&self, vm: VmId, pid: ProcessId) -> Option<f64> {
+        self.vm(vm)?
+            .processes
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, proc_)| proc_.progress())
+    }
+
+    /// Number of live processes on a VM.
+    pub fn process_count(&self, vm: VmId) -> usize {
+        self.vm(vm).map(|v| v.process_count()).unwrap_or(0)
+    }
+
+    /// Reads a VM's cumulative counters, as the hypervisor would report them.
+    pub fn counters(&self, vm: VmId) -> Option<CounterSnapshot> {
+        self.vm(vm).map(|v| CounterSnapshot { counters: v.counters })
+    }
+
+    /// Applies (or clears, with `IoThrottle::unlimited()`) the blkio
+    /// throttling policy on a VM.
+    pub fn set_io_throttle(&mut self, vm: VmId, throttle: IoThrottle) {
+        if let Some(v) = self.vm_mut(vm) {
+            v.io_throttle = throttle;
+        }
+    }
+
+    /// Applies (or clears) the `vcpu_quota` hard cap on a VM.
+    pub fn set_cpu_cap(&mut self, vm: VmId, cap: CpuCap) {
+        if let Some(v) = self.vm_mut(vm) {
+            v.cpu_cap = cap;
+        }
+    }
+
+    /// Current I/O throttle of a VM.
+    pub fn io_throttle(&self, vm: VmId) -> Option<IoThrottle> {
+        self.vm(vm).map(|v| v.io_throttle)
+    }
+
+    /// Current CPU cap of a VM.
+    pub fn cpu_cap(&self, vm: VmId) -> Option<CpuCap> {
+        self.vm(vm).map(|v| v.cpu_cap)
+    }
+
+    /// Advances the server by one tick of length `dt`.
+    pub fn tick(&mut self, dt: SimDuration) -> TickReport {
+        let dt_s = dt.as_secs_f64();
+        assert!(dt_s > 0.0, "tick length must be positive");
+        let n = self.vms.len();
+
+        // 1. Step luck processes; amplitude from last tick's utilization.
+        let io_amp = amplitude(
+            self.last_disk_rho,
+            self.config.disk.jitter_onset,
+            self.config.disk.jitter_amplitude,
+            self.config.disk.jitter_floor,
+        );
+        let cpi_amp = amplitude(
+            self.last_mem_rho,
+            self.config.memory.jitter_onset,
+            self.config.memory.jitter_amplitude,
+            self.config.memory.jitter_floor,
+        );
+        let mut io_luck = Vec::with_capacity(n);
+        let mut cpi_luck = Vec::with_capacity(n);
+        for vm in &mut self.vms {
+            let x = {
+                let rng = &mut vm.io_rng;
+                vm.io_luck.step(rng)
+            };
+            io_luck.push(luck_multiplier(x, io_amp));
+            let y = {
+                let rng = &mut vm.cpi_rng;
+                vm.cpi_luck.step(rng)
+            };
+            cpi_luck.push(luck_multiplier(y, cpi_amp));
+        }
+
+        // 2. Aggregate demand per VM.
+        let demands: Vec<_> = self.vms.iter().map(|v| v.aggregate_demand(dt)).collect();
+
+        // 3+4. Throttle and arbitrate the block device.
+        let disk_reqs: Vec<DiskRequest> = self
+            .vms
+            .iter()
+            .zip(&demands)
+            .zip(&io_luck)
+            .map(|((vm, d), &luck)| {
+                let total_ops = d.rand_ops + d.seq_ops;
+                let total_bytes = d.rand_bytes + d.seq_bytes;
+                let (ops_ok, bytes_ok) = vm.io_throttle.clamp(total_ops, total_bytes, dt_s);
+                let ops_scale = if total_ops > 0.0 { ops_ok / total_ops } else { 0.0 };
+                let bytes_scale = if total_bytes > 0.0 { bytes_ok / total_bytes } else { 0.0 };
+                DiskRequest {
+                    rand_ops: d.rand_ops * ops_scale,
+                    rand_bytes: d.rand_bytes * bytes_scale,
+                    seq_ops: d.seq_ops * ops_scale,
+                    seq_bytes: d.seq_bytes * bytes_scale,
+                    luck,
+                    queue_depth: d.io_queue_depth,
+                }
+            })
+            .collect();
+        let disk = disk_allocate(&disk_reqs, &self.config.disk, self.config.speed_factor, dt_s);
+
+        // 5. Memory model: per-VM CPI and miss rate.
+        let freq_for_mem = self.config.effective_frequency();
+        let mem_reqs: Vec<MemRequest> = self
+            .vms
+            .iter()
+            .zip(&demands)
+            .zip(&cpi_luck)
+            .map(|((vm, d), &luck)| {
+                // CPU hard caps bound how many instructions the VM can
+                // actually issue, and with them its memory pressure — this
+                // is what makes `vcpu_quota` capping effective against
+                // LLC/bandwidth antagonists (§III-C).
+                let cores = vm.cpu_cap.effective_cores(vm.config.vcpus);
+                let issue_limit = cores * dt_s * freq_for_mem / d.base_cpi.max(0.1);
+                let full_rate =
+                    vm.config.vcpus as f64 * dt_s * freq_for_mem / d.base_cpi.max(0.1);
+                let instr_demand = d.instructions.min(issue_limit);
+                MemRequest {
+                    instr_demand,
+                    activity: if full_rate > 0.0 {
+                        (instr_demand / full_rate).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    },
+                    refs_per_instr: d.refs_per_instr,
+                    working_set: d.working_set,
+                    cache_reuse: d.cache_reuse,
+                    base_cpi: d.base_cpi,
+                    luck,
+                }
+            })
+            .collect();
+        let mem = mem_model(&mem_reqs, &self.config.memory, dt_s);
+
+        // 6. CPU allocation.
+        let freq = self.config.effective_frequency();
+        let cpu_reqs: Vec<CpuRequest> = self
+            .vms
+            .iter()
+            .zip(&demands)
+            .zip(&mem.outcomes)
+            .map(|((vm, d), m)| {
+                let cores = vm.cpu_cap.effective_cores(vm.config.vcpus);
+                let par = d.parallelism.min(cores);
+                // Time needed to retire the demanded instructions at this CPI.
+                let needed = d.instructions * m.cpi / freq;
+                CpuRequest {
+                    demand: needed.min(par * dt_s),
+                    limit: cores * dt_s,
+                    weight: vm.config.vcpus as f64,
+                }
+            })
+            .collect();
+        let cpu_alloc = cpu_allocate(&cpu_reqs, self.config.cores as f64 * dt_s);
+        let cpu_used: f64 = cpu_alloc.iter().sum();
+
+        // 7+8. Account counters, distribute achievements, reap finished.
+        let mut finished = Vec::new();
+        for i in 0..n {
+            let d = &demands[i];
+            let m = &mem.outcomes[i];
+            let dsk = &disk.outcomes[i];
+            let cpu_time = cpu_alloc[i];
+            let cycles = cpu_time * freq;
+            let instructions = (cycles / m.cpi).min(d.instructions.max(0.0));
+            let llc_refs = instructions * d.refs_per_instr;
+            let llc_misses = llc_refs * m.miss_rate;
+
+            let delta = VmCounters {
+                io_serviced: dsk.ops,
+                io_service_bytes: dsk.bytes,
+                io_wait_time: dsk.wait,
+                cpu_time,
+                cycles,
+                instructions,
+                llc_references: llc_refs,
+                llc_misses,
+            };
+            self.vms[i].counters.accumulate(&delta);
+
+            // Distribute to processes proportionally to their demands.
+            let instr_frac = if d.instructions > 0.0 { instructions / d.instructions } else { 0.0 };
+            let ops_demand = d.rand_ops + d.seq_ops;
+            let bytes_demand = d.rand_bytes + d.seq_bytes;
+            let ops_frac = if ops_demand > 0.0 { dsk.ops / ops_demand } else { 0.0 };
+            let bytes_frac = if bytes_demand > 0.0 { dsk.bytes / bytes_demand } else { 0.0 };
+
+            let proc_demands = self.vms[i].process_demands(dt);
+            let vm = &mut self.vms[i];
+            for ((pid, proc_), pd) in vm.processes.iter_mut().zip(&proc_demands) {
+                let p_instr = pd.cpu_instructions * instr_frac;
+                let achieved = Achieved {
+                    cpu_time: if d.instructions > 0.0 {
+                        cpu_time * pd.cpu_instructions / d.instructions
+                    } else {
+                        0.0
+                    },
+                    instructions: p_instr,
+                    cycles: p_instr * m.cpi,
+                    io_ops: pd.io_ops * ops_frac,
+                    io_bytes: pd.io_bytes * bytes_frac,
+                    io_wait: 0.0,
+                    llc_references: p_instr * pd.mem_refs_per_instr,
+                    llc_misses: p_instr * pd.mem_refs_per_instr * m.miss_rate,
+                };
+                proc_.advance(&achieved, dt);
+                if proc_.is_done() {
+                    finished.push(FinishedProcess {
+                        vm: vm.id,
+                        pid: *pid,
+                        label: proc_.label().to_string(),
+                    });
+                }
+            }
+            vm.processes.retain(|(_, p)| !p.is_done());
+        }
+
+        self.last_disk_rho = disk.offered_utilization;
+        self.last_mem_rho = mem.offered_utilization;
+
+        TickReport {
+            finished,
+            disk_utilization: disk.offered_utilization,
+            memory_utilization: mem.offered_utilization,
+            cpu_utilization: cpu_used / (self.config.cores as f64 * dt_s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{IoPattern, ResourceDemand};
+
+    /// A process that wants `instr` instructions and `bytes` of I/O total.
+    struct WorkProc {
+        instr_left: f64,
+        bytes_left: f64,
+        total_instr: f64,
+        total_bytes: f64,
+        pattern: IoPattern,
+    }
+
+    impl WorkProc {
+        fn cpu(instr: f64) -> Self {
+            WorkProc {
+                instr_left: instr,
+                bytes_left: 0.0,
+                total_instr: instr,
+                total_bytes: 0.0,
+                pattern: IoPattern::Random,
+            }
+        }
+        fn io(bytes: f64, pattern: IoPattern) -> Self {
+            WorkProc {
+                instr_left: 0.0,
+                bytes_left: bytes,
+                total_instr: 0.0,
+                total_bytes: bytes,
+                pattern,
+            }
+        }
+    }
+
+    impl Process for WorkProc {
+        fn demand(&self, dt: SimDuration) -> ResourceDemand {
+            let dt_s = dt.as_secs_f64();
+            ResourceDemand {
+                cpu_parallelism: if self.instr_left > 0.0 { 1.0 } else { 0.0 },
+                cpu_instructions: self.instr_left.min(1e10 * dt_s),
+                // Closed-loop I/O with bounded queue depth: a real process
+                // submits ~2000 random ops/s or ~200 MB/s sequential at most.
+                io_ops: if self.bytes_left > 0.0 {
+                    (self.bytes_left / 4096.0).min(2_000.0 * dt_s)
+                } else {
+                    0.0
+                },
+                io_bytes: self.bytes_left.min(2.0e8 * dt_s),
+                io_pattern: self.pattern,
+                io_queue_depth: 32.0,
+                mem_refs_per_instr: 0.01,
+                working_set: 1e6,
+                cache_reuse: 0.9,
+                base_cpi: 1.0,
+            }
+        }
+        fn advance(&mut self, a: &Achieved, _dt: SimDuration) {
+            self.instr_left = (self.instr_left - a.instructions).max(0.0);
+            self.bytes_left = (self.bytes_left - a.io_bytes).max(0.0);
+        }
+        fn is_done(&self) -> bool {
+            self.instr_left <= 0.0 && self.bytes_left <= 0.0
+        }
+        fn progress(&self) -> f64 {
+            let total = self.total_instr + self.total_bytes;
+            if total <= 0.0 {
+                1.0
+            } else {
+                1.0 - (self.instr_left + self.bytes_left) / total
+            }
+        }
+        fn label(&self) -> &str {
+            "work"
+        }
+    }
+
+    const DT: SimDuration = SimDuration::from_micros(100_000);
+
+    fn server() -> PhysicalServer {
+        PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(7), DT)
+    }
+
+    #[test]
+    fn cpu_bound_process_finishes_in_expected_time() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        // 2.3e9 instructions at ~1 CPI on one 2.3 GHz core ≈ 1 s.
+        let pid = s.spawn(VmId(0), Box::new(WorkProc::cpu(2.3e9)));
+        let mut ticks = 0;
+        loop {
+            let r = s.tick(DT);
+            ticks += 1;
+            if r.finished.iter().any(|f| f.pid == pid) {
+                break;
+            }
+            assert!(ticks < 100, "process did not finish");
+        }
+        let secs = ticks as f64 * 0.1;
+        assert!((0.8..=1.6).contains(&secs), "took {secs}s, expected ≈1s");
+    }
+
+    #[test]
+    fn io_bound_process_progresses_and_counts() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        s.spawn(VmId(0), Box::new(WorkProc::io(40.0e6, IoPattern::Sequential)));
+        for _ in 0..20 {
+            s.tick(DT);
+        }
+        let c = s.counters(VmId(0)).unwrap().counters;
+        assert!(c.io_service_bytes > 0.0);
+        assert!(c.io_serviced > 0.0);
+    }
+
+    #[test]
+    fn cpu_cap_slows_a_process_down() {
+        let run = |cap: Option<f64>| {
+            let mut s = server();
+            s.add_vm(VmId(0), VmConfig::low_priority());
+            if let Some(c) = cap {
+                s.set_cpu_cap(VmId(0), CpuCap { cores: Some(c) });
+            }
+            let pid = s.spawn(VmId(0), Box::new(WorkProc::cpu(2.3e9)));
+            let mut ticks = 0;
+            while s.process_progress(VmId(0), pid).is_some() {
+                s.tick(DT);
+                ticks += 1;
+                assert!(ticks < 500);
+            }
+            ticks
+        };
+        let uncapped = run(None);
+        let capped = run(Some(0.25));
+        assert!(
+            capped as f64 >= 3.0 * uncapped as f64,
+            "0.25-core cap should ≈4x the runtime: {uncapped} vs {capped}"
+        );
+    }
+
+    #[test]
+    fn io_throttle_slows_io_down() {
+        let run = |bps: Option<f64>| {
+            let mut s = server();
+            s.add_vm(VmId(0), VmConfig::low_priority());
+            s.set_io_throttle(VmId(0), IoThrottle { iops: None, bps });
+            let pid = s.spawn(VmId(0), Box::new(WorkProc::io(100.0e6, IoPattern::Sequential)));
+            let mut ticks = 0;
+            while s.process_progress(VmId(0), pid).is_some() {
+                s.tick(DT);
+                ticks += 1;
+                assert!(ticks < 10_000);
+            }
+            ticks
+        };
+        let fast = run(None);
+        let slow = run(Some(20.0e6));
+        assert!(slow > 3 * fast, "20 MB/s cap on a 400 MB/s device: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn contention_inflates_iowait_ratio() {
+        // One VM alone vs. the same VM sharing the disk with a heavy random
+        // reader: wait per op must grow sharply.
+        let ratio_of = |with_antagonist: bool| {
+            let mut s = server();
+            s.add_vm(VmId(0), VmConfig::high_priority());
+            s.spawn(VmId(0), Box::new(WorkProc::io(8.0e6, IoPattern::Random)));
+            if with_antagonist {
+                s.add_vm(VmId(1), VmConfig::low_priority());
+                s.spawn(VmId(1), Box::new(WorkProc::io(1e12, IoPattern::Random)));
+            }
+            for _ in 0..50 {
+                s.tick(DT);
+            }
+            let c = s.counters(VmId(0)).unwrap().counters;
+            c.io_wait_time / c.io_serviced * 1e3 // ms per op
+        };
+        let alone = ratio_of(false);
+        let contended = ratio_of(true);
+        assert!(
+            contended > 3.0 * alone,
+            "iowait ratio should blow up: alone {alone:.3} ms, contended {contended:.3} ms"
+        );
+    }
+
+    #[test]
+    fn kill_removes_process() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        let pid = s.spawn(VmId(0), Box::new(WorkProc::cpu(1e12)));
+        assert_eq!(s.process_count(VmId(0)), 1);
+        assert!(s.kill(VmId(0), pid));
+        assert_eq!(s.process_count(VmId(0)), 0);
+        assert!(!s.kill(VmId(0), pid), "double kill is a no-op");
+    }
+
+    #[test]
+    fn progress_reaches_one_at_completion() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        let pid = s.spawn(VmId(0), Box::new(WorkProc::cpu(2.3e8)));
+        let mut last = 0.0;
+        while let Some(p) = s.process_progress(VmId(0), pid) {
+            assert!(p >= last - 1e-9, "progress must be monotone");
+            last = p;
+            s.tick(DT);
+        }
+        assert!(last > 0.5);
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        s.spawn(VmId(0), Box::new(WorkProc::cpu(1e11)));
+        s.spawn(VmId(0), Box::new(WorkProc::io(1e9, IoPattern::Random)));
+        let mut prev = s.counters(VmId(0)).unwrap().counters;
+        for _ in 0..30 {
+            s.tick(DT);
+            let c = s.counters(VmId(0)).unwrap().counters;
+            assert!(c.instructions >= prev.instructions);
+            assert!(c.io_serviced >= prev.io_serviced);
+            assert!(c.io_wait_time >= prev.io_wait_time);
+            assert!(c.cycles >= prev.cycles);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut s = server();
+            s.add_vm(VmId(0), VmConfig::high_priority());
+            s.add_vm(VmId(1), VmConfig::low_priority());
+            s.spawn(VmId(0), Box::new(WorkProc::io(5e8, IoPattern::Random)));
+            s.spawn(VmId(1), Box::new(WorkProc::io(1e10, IoPattern::Random)));
+            for _ in 0..40 {
+                s.tick(DT);
+            }
+            let c = s.counters(VmId(0)).unwrap().counters;
+            (c.io_serviced, c.io_wait_time, c.instructions)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate VM id")]
+    fn duplicate_vm_id_rejected() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        s.add_vm(VmId(0), VmConfig::high_priority());
+    }
+
+    #[test]
+    fn work_conserving_across_vms() {
+        // Two VMs, one busy, one idle: busy VM is not slowed by idle one.
+        let mut s1 = server();
+        s1.add_vm(VmId(0), VmConfig::high_priority());
+        let p1 = s1.spawn(VmId(0), Box::new(WorkProc::cpu(2.3e9)));
+        let mut s2 = server();
+        s2.add_vm(VmId(0), VmConfig::high_priority());
+        s2.add_vm(VmId(1), VmConfig::low_priority());
+        let p2 = s2.spawn(VmId(0), Box::new(WorkProc::cpu(2.3e9)));
+        let t1 = {
+            let mut t = 0;
+            while s1.process_progress(VmId(0), p1).is_some() {
+                s1.tick(DT);
+                t += 1;
+            }
+            t
+        };
+        let t2 = {
+            let mut t = 0;
+            while s2.process_progress(VmId(0), p2).is_some() {
+                s2.tick(DT);
+                t += 1;
+            }
+            t
+        };
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Resource caps: the blkio throttling policy and CPU hard caps.
+//!
+//! These are the actuators PerfCloud drives (§III-C): the node manager
+//! applies I/O caps "through block I/O subsystem's throttling policy" and
+//! CPU caps "through `vcpu_quota`". In the fluid model a cap simply bounds
+//! the rate a VM may consume within a tick; an uncapped VM is bounded only by
+//! its vCPU count and the device.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-VM I/O throttle (the blkio throttling policy). `None` = unthrottled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoThrottle {
+    /// Cap on operations per second.
+    pub iops: Option<f64>,
+    /// Cap on bytes per second.
+    pub bps: Option<f64>,
+}
+
+impl IoThrottle {
+    /// No throttling.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Clamp an I/O demand `(ops, bytes)` for a tick of `dt` seconds. The
+    /// two caps apply independently; ops and bytes scale together by the
+    /// tighter of the two ratios so the op mix is preserved.
+    pub fn clamp(&self, ops: f64, bytes: f64, dt: f64) -> (f64, f64) {
+        debug_assert!(dt > 0.0);
+        let mut scale: f64 = 1.0;
+        if let Some(cap) = self.iops {
+            let max_ops = cap.max(0.0) * dt;
+            if ops > max_ops {
+                scale = scale.min(if ops > 0.0 { max_ops / ops } else { 1.0 });
+            }
+        }
+        if let Some(cap) = self.bps {
+            let max_bytes = cap.max(0.0) * dt;
+            if bytes > max_bytes {
+                scale = scale.min(if bytes > 0.0 { max_bytes / bytes } else { 1.0 });
+            }
+        }
+        (ops * scale, bytes * scale)
+    }
+
+    /// True if any cap is set.
+    pub fn is_throttled(&self) -> bool {
+        self.iops.is_some() || self.bps.is_some()
+    }
+}
+
+/// Per-VM CPU hard cap (`vcpu_quota`), in cores. `None` = only bounded by
+/// the VM's vCPU count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuCap {
+    /// Maximum cores' worth of CPU time per wall second.
+    pub cores: Option<f64>,
+}
+
+impl CpuCap {
+    /// No cap.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Effective core limit for a VM with `vcpus` virtual CPUs.
+    pub fn effective_cores(&self, vcpus: u32) -> f64 {
+        let base = vcpus as f64;
+        match self.cores {
+            None => base,
+            Some(c) => c.clamp(0.0, base),
+        }
+    }
+
+    /// True if a cap is set.
+    pub fn is_capped(&self) -> bool {
+        self.cores.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_passes_demand_through() {
+        let t = IoThrottle::unlimited();
+        assert_eq!(t.clamp(100.0, 1e6, 0.1), (100.0, 1e6));
+        assert!(!t.is_throttled());
+    }
+
+    #[test]
+    fn iops_cap_scales_ops_and_bytes_together() {
+        let t = IoThrottle { iops: Some(500.0), bps: None };
+        // Demand 100 ops in 0.1 s = 1000 ops/s, cap 500 → half.
+        let (ops, bytes) = t.clamp(100.0, 1e6, 0.1);
+        assert!((ops - 50.0).abs() < 1e-9);
+        assert!((bytes - 5e5).abs() < 1e-9);
+        assert!(t.is_throttled());
+    }
+
+    #[test]
+    fn bps_cap_binds_when_tighter() {
+        let t = IoThrottle { iops: Some(10_000.0), bps: Some(1e6) };
+        // 0.1 s tick: byte budget 1e5; demand 1e6 bytes → scale 0.1.
+        let (ops, bytes) = t.clamp(100.0, 1e6, 0.1);
+        assert!((bytes - 1e5).abs() < 1e-6);
+        assert!((ops - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_larger_than_demand_is_noop() {
+        let t = IoThrottle { iops: Some(1e9), bps: Some(1e12) };
+        assert_eq!(t.clamp(10.0, 100.0, 1.0), (10.0, 100.0));
+    }
+
+    #[test]
+    fn zero_cap_blocks_everything() {
+        let t = IoThrottle { iops: Some(0.0), bps: None };
+        let (ops, bytes) = t.clamp(10.0, 100.0, 1.0);
+        assert_eq!(ops, 0.0);
+        assert_eq!(bytes, 0.0);
+    }
+
+    #[test]
+    fn zero_demand_is_stable() {
+        let t = IoThrottle { iops: Some(5.0), bps: Some(5.0) };
+        assert_eq!(t.clamp(0.0, 0.0, 1.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn cpu_cap_clamps_to_vcpus() {
+        let c = CpuCap { cores: Some(8.0) };
+        assert_eq!(c.effective_cores(2), 2.0); // cannot exceed vCPUs
+        let c = CpuCap { cores: Some(0.4) };
+        assert_eq!(c.effective_cores(2), 0.4);
+        assert!(c.is_capped());
+    }
+
+    #[test]
+    fn cpu_uncapped_is_vcpus() {
+        let c = CpuCap::unlimited();
+        assert_eq!(c.effective_cores(4), 4.0);
+        assert!(!c.is_capped());
+    }
+
+    #[test]
+    fn negative_cap_treated_as_zero() {
+        let c = CpuCap { cores: Some(-1.0) };
+        assert_eq!(c.effective_cores(2), 0.0);
+        let t = IoThrottle { iops: Some(-5.0), bps: None };
+        let (ops, _) = t.clamp(10.0, 0.0, 1.0);
+        assert_eq!(ops, 0.0);
+    }
+}

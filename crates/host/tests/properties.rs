@@ -1,0 +1,151 @@
+//! Property-based tests for the host resource-arbitration models.
+
+use perfcloud_host::config::{DiskConfig, MemoryConfig};
+use perfcloud_host::cpu::{allocate as cpu_allocate, CpuRequest};
+use perfcloud_host::disk::{allocate as disk_allocate, DiskRequest};
+use perfcloud_host::memory::{model as mem_model, MemRequest};
+use perfcloud_host::throttle::{CpuCap, IoThrottle};
+use proptest::prelude::*;
+
+fn cpu_requests() -> impl Strategy<Value = Vec<CpuRequest>> {
+    proptest::collection::vec(
+        (0.0f64..10.0, 0.0f64..10.0, 0.5f64..8.0)
+            .prop_map(|(demand, limit, weight)| CpuRequest { demand, limit, weight }),
+        0..12,
+    )
+}
+
+fn disk_requests() -> impl Strategy<Value = Vec<DiskRequest>> {
+    proptest::collection::vec(
+        (0.0f64..5_000.0, 0.0f64..1e8, 0.0f64..100.0, 0.0f64..1e8, 0.1f64..4.0, 1.0f64..512.0)
+            .prop_map(|(rand_ops, rand_bytes, seq_ops, seq_bytes, luck, queue_depth)| {
+                DiskRequest { rand_ops, rand_bytes, seq_ops, seq_bytes, luck, queue_depth }
+            }),
+        0..10,
+    )
+}
+
+proptest! {
+    /// CPU allocation never exceeds capacity, demand, or limit — and is
+    /// work-conserving when undersubscribed.
+    #[test]
+    fn cpu_allocation_feasible(reqs in cpu_requests(), capacity in 0.0f64..50.0) {
+        let alloc = cpu_allocate(&reqs, capacity);
+        prop_assert_eq!(alloc.len(), reqs.len());
+        let total: f64 = alloc.iter().sum();
+        prop_assert!(total <= capacity + 1e-6, "total {total} > capacity {capacity}");
+        let mut want_total = 0.0;
+        for (a, r) in alloc.iter().zip(&reqs) {
+            prop_assert!(*a >= -1e-12);
+            prop_assert!(*a <= r.demand.min(r.limit) + 1e-6);
+            want_total += r.demand.min(r.limit);
+        }
+        if want_total <= capacity {
+            prop_assert!((total - want_total).abs() < 1e-6, "must be work-conserving");
+        }
+    }
+
+    /// Disk allocation is feasible and per-VM outcomes never exceed demand.
+    #[test]
+    fn disk_allocation_feasible(reqs in disk_requests(), dt in 0.01f64..1.0) {
+        let cfg = DiskConfig::default();
+        let tick = disk_allocate(&reqs, &cfg, 1.0, dt);
+        prop_assert_eq!(tick.outcomes.len(), reqs.len());
+        for (o, r) in tick.outcomes.iter().zip(&reqs) {
+            let ops_want = r.rand_ops + r.seq_ops;
+            let bytes_want = r.rand_bytes + r.seq_bytes;
+            prop_assert!(o.ops <= ops_want + 1e-6);
+            prop_assert!(o.bytes <= bytes_want + 1e-3);
+            prop_assert!(o.ops >= -1e-12 && o.bytes >= -1e-12 && o.wait >= -1e-12);
+        }
+        prop_assert!(tick.offered_utilization >= 0.0);
+    }
+
+    /// Total device time granted never exceeds the tick.
+    #[test]
+    fn disk_time_conservation(reqs in disk_requests(), dt in 0.01f64..1.0) {
+        let cfg = DiskConfig::default();
+        let tick = disk_allocate(&reqs, &cfg, 1.0, dt);
+        let mut granted_time = 0.0;
+        for (o, r) in tick.outcomes.iter().zip(&reqs) {
+            let ops_want = r.rand_ops + r.seq_ops;
+            let frac = if ops_want > 0.0 { o.ops / ops_want } else { 0.0 };
+            let want_time = r.rand_ops / cfg.max_random_iops
+                + (r.rand_bytes + r.seq_bytes) / cfg.max_seq_bps;
+            granted_time += frac * want_time;
+        }
+        prop_assert!(granted_time <= dt + 1e-6, "granted {granted_time} > dt {dt}");
+    }
+
+    /// Memory model: miss rates in [0,1], CPI ≥ base CPI (with luck ≥ 0),
+    /// and monotone in added streaming pressure.
+    #[test]
+    fn memory_model_sane(
+        n in 1usize..8,
+        refs in 0.0f64..0.3,
+        ws in 1e3f64..1e9,
+        reuse in 0.0f64..1.0,
+    ) {
+        let cfg = MemoryConfig::default();
+        let base = MemRequest {
+            instr_demand: 1e8,
+            activity: 1.0,
+            refs_per_instr: refs,
+            working_set: ws,
+            cache_reuse: reuse,
+            base_cpi: 1.0,
+            luck: 1.0,
+        };
+        let reqs: Vec<MemRequest> = (0..n).map(|_| base).collect();
+        let t = mem_model(&reqs, &cfg, 0.1);
+        for o in &t.outcomes {
+            prop_assert!((0.0..=1.0).contains(&o.miss_rate));
+            prop_assert!(o.cpi >= 1.0 - 1e-9);
+        }
+        // Add a large streaming antagonist: everyone's CPI must not drop.
+        let mut with_stream = reqs.clone();
+        with_stream.push(MemRequest {
+            instr_demand: 1e9,
+            activity: 1.0,
+            refs_per_instr: 0.25,
+            working_set: 2e9,
+            cache_reuse: 0.0,
+            base_cpi: 1.0,
+            luck: 1.0,
+        });
+        let t2 = mem_model(&with_stream, &cfg, 0.1);
+        for (before, after) in t.outcomes.iter().zip(&t2.outcomes) {
+            prop_assert!(after.cpi >= before.cpi - 1e-9);
+            prop_assert!(after.miss_rate >= before.miss_rate - 1e-9);
+        }
+    }
+
+    /// Throttle clamp output never exceeds the caps or the demand.
+    #[test]
+    fn throttle_clamp_feasible(
+        ops in 0.0f64..1e6,
+        bytes in 0.0f64..1e9,
+        iops_cap in proptest::option::of(0.0f64..1e5),
+        bps_cap in proptest::option::of(0.0f64..1e8),
+        dt in 0.01f64..1.0,
+    ) {
+        let t = IoThrottle { iops: iops_cap, bps: bps_cap };
+        let (o, b) = t.clamp(ops, bytes, dt);
+        prop_assert!(o <= ops + 1e-9 && b <= bytes + 1e-9);
+        if let Some(cap) = iops_cap {
+            prop_assert!(o <= cap * dt + 1e-6);
+        }
+        if let Some(cap) = bps_cap {
+            prop_assert!(b <= cap * dt + 1e-3);
+        }
+        prop_assert!(o >= 0.0 && b >= 0.0);
+    }
+
+    /// CPU cap is always within [0, vcpus].
+    #[test]
+    fn cpu_cap_bounded(cores in proptest::option::of(-5.0f64..100.0), vcpus in 1u32..64) {
+        let c = CpuCap { cores };
+        let e = c.effective_cores(vcpus);
+        prop_assert!((0.0..=vcpus as f64).contains(&e));
+    }
+}

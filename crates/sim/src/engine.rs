@@ -1,0 +1,423 @@
+//! The event-calendar executor.
+//!
+//! [`Simulation<W>`] owns a world of type `W` and a priority queue of events.
+//! Each event is a boxed `FnOnce(&mut W, &mut Scheduler<W>)`; handlers mutate
+//! the world and may schedule or cancel further events through the
+//! [`Scheduler`] context. Ties at equal timestamps fire in insertion order,
+//! which makes runs deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event; can be used to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Handler<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Entry<W> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    handler: Handler<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Scheduling context passed to event handlers.
+///
+/// Events scheduled from a handler land on the same calendar as events
+/// scheduled from outside via [`Simulation`].
+pub struct Scheduler<W> {
+    now: SimTime,
+    next_seq: u64,
+    next_id: u64,
+    pending: Vec<Entry<W>>,
+    cancelled: Vec<EventId>,
+}
+
+impl<W> Scheduler<W> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `handler` to fire at absolute time `at`. Scheduling in the
+    /// past (before `now`) is a logic error and panics in debug builds; in
+    /// release builds the event fires at the current time.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventId {
+        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Entry { time: at, seq, id, handler: Box::new(handler) });
+        id
+    }
+
+    /// Schedules `handler` to fire after delay `d`.
+    pub fn schedule_in(
+        &mut self,
+        d: SimDuration,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventId {
+        let at = self.now + d;
+        self.schedule_at(at, handler)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.push(id);
+    }
+}
+
+/// A discrete-event simulation over a world `W`.
+pub struct Simulation<W> {
+    world: W,
+    queue: BinaryHeap<Entry<W>>,
+    cancelled: HashSet<EventId>,
+    now: SimTime,
+    next_seq: u64,
+    next_id: u64,
+    fired: u64,
+}
+
+impl<W> Simulation<W> {
+    /// Creates a simulation at time zero owning `world`.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            next_id: 0,
+            fired: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last fired event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to inspect or tweak between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation, returning the final world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently waiting on the calendar (including any that
+    /// were cancelled but not yet popped).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at absolute time `at`.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventId {
+        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Entry { time: at, seq, id, handler: Box::new(handler) });
+        id
+    }
+
+    /// Schedules an event after delay `d` from the current time.
+    pub fn schedule_in(
+        &mut self,
+        d: SimDuration,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventId {
+        let at = self.now + d;
+        self.schedule_at(at, handler)
+    }
+
+    /// Schedules `handler` to run every `period`, starting at `start`,
+    /// for as long as it returns `true`. Returning `false` stops the series.
+    pub fn schedule_periodic(
+        &mut self,
+        start: SimTime,
+        period: SimDuration,
+        handler: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + 'static,
+    ) {
+        assert!(!period.is_zero(), "periodic event with zero period would never advance time");
+        fn tick<W>(
+            mut f: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + 'static,
+            period: SimDuration,
+        ) -> impl FnOnce(&mut W, &mut Scheduler<W>) + 'static {
+            move |world, ctx| {
+                if f(world, ctx) {
+                    let next = ctx.now() + period;
+                    ctx.schedule_at(next, tick(f, period));
+                }
+            }
+        }
+        self.schedule_at(start, tick(handler, period));
+    }
+
+    /// Cancels a scheduled event. No-op if it already fired.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Fires the next event, if any. Returns `false` when the calendar is
+    /// empty. Cancelled events are skipped (and do not count as fired).
+    pub fn step(&mut self) -> bool {
+        while let Some(entry) = self.queue.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            let mut ctx = Scheduler {
+                now: self.now,
+                next_seq: self.next_seq,
+                next_id: self.next_id,
+                pending: Vec::new(),
+                cancelled: Vec::new(),
+            };
+            (entry.handler)(&mut self.world, &mut ctx);
+            self.next_seq = ctx.next_seq;
+            self.next_id = ctx.next_id;
+            for e in ctx.pending {
+                self.queue.push(e);
+            }
+            for id in ctx.cancelled {
+                self.cancelled.insert(id);
+            }
+            self.fired += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the calendar is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the calendar is empty or the next event would fire after
+    /// `deadline`. Events exactly at `deadline` do fire; the clock is then
+    /// advanced to `deadline` even if the last event fired earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            // Peek past cancelled entries without firing anything late.
+            let next_time = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(e) if self.cancelled.contains(&e.id) => {
+                        let e = self.queue.pop().expect("peeked entry must pop");
+                        self.cancelled.remove(&e.id);
+                    }
+                    Some(e) => break Some(e.time),
+                }
+            };
+            match next_time {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs while `predicate` holds and events remain.
+    pub fn run_while(&mut self, mut predicate: impl FnMut(&W) -> bool) {
+        while predicate(&self.world) && self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_secs(3), |w, _| w.push(3));
+        sim.schedule_at(SimTime::from_secs(1), |w, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(2), |w, _| w.push(2));
+        sim.run();
+        assert_eq!(sim.world(), &[1, 2, 3]);
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            sim.schedule_at(t, move |w, _| w.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.world(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Simulation::new(0u64);
+        sim.schedule_in(SimDuration::from_secs(1.0), |w, ctx| {
+            *w += 1;
+            ctx.schedule_in(SimDuration::from_secs(1.0), |w, ctx| {
+                *w += 2;
+                ctx.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 4);
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.world(), 7);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Simulation::new(0u64);
+        let id = sim.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 100);
+        sim.schedule_in(SimDuration::from_secs(2.0), |w, _| *w += 1);
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.events_fired(), 1);
+    }
+
+    #[test]
+    fn cancel_from_within_handler() {
+        let mut sim = Simulation::new(0u64);
+        let victim = sim.schedule_in(SimDuration::from_secs(5.0), |w, _| *w += 100);
+        sim.schedule_in(SimDuration::from_secs(1.0), move |_, ctx| {
+            ctx.cancel(victim);
+        });
+        sim.run();
+        assert_eq!(*sim.world(), 0);
+    }
+
+    #[test]
+    fn cancel_already_fired_is_noop() {
+        let mut sim = Simulation::new(0u64);
+        let id = sim.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 1);
+        sim.run();
+        sim.cancel(id);
+        sim.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 1);
+        sim.run();
+        assert_eq!(*sim.world(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for s in 1..=5 {
+            sim.schedule_at(SimTime::from_secs(s), move |w, _| w.push(s));
+        }
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.world(), &[1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        sim.run();
+        assert_eq!(sim.world(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim = Simulation::new(());
+        sim.run_until(SimTime::from_secs(42));
+        assert_eq!(sim.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut sim = Simulation::new(0u64);
+        let id = sim.schedule_at(SimTime::from_secs(1), |w, _| *w += 1);
+        sim.schedule_at(SimTime::from_secs(10), |w, _| *w += 10);
+        sim.cancel(id);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(*sim.world(), 0);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn periodic_runs_until_false() {
+        let mut sim = Simulation::new(Vec::<f64>::new());
+        sim.schedule_periodic(SimTime::from_secs(1), SimDuration::from_secs(2.0), |w, ctx| {
+            w.push(ctx.now().as_secs_f64());
+            w.len() < 4
+        });
+        sim.run();
+        assert_eq!(sim.world(), &[1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn run_while_predicate_stops() {
+        let mut sim = Simulation::new(0u64);
+        for _ in 0..100 {
+            sim.schedule_in(SimDuration::from_millis(1), |w, _| *w += 1);
+        }
+        sim.run_while(|w| *w < 10);
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn pending_count_tracks_queue() {
+        let mut sim = Simulation::new(());
+        sim.schedule_in(SimDuration::from_secs(1.0), |_, _| {});
+        sim.schedule_in(SimDuration::from_secs(2.0), |_, _| {});
+        assert_eq!(sim.events_pending(), 2);
+        sim.step();
+        assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn into_world_returns_final_state() {
+        let mut sim = Simulation::new(String::new());
+        sim.schedule_in(SimDuration::from_secs(1.0), |w, _| w.push_str("done"));
+        sim.run();
+        assert_eq!(sim.into_world(), "done");
+    }
+}

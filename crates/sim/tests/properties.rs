@@ -1,0 +1,92 @@
+//! Property-based tests for the event engine and time arithmetic.
+
+use perfcloud_sim::{SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events fire in non-decreasing time order no matter the insertion order.
+    #[test]
+    fn events_fire_in_nondecreasing_time(times in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &times {
+            sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run();
+        let fired = sim.into_world();
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    /// The multiset of fired events equals the multiset of scheduled events.
+    #[test]
+    fn no_events_lost_or_duplicated(times in proptest::collection::vec(0u64..10_000, 1..128)) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &times {
+            sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run();
+        let mut fired = sim.into_world();
+        let mut expect = times.clone();
+        fired.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(fired, expect);
+    }
+
+    /// run_until(d) fires exactly the events with time <= d.
+    #[test]
+    fn run_until_partitions_events(
+        times in proptest::collection::vec(0u64..1_000, 1..64),
+        deadline in 0u64..1_000,
+    ) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &times {
+            sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run_until(SimTime::from_micros(deadline));
+        let early = sim.world().clone();
+        prop_assert!(early.iter().all(|&t| t <= deadline));
+        prop_assert_eq!(early.len(), times.iter().filter(|&&t| t <= deadline).count());
+        sim.run();
+        prop_assert_eq!(sim.world().len(), times.len());
+    }
+
+    /// SimTime +/- SimDuration round-trips exactly.
+    #[test]
+    fn time_arithmetic_round_trips(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    /// from_secs_f64 / as_secs_f64 round-trips to microsecond precision.
+    #[test]
+    fn seconds_round_trip(us in 0u64..=10_000_000_000) {
+        let t = SimTime::from_micros(us);
+        let back = SimTime::from_secs_f64(t.as_secs_f64());
+        let diff = back.as_micros().abs_diff(t.as_micros());
+        // f64 has 52 mantissa bits; within this range the round-trip is exact
+        // or off by at most one microsecond of rounding.
+        prop_assert!(diff <= 1, "diff {diff} for {us}");
+    }
+}
+
+/// Deterministic replay: the same schedule produces identical traces.
+#[test]
+fn identical_schedules_replay_identically() {
+    let build = || {
+        let mut sim = Simulation::new(Vec::<(u64, u64)>::new());
+        for i in 0..50u64 {
+            let t = (i * 37) % 17;
+            sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<(u64, u64)>, ctx| {
+                w.push((ctx.now().as_micros(), i));
+            });
+        }
+        sim.run();
+        sim.into_world()
+    };
+    assert_eq!(build(), build());
+}

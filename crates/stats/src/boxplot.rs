@@ -1,0 +1,152 @@
+//! Five-number boxplot summaries (Fig. 12's variability analysis).
+
+use crate::quantile::quantile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// Tukey boxplot summary: quartiles, 1.5·IQR whiskers and outliers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Lowest observation still within `q1 − 1.5·IQR`.
+    pub whisker_low: f64,
+    /// Highest observation still within `q3 + 1.5·IQR`.
+    pub whisker_high: f64,
+    /// Observations outside the whiskers.
+    pub outliers: Vec<f64>,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl BoxplotSummary {
+    /// Builds a summary from unsorted data. Returns `None` for empty input.
+    pub fn from_data(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+        let q1 = quantile_sorted(&sorted, 0.25).expect("non-empty");
+        let median = quantile_sorted(&sorted, 0.5).expect("non-empty");
+        let q3 = quantile_sorted(&sorted, 0.75).expect("non-empty");
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .expect("q1 itself is within the fence");
+        let whisker_high = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .expect("q3 itself is within the fence");
+        let outliers = sorted.iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
+        Some(BoxplotSummary {
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: *sorted.last().expect("non-empty"),
+            whisker_low,
+            whisker_high,
+            outliers,
+            count: sorted.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Spread of the whiskers — the paper's informal "spread" of normalized
+    /// job completion time.
+    pub fn whisker_spread(&self) -> f64 {
+        self.whisker_high - self.whisker_low
+    }
+}
+
+impl std::fmt::Display for BoxplotSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.3} [q1={:.3} med={:.3} q3={:.3}] max={:.3} (n={}, outliers={})",
+            self.min,
+            self.q1,
+            self.median,
+            self.q3,
+            self.max,
+            self.count,
+            self.outliers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(BoxplotSummary::from_data(&[]), None);
+    }
+
+    #[test]
+    fn single_point_degenerate_box() {
+        let b = BoxplotSummary::from_data(&[4.2]).unwrap();
+        assert_eq!(b.min, 4.2);
+        assert_eq!(b.q1, 4.2);
+        assert_eq!(b.median, 4.2);
+        assert_eq!(b.q3, 4.2);
+        assert_eq!(b.max, 4.2);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.iqr(), 0.0);
+    }
+
+    #[test]
+    fn quartile_ordering_invariant() {
+        let xs = [9.0, 2.0, 7.0, 4.0, 5.0, 1.0, 8.0, 3.0, 6.0];
+        let b = BoxplotSummary::from_data(&xs).unwrap();
+        assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        assert!(b.whisker_low >= b.min && b.whisker_high <= b.max);
+        assert_eq!(b.count, xs.len());
+    }
+
+    #[test]
+    fn detects_outliers() {
+        // Tight cluster plus one extreme point.
+        let xs = [1.0, 1.1, 1.2, 1.05, 0.95, 1.15, 100.0];
+        let b = BoxplotSummary::from_data(&xs).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_high < 100.0);
+        assert_eq!(b.max, 100.0);
+    }
+
+    #[test]
+    fn no_outliers_whiskers_are_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxplotSummary::from_data(&xs).unwrap();
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 5.0);
+        assert_eq!(b.whisker_spread(), 4.0);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let b = BoxplotSummary::from_data(&[1.0, 2.0, 3.0]).unwrap();
+        let s = b.to_string();
+        assert!(s.contains("med=2.000"), "{s}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Empirical CDFs and fixed-bucket histograms (Fig. 11's job-performance
+//! breakdown uses degradation buckets; CDFs support shape checks).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over observed samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from unsorted samples. Returns `None` for empty input.
+    pub fn from_data(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        Some(Cdf { sorted })
+    }
+
+    /// Fraction of samples `≤ x` (right-continuous step function).
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        // partition_point: index of first element > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false — construction rejects empty input.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Samples in ascending order.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// A histogram over half-open buckets `[edge[i], edge[i+1])` with two
+/// implicit overflow buckets at the ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket edges (at least
+    /// two). Panics on unsorted or too-few edges.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "histogram needs at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        let n = edges.len() - 1;
+        Histogram { edges, counts: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        if x >= *self.edges.last().expect("≥2 edges") {
+            self.overflow += 1;
+            return;
+        }
+        // First edge > x, minus one, is the bucket index.
+        let idx = self.edges.partition_point(|&e| e <= x) - 1;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts (not including overflow buckets).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including overflow buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Fraction of all observations in bucket `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / t as f64
+        }
+    }
+
+    /// Bucket edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_empty_rejected() {
+        assert_eq!(Cdf::from_data(&[]), None);
+    }
+
+    #[test]
+    fn cdf_step_values() {
+        let c = Cdf::from_data(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.fraction_at_most(0.5), 0.0);
+        assert_eq!(c.fraction_at_most(1.0), 0.25);
+        assert_eq!(c.fraction_at_most(2.0), 0.75);
+        assert_eq!(c.fraction_at_most(10.0), 1.0);
+        assert_eq!(c.fraction_below(2.0), 0.25);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let c = Cdf::from_data(&[5.0, -3.0, 2.2, 9.9, 0.0]).unwrap();
+        let mut last = 0.0;
+        for x in (-50..50).map(|i| i as f64 / 4.0) {
+            let f = c.fraction_at_most(x);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_assignment() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0, 3.0]);
+        for x in [0.0, 0.5, 1.0, 1.99, 2.0, 2.5] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.total(), 6);
+        assert!((h.fraction(0) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_overflow_buckets() {
+        let mut h = Histogram::new(vec![0.0, 10.0]);
+        h.add(-1.0);
+        h.add(10.0); // at last edge => overflow (half-open)
+        h.add(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts(), &[1]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two edges")]
+    fn histogram_rejects_single_edge() {
+        let _ = Histogram::new(vec![1.0]);
+    }
+
+    #[test]
+    fn empty_histogram_fraction_is_zero() {
+        let h = Histogram::new(vec![0.0, 1.0]);
+        assert_eq!(h.fraction(0), 0.0);
+    }
+}

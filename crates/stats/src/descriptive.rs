@@ -1,0 +1,223 @@
+//! Means, variances and an online (Welford) accumulator.
+//!
+//! PerfCloud's interference signal is the *population* standard deviation of
+//! a metric across the VMs of one application at one instant (a complete
+//! population, not a sample), so [`population_stddev`] is the primary export;
+//! [`sample_stddev`] is provided for the evaluation summaries.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`). Returns `None` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation (divides by `n`).
+pub fn population_stddev(xs: &[f64]) -> Option<f64> {
+    population_variance(xs).map(f64::sqrt)
+}
+
+/// Sample variance (divides by `n - 1`). Returns `None` if fewer than two
+/// observations.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation (divides by `n - 1`).
+pub fn sample_stddev(xs: &[f64]) -> Option<f64> {
+    sample_variance(xs).map(f64::sqrt)
+}
+
+/// Numerically stable online accumulator (Welford's algorithm) for mean,
+/// variance, min and max of a stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `None` if no observations.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Running population variance.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Running population standard deviation.
+    pub fn population_stddev(&self) -> Option<f64> {
+        self.population_variance().map(f64::sqrt)
+    }
+
+    /// Running sample variance (n - 1 denominator).
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Running sample standard deviation.
+    pub fn sample_stddev(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(population_variance(&[]), None);
+        assert_eq!(population_stddev(&[]), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert_eq!(sample_stddev(&[]), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(population_variance(&xs), Some(4.0));
+        assert_eq!(population_stddev(&xs), Some(2.0));
+        let sv = sample_variance(&xs).unwrap();
+        assert!((sv - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_spread() {
+        let xs = [3.5; 10];
+        assert_eq!(population_stddev(&xs), Some(0.0));
+        assert_eq!(sample_stddev(&xs), Some(0.0));
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [1.0, -2.5, 3.75, 0.0, 10.0, -7.25, 2.0];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert_eq!(r.count(), xs.len() as u64);
+        assert!((r.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((r.population_variance().unwrap() - population_variance(&xs).unwrap()).abs() < 1e-12);
+        assert!((r.sample_variance().unwrap() - sample_variance(&xs).unwrap()).abs() < 1e-12);
+        assert_eq!(r.min(), Some(-7.25));
+        assert_eq!(r.max(), Some(10.0));
+    }
+
+    #[test]
+    fn running_empty_is_none() {
+        let r = Running::new();
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.population_stddev(), None);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut ra = Running::new();
+        let mut rb = Running::new();
+        for &x in &a {
+            ra.push(x);
+        }
+        for &x in &b {
+            rb.push(x);
+        }
+        let mut merged = ra;
+        merged.merge(&rb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert!((merged.mean().unwrap() - mean(&all).unwrap()).abs() < 1e-12);
+        assert!(
+            (merged.population_variance().unwrap() - population_variance(&all).unwrap()).abs()
+                < 1e-12
+        );
+        assert_eq!(merged.min(), Some(1.0));
+        assert_eq!(merged.max(), Some(40.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut r = Running::new();
+        r.push(5.0);
+        r.push(6.0);
+        let before = r;
+        r.merge(&Running::new());
+        assert_eq!(r, before);
+
+        let mut e = Running::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

@@ -1,0 +1,119 @@
+//! Exponentially weighted moving average.
+//!
+//! The paper's performance monitor "applies an exponentially weighted moving
+//! average (EWMA) technique to smooth out short-term variations in the data
+//! collected over 5 second intervals" (§III-D.1). The smoothed value after an
+//! observation `x` is `s ← α·x + (1 − α)·s`.
+
+use serde::{Deserialize, Serialize};
+
+/// An EWMA smoother with weight `alpha ∈ (0, 1]` on the newest observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a smoother. Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1], got {alpha}");
+        Ewma { alpha, state: None }
+    }
+
+    /// The smoothing weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Feeds an observation and returns the new smoothed value. The first
+    /// observation initializes the state directly.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.state {
+            None => x,
+            Some(s) => self.alpha * x + (1.0 - self.alpha) * s,
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// Current smoothed value; `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.state
+    }
+
+    /// Clears the state (used when a VM is rebooted / counters reset).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn update_follows_definition() {
+        let mut e = Ewma::new(0.25);
+        e.update(8.0);
+        let v = e.update(16.0);
+        assert!((v - (0.25 * 16.0 + 0.75 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_tracks_input_exactly() {
+        let mut e = Ewma::new(1.0);
+        for x in [1.0, -5.0, 42.0] {
+            assert_eq!(e.update(x), x);
+        }
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        e.update(0.0);
+        for _ in 0..200 {
+            e.update(7.0);
+        }
+        assert!((e.value().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stays_within_input_range() {
+        let mut e = Ewma::new(0.4);
+        let inputs = [3.0, 9.0, 5.5, 4.2, 8.8, 3.3];
+        for &x in &inputs {
+            let v = e.update(x);
+            assert!((3.0..=9.0).contains(&v), "EWMA {v} escaped input range");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::new(0.5);
+        e.update(100.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_above_one_rejected() {
+        let _ = Ewma::new(1.5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pearson correlation, including the paper's missing-as-zero policy.
+//!
+//! PerfCloud identifies antagonists by correlating the victim application's
+//! deviation time series against each suspect VM's resource-usage series
+//! (§III-B). When a suspect VM is idle its LLC-miss-rate samples are missing;
+//! the paper treats such missing values **as 0 rather than omitting them**,
+//! "to avoid over-emphasizing similarities computed over little data".
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` if the series are shorter than 2, have different lengths,
+/// or either has zero variance (correlation undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    // Clamp: rounding can push |r| a hair past 1.
+    Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Pearson correlation where missing observations (`None`) are treated as 0.
+///
+/// This is PerfCloud's policy for suspect metrics like LLC miss rates that
+/// are not counted while a VM runs no workload: substituting zero keeps the
+/// sample count honest and penalizes suspects that were idle while the victim
+/// suffered, instead of silently dropping those intervals.
+pub fn pearson_missing_as_zero(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = x.iter().map(|v| v.unwrap_or(0.0)).collect();
+    let ys: Vec<f64> = y.iter().map(|v| v.unwrap_or(0.0)).collect();
+    pearson(&xs, &ys)
+}
+
+/// The asymmetric policy PerfCloud's identifier uses online: pairs where the
+/// **victim** observation (`x`) is missing are omitted — an idle victim
+/// yields no evidence about any suspect — while missing **suspect**
+/// observations (`y`) count as zero per the paper's rule, so a suspect that
+/// idled through the victim's suffering is exonerated rather than judged on
+/// little data.
+pub fn pearson_victim_aware(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
+    if x.len() != y.len() {
+        return None;
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y)
+        .filter_map(|(a, b)| a.map(|a| (a, b.unwrap_or(0.0))))
+        .unzip();
+    pearson(&xs, &ys)
+}
+
+/// Pearson correlation that **omits** pairs with a missing observation — the
+/// conventional alternative the paper argues against. Exposed for the
+/// missing-policy ablation (`fig6 --omit-missing`).
+pub fn pearson_omit_missing(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
+    if x.len() != y.len() {
+        return None;
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y)
+        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+        .unzip();
+    pearson(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_invariance() {
+        let x = [0.2, 1.7, -3.0, 4.4, 2.2];
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v - 100.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal_series() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        // zero variance
+        assert_eq!(pearson(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[7.0, 7.0, 7.0]), None);
+    }
+
+    #[test]
+    fn known_value() {
+        // Hand-computed: x=[1,2,3,5,8], y=[0.11,0.12,0.13,0.15,0.18] is exactly linear.
+        let x = [1.0, 2.0, 3.0, 5.0, 8.0];
+        let y = [0.11, 0.12, 0.13, 0.15, 0.18];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_as_zero_penalizes_idle_suspect() {
+        // Victim deviation spikes in intervals 3..6; suspect A was active and
+        // correlated; suspect B only has data for two early idle intervals.
+        let victim = [
+            Some(0.1),
+            Some(0.1),
+            Some(0.9),
+            Some(1.0),
+            Some(0.8),
+            Some(0.1),
+        ];
+        let active = [
+            Some(0.2),
+            Some(0.2),
+            Some(0.95),
+            Some(1.0),
+            Some(0.9),
+            Some(0.15),
+        ];
+        let idle = [Some(0.1), Some(0.11), None, None, None, None];
+        let r_active = pearson_missing_as_zero(&victim, &active).unwrap();
+        let r_idle = pearson_missing_as_zero(&victim, &idle).unwrap();
+        assert!(r_active > 0.95, "active suspect should correlate, got {r_active}");
+        assert!(r_idle < 0.0, "idle suspect should anti-correlate, got {r_idle}");
+        // The omit policy would judge the idle suspect on 2 points only
+        // (undefined or misleadingly high) — exactly what the paper avoids.
+        let r_omit = pearson_omit_missing(&victim, &idle);
+        assert!(r_omit.is_none() || r_omit.unwrap() > r_idle);
+    }
+
+    #[test]
+    fn missing_as_zero_equals_plain_when_complete() {
+        let x = [1.0, 3.0, 2.0, 5.0];
+        let y = [2.0, 6.0, 4.0, 11.0];
+        let xo: Vec<Option<f64>> = x.iter().copied().map(Some).collect();
+        let yo: Vec<Option<f64>> = y.iter().copied().map(Some).collect();
+        assert_eq!(pearson(&x, &y), pearson_missing_as_zero(&xo, &yo));
+    }
+
+    #[test]
+    fn victim_aware_policy_is_asymmetric() {
+        // Victim idle for two intervals (job gap), then suffering; the
+        // suspect ran flat-out the whole time.
+        let victim = [None, None, Some(0.2), Some(0.9), Some(1.0)];
+        let suspect = [Some(1.0), Some(1.0), Some(0.3), Some(0.95), Some(1.0)];
+        let r = pearson_victim_aware(&victim, &suspect).unwrap();
+        assert!(r > 0.9, "idle-victim intervals must not dilute the signal: {r}");
+        // Zero-policy on the same data is destroyed by the leading zeros.
+        let r0 = pearson_missing_as_zero(&victim, &suspect).unwrap();
+        assert!(r0 < r);
+        // Suspect-side missing still counts as zero.
+        let idle_suspect = [Some(0.1), Some(0.2), Some(0.9), Some(1.0), Some(0.8)];
+        let gone = [Some(0.5), Some(0.5), None, None, None];
+        let r2 = pearson_victim_aware(&idle_suspect, &gone).unwrap();
+        assert!(r2 < 0.0, "suspect idle while victim suffered => anti-correlated: {r2}");
+    }
+
+    #[test]
+    fn omit_missing_drops_pairs() {
+        let x = [Some(1.0), None, Some(3.0), Some(4.0)];
+        let y = [Some(2.0), Some(9.0), Some(6.0), None];
+        // surviving pairs: (1,2) and (3,6) => perfectly linear
+        assert!((pearson_omit_missing(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_is_clamped() {
+        let x = [1e-8, 2e-8, 3e-8];
+        let y = [1e8, 2e8, 3e8];
+        let r = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

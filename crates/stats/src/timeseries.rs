@@ -1,0 +1,296 @@
+//! Timestamped series of metric samples.
+//!
+//! The monitor produces one sample per VM per 5-second interval; the
+//! antagonist identifier correlates aligned windows of these series. Samples
+//! may be missing (`None`) when a counter had no activity in the interval —
+//! e.g. the block-iowait ratio is undefined when no I/O was serviced, and LLC
+//! miss rates "are not counted when the VMs are not running any workload".
+
+use perfcloud_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A time series of optionally-missing samples at monotonically increasing
+/// timestamps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<Option<f64>>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Panics if `t` is not after the last timestamp.
+    pub fn push(&mut self, t: SimTime, value: Option<f64>) {
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "time series timestamps must be strictly increasing: {t} <= {last}");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Timestamps.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Values (possibly missing).
+    pub fn values(&self) -> &[Option<f64>] {
+        &self.values
+    }
+
+    /// The last `n` values (fewer if the series is shorter).
+    pub fn last_n(&self, n: usize) -> &[Option<f64>] {
+        let start = self.values.len().saturating_sub(n);
+        &self.values[start..]
+    }
+
+    /// Latest value (ignoring whether missing).
+    pub fn last(&self) -> Option<(SimTime, Option<f64>)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Latest present (non-missing) value.
+    pub fn last_present(&self) -> Option<(SimTime, f64)> {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .rev()
+            .find_map(|(&t, &v)| v.map(|v| (t, v)))
+    }
+
+    /// Present values only, in time order.
+    pub fn present_values(&self) -> Vec<f64> {
+        self.values.iter().filter_map(|v| *v).collect()
+    }
+
+    /// Values with missing entries substituted by zero (the paper's policy
+    /// for suspect metrics).
+    pub fn values_missing_as_zero(&self) -> Vec<f64> {
+        self.values.iter().map(|v| v.unwrap_or(0.0)).collect()
+    }
+
+    /// Maximum present value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().filter_map(|v| *v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Returns a copy normalized by the peak present value (paper Figs. 5–6
+    /// plot series "normalized by the peak"). Missing stays missing. If the
+    /// peak is 0 or absent, values are unchanged.
+    pub fn normalized_by_peak(&self) -> TimeSeries {
+        let peak = self.max().filter(|&m| m > 0.0);
+        let values = match peak {
+            None => self.values.clone(),
+            Some(p) => self.values.iter().map(|v| v.map(|x| x / p)).collect(),
+        };
+        TimeSeries { times: self.times.clone(), values }
+    }
+
+    /// Returns a copy with trailing missing samples removed — e.g. the
+    /// victim deviation series after the application has finished.
+    pub fn trim_trailing_missing(&self) -> TimeSeries {
+        let keep = self
+            .values
+            .iter()
+            .rposition(|v| v.is_some())
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        TimeSeries { times: self.times[..keep].to_vec(), values: self.values[..keep].to_vec() }
+    }
+
+    /// Drops all but the most recent `n` samples (sliding-window retention).
+    pub fn retain_last(&mut self, n: usize) {
+        if self.times.len() > n {
+            let cut = self.times.len() - n;
+            self.times.drain(..cut);
+            self.values.drain(..cut);
+        }
+    }
+}
+
+/// Aligns the tails of two series by timestamp and returns paired values for
+/// the most recent `window` timestamps present in **both** series. Missing
+/// values are preserved as `None` for the caller's missing-value policy.
+pub fn align_tail(a: &TimeSeries, b: &TimeSeries, window: usize) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
+    let mut xs = Vec::with_capacity(window);
+    let mut ys = Vec::with_capacity(window);
+    let mut ia = a.times.len();
+    let mut ib = b.times.len();
+    while ia > 0 && ib > 0 && xs.len() < window {
+        let ta = a.times[ia - 1];
+        let tb = b.times[ib - 1];
+        match ta.cmp(&tb) {
+            std::cmp::Ordering::Equal => {
+                xs.push(a.values[ia - 1]);
+                ys.push(b.values[ib - 1]);
+                ia -= 1;
+                ib -= 1;
+            }
+            std::cmp::Ordering::Greater => ia -= 1,
+            std::cmp::Ordering::Less => ib -= 1,
+        }
+    }
+    xs.reverse();
+    ys.reverse();
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(5), Some(1.0));
+        ts.push(t(10), None);
+        ts.push(t(15), Some(3.0));
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.last(), Some((t(15), Some(3.0))));
+        assert_eq!(ts.last_present(), Some((t(15), 3.0)));
+        assert_eq!(ts.present_values(), vec![1.0, 3.0]);
+        assert_eq!(ts.values_missing_as_zero(), vec![1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_push_rejected() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(5), Some(1.0));
+        ts.push(t(5), Some(2.0));
+    }
+
+    #[test]
+    fn last_n_handles_short_series() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1), Some(1.0));
+        ts.push(t(2), Some(2.0));
+        assert_eq!(ts.last_n(5).len(), 2);
+        assert_eq!(ts.last_n(1), &[Some(2.0)]);
+        assert_eq!(ts.last_n(0).len(), 0);
+    }
+
+    #[test]
+    fn normalization_by_peak() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1), Some(2.0));
+        ts.push(t(2), None);
+        ts.push(t(3), Some(8.0));
+        let n = ts.normalized_by_peak();
+        assert_eq!(n.values(), &[Some(0.25), None, Some(1.0)]);
+        assert_eq!(n.times(), ts.times());
+    }
+
+    #[test]
+    fn normalization_of_all_missing_is_identity() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1), None);
+        ts.push(t(2), None);
+        assert_eq!(ts.normalized_by_peak(), ts);
+        assert_eq!(ts.max(), None);
+    }
+
+    #[test]
+    fn trim_trailing_missing_cuts_the_tail() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1), Some(1.0));
+        ts.push(t(2), None);
+        ts.push(t(3), Some(3.0));
+        ts.push(t(4), None);
+        ts.push(t(5), None);
+        let trimmed = ts.trim_trailing_missing();
+        assert_eq!(trimmed.len(), 3);
+        assert_eq!(trimmed.values(), &[Some(1.0), None, Some(3.0)]);
+        // All-missing series trims to empty.
+        let mut all_none = TimeSeries::new();
+        all_none.push(t(1), None);
+        assert!(all_none.trim_trailing_missing().is_empty());
+    }
+
+    #[test]
+    fn retain_last_trims_front() {
+        let mut ts = TimeSeries::new();
+        for s in 1..=10 {
+            ts.push(t(s), Some(s as f64));
+        }
+        ts.retain_last(3);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.times(), &[t(8), t(9), t(10)]);
+        ts.retain_last(10); // no-op when already short
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn align_tail_matches_common_timestamps() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        for s in [1u64, 2, 3, 4, 5] {
+            a.push(t(s), Some(s as f64));
+        }
+        for s in [2u64, 3, 5, 6] {
+            b.push(t(s), Some(10.0 * s as f64));
+        }
+        let (xs, ys) = align_tail(&a, &b, 10);
+        assert_eq!(xs, vec![Some(2.0), Some(3.0), Some(5.0)]);
+        assert_eq!(ys, vec![Some(20.0), Some(30.0), Some(50.0)]);
+    }
+
+    #[test]
+    fn align_tail_respects_window() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        for s in 1..=8u64 {
+            a.push(t(s), Some(s as f64));
+            b.push(t(s), Some(-(s as f64)));
+        }
+        let (xs, ys) = align_tail(&a, &b, 3);
+        assert_eq!(xs, vec![Some(6.0), Some(7.0), Some(8.0)]);
+        assert_eq!(ys.len(), 3);
+    }
+
+    #[test]
+    fn align_tail_preserves_missing() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        a.push(t(1), Some(1.0));
+        a.push(t(2), None);
+        b.push(t(1), None);
+        b.push(t(2), Some(5.0));
+        let (xs, ys) = align_tail(&a, &b, 10);
+        assert_eq!(xs, vec![Some(1.0), None]);
+        assert_eq!(ys, vec![None, Some(5.0)]);
+    }
+
+    #[test]
+    fn align_disjoint_series_is_empty() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        a.push(t(1), Some(1.0));
+        b.push(t(2), Some(2.0));
+        let (xs, ys) = align_tail(&a, &b, 10);
+        assert!(xs.is_empty() && ys.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the statistics toolkit.
+
+use perfcloud_stats::{
+    mean, pearson, pearson_missing_as_zero, population_stddev, quantile, BoxplotSummary, Cdf,
+    Ewma, Running,
+};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    /// Pearson is always in [-1, 1] when defined.
+    #[test]
+    fn pearson_bounded(x in finite_vec(2..64), y in finite_vec(2..64)) {
+        let n = x.len().min(y.len());
+        if let Some(r) = pearson(&x[..n], &y[..n]) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    /// Pearson is symmetric: r(x, y) == r(y, x).
+    #[test]
+    fn pearson_symmetric(x in finite_vec(2..32), y in finite_vec(2..32)) {
+        let n = x.len().min(y.len());
+        let a = pearson(&x[..n], &y[..n]);
+        let b = pearson(&y[..n], &x[..n]);
+        match (a, b) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "asymmetric definedness"),
+        }
+    }
+
+    /// Correlation of a series with a positive affine image of itself is 1.
+    #[test]
+    fn pearson_affine_is_one(x in finite_vec(3..32), scale in 0.001f64..100.0, shift in -1e3f64..1e3) {
+        let y: Vec<f64> = x.iter().map(|v| scale * v + shift).collect();
+        if let Some(r) = pearson(&x, &y) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+        }
+    }
+
+    /// Missing-as-zero equals plain Pearson on complete data.
+    #[test]
+    fn missing_as_zero_consistent(x in finite_vec(2..32), y in finite_vec(2..32)) {
+        let n = x.len().min(y.len());
+        let xo: Vec<Option<f64>> = x[..n].iter().copied().map(Some).collect();
+        let yo: Vec<Option<f64>> = y[..n].iter().copied().map(Some).collect();
+        prop_assert_eq!(pearson(&x[..n], &y[..n]), pearson_missing_as_zero(&xo, &yo));
+    }
+
+    /// Population stddev is non-negative and zero iff all values equal.
+    #[test]
+    fn stddev_nonnegative(x in finite_vec(1..64)) {
+        let sd = population_stddev(&x).unwrap();
+        prop_assert!(sd >= 0.0);
+        let all_same = x.iter().all(|&v| v == x[0]);
+        if all_same {
+            prop_assert!(sd == 0.0);
+        }
+    }
+
+    /// Adding a constant shifts the mean and leaves stddev unchanged.
+    #[test]
+    fn stddev_translation_invariant(x in finite_vec(2..64), c in -1e4f64..1e4) {
+        let shifted: Vec<f64> = x.iter().map(|v| v + c).collect();
+        let sd0 = population_stddev(&x).unwrap();
+        let sd1 = population_stddev(&shifted).unwrap();
+        prop_assert!((sd0 - sd1).abs() < 1e-6 * (1.0 + sd0.abs()));
+        let m0 = mean(&x).unwrap();
+        let m1 = mean(&shifted).unwrap();
+        prop_assert!((m1 - (m0 + c)).abs() < 1e-6 * (1.0 + m0.abs() + c.abs()));
+    }
+
+    /// Welford accumulator agrees with the batch formulas.
+    #[test]
+    fn running_matches_batch(x in finite_vec(1..128)) {
+        let mut r = Running::new();
+        for &v in &x {
+            r.push(v);
+        }
+        let bm = mean(&x).unwrap();
+        let bs = population_stddev(&x).unwrap();
+        prop_assert!((r.mean().unwrap() - bm).abs() < 1e-6 * (1.0 + bm.abs()));
+        prop_assert!((r.population_stddev().unwrap() - bs).abs() < 1e-6 * (1.0 + bs));
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantiles_monotone(x in finite_vec(1..64), qa in 0.0f64..1.0, qb in 0.0f64..1.0) {
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let vlo = quantile(&x, lo).unwrap();
+        let vhi = quantile(&x, hi).unwrap();
+        prop_assert!(vlo <= vhi + 1e-12);
+        let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
+    }
+
+    /// Boxplot internal ordering always holds.
+    #[test]
+    fn boxplot_ordering(x in finite_vec(1..64)) {
+        let b = BoxplotSummary::from_data(&x).unwrap();
+        prop_assert!(b.min <= b.q1);
+        prop_assert!(b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3);
+        prop_assert!(b.q3 <= b.max);
+        prop_assert!(b.whisker_low >= b.min && b.whisker_high <= b.max);
+        prop_assert!(b.iqr() >= 0.0);
+        prop_assert_eq!(b.count, x.len());
+    }
+
+    /// CDF is monotone non-decreasing and hits 0 and 1 outside the support.
+    #[test]
+    fn cdf_monotone(x in finite_vec(1..64)) {
+        let c = Cdf::from_data(&x).unwrap();
+        let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(c.fraction_at_most(min - 1.0), 0.0);
+        prop_assert_eq!(c.fraction_at_most(max), 1.0);
+        let mid = (min + max) / 2.0;
+        prop_assert!(c.fraction_at_most(mid) >= c.fraction_at_most(min - 1.0));
+        prop_assert!(c.fraction_at_most(max) >= c.fraction_at_most(mid));
+    }
+
+    /// EWMA output always lies within the range of inputs seen so far.
+    #[test]
+    fn ewma_bounded_by_inputs(alpha in 0.01f64..1.0, x in finite_vec(1..64)) {
+        let mut e = Ewma::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &x {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            let s = e.update(v);
+            prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "EWMA {s} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Synthetic antagonist workloads.
+//!
+//! These are the colocated low-priority tenants from the paper's evaluation,
+//! reimplemented as closed-loop [`perfcloud_host::Process`] models with the
+//! same resource signatures as the originals:
+//!
+//! * [`FioRandRead`] — the fio random-read benchmark: seek-bound small-block
+//!   reads at a queue-depth-limited submission rate. Dominates the disk.
+//! * [`Stream`] — the STREAM memory benchmark: streaming triad over a huge
+//!   array (the paper used 2-billion-element arrays, 8 threads per VM), zero
+//!   cache reuse, saturates memory bandwidth and evicts everyone's LLC lines.
+//! * [`SysbenchOltp`] — sysbench OLTP read-only against a 10M-row table,
+//!   8 threads, 120 s: a moderate mix of random point reads and CPU.
+//! * [`SysbenchCpu`] — sysbench CPU computing primes up to 12M with 4
+//!   threads: pure computation, tiny footprint — the "innocent bystander"
+//!   that PerfCloud must *not* flag as an antagonist.
+
+pub mod fio;
+pub mod modulation;
+pub mod stream;
+pub mod sysbench;
+
+pub use fio::FioRandRead;
+pub use modulation::RateModulation;
+pub use stream::Stream;
+pub use sysbench::{SysbenchCpu, SysbenchOltp};
+
+use perfcloud_sim::SimDuration;
+
+/// Shared run-length bookkeeping for duration-bounded workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RunWindow {
+    elapsed: SimDuration,
+    duration: Option<SimDuration>,
+}
+
+impl RunWindow {
+    pub(crate) fn new(duration: Option<SimDuration>) -> Self {
+        RunWindow { elapsed: SimDuration::ZERO, duration }
+    }
+
+    pub(crate) fn advance(&mut self, dt: SimDuration) {
+        self.elapsed += dt;
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        match self.duration {
+            None => false,
+            Some(d) => self.elapsed >= d,
+        }
+    }
+
+    pub(crate) fn progress(&self) -> f64 {
+        match self.duration {
+            None => 0.0,
+            Some(d) if d.is_zero() => 1.0,
+            Some(d) => (self.elapsed.as_secs_f64() / d.as_secs_f64()).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_window_never_finishes() {
+        let mut w = RunWindow::new(None);
+        w.advance(SimDuration::from_secs(1e9));
+        assert!(!w.is_done());
+        assert_eq!(w.progress(), 0.0);
+    }
+
+    #[test]
+    fn bounded_window_finishes_and_reports_progress() {
+        let mut w = RunWindow::new(Some(SimDuration::from_secs(10.0)));
+        w.advance(SimDuration::from_secs(4.0));
+        assert!(!w.is_done());
+        assert!((w.progress() - 0.4).abs() < 1e-12);
+        w.advance(SimDuration::from_secs(6.0));
+        assert!(w.is_done());
+        assert_eq!(w.progress(), 1.0);
+    }
+
+    #[test]
+    fn zero_duration_is_immediately_done() {
+        let w = RunWindow::new(Some(SimDuration::ZERO));
+        assert!(w.is_done());
+        assert_eq!(w.progress(), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! The CUBIC cap dynamics on their own — no simulation required.
+//!
+//! Prints an ASCII plot of the normalized cap after a contention event,
+//! labelling the three regions of the paper's Fig. 7 (initial growth,
+//! plateau, probing), plus a second contention event showing the
+//! multiplicative decrease from the new `C_max`.
+//!
+//! Run with: `cargo run --example cubic_control`
+
+use perfcloud::core::cubic::{CubicController, CubicState, GrowthRegion};
+
+fn bar(cap: f64) -> String {
+    let width = (cap * 40.0).round().clamp(0.0, 60.0) as usize;
+    "#".repeat(width)
+}
+
+fn region(r: GrowthRegion) -> &'static str {
+    match r {
+        GrowthRegion::InitialGrowth => "initial growth",
+        GrowthRegion::Plateau => "plateau",
+        GrowthRegion::Probing => "probing",
+    }
+}
+
+fn main() {
+    let controller = CubicController::paper(); // beta = 0.8, gamma = 0.005
+    let mut state = CubicState::new(); // cap = observed usage = 1.0
+
+    println!("interval  cap    region          |cap|");
+    for t in 0..=30u64 {
+        // Contention is detected at intervals 2 and 18.
+        let contended = t == 2 || t == 18;
+        let cap = controller.step(&mut state, contended);
+        println!(
+            "{:>8}  {:>5.3}  {:<14}  {}{}",
+            t,
+            cap,
+            if contended { "DECREASE" } else { region(state.region()) },
+            bar(cap),
+            if contended { "  <- I(t) > H" } else { "" },
+        );
+    }
+}

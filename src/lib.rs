@@ -1,0 +1,44 @@
+//! # PerfCloud
+//!
+//! A from-scratch Rust reproduction of *Performance Isolation of
+//! Data-Intensive Scale-out Applications in a Multi-tenant Cloud*
+//! (Lama, Wang, Zhou, Cheng — IPDPS 2018).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`sim`] — deterministic discrete-event engine and named RNG streams.
+//! * [`stats`] — EWMA, cross-VM deviation, Pearson (missing-as-zero),
+//!   quantiles/boxplots/CDFs.
+//! * [`host`] — the simulated multi-tenant physical server: CPU scheduler
+//!   with hard caps, block device with cgroup accounting and throttling, LLC
+//!   and memory-bandwidth contention, per-VM performance counters.
+//! * [`workloads`] — fio random read, STREAM, sysbench oltp/cpu antagonists.
+//! * [`frameworks`] — HDFS, MapReduce and Spark scale-out substrates with
+//!   PUMA / SparkBench workload profiles.
+//! * [`core`] — **the paper's contribution**: performance monitor,
+//!   interference detector, antagonist identifier, CUBIC-inspired resource
+//!   controller, node manager and cloud manager.
+//! * [`baselines`] — LATE speculative execution, Dolly job cloning, static
+//!   capping and the unmanaged default.
+//! * [`cluster`] — multi-server experiment assembly, workload mixes and the
+//!   metrics reported in the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: a 6-VM virtual Hadoop
+//! cluster colocated with a fio antagonist, with and without PerfCloud.
+
+pub use perfcloud_baselines as baselines;
+pub use perfcloud_cluster as cluster;
+pub use perfcloud_core as core;
+pub use perfcloud_frameworks as frameworks;
+pub use perfcloud_host as host;
+pub use perfcloud_sim as sim;
+pub use perfcloud_stats as stats;
+pub use perfcloud_workloads as workloads;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use perfcloud_sim::{RngFactory, SimDuration, SimTime, Simulation};
+    pub use perfcloud_stats::{BoxplotSummary, Ewma, TimeSeries};
+}

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the full PerfCloud pipeline driven through
+//! the umbrella crate's public API.
+
+use perfcloud::baselines::{Dolly, LatePolicy};
+use perfcloud::cluster::{
+    mean_efficiency, AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment,
+    ExperimentConfig, Mitigation,
+};
+use perfcloud::core::PerfCloudConfig;
+use perfcloud::frameworks::Benchmark;
+use perfcloud::prelude::*;
+
+fn one_job(
+    bench: Benchmark,
+    tasks: usize,
+    mitigation: Mitigation,
+    antagonists: Vec<AntagonistPlacement>,
+    seed: u64,
+) -> Experiment {
+    let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(seed), mitigation);
+    cfg.jobs.push((SimTime::from_secs(5), bench.job(tasks)));
+    cfg.antagonists = antagonists;
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    Experiment::build(cfg)
+}
+
+fn fio_at(secs: u64) -> Vec<AntagonistPlacement> {
+    vec![AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
+        .starting_at(SimTime::from_secs(secs))]
+}
+
+#[test]
+fn full_pipeline_protects_an_io_bound_job() {
+    let clean = one_job(Benchmark::Terasort, 20, Mitigation::Default, vec![], 42)
+        .run()
+        .sole_jct();
+    let contended = one_job(Benchmark::Terasort, 20, Mitigation::Default, fio_at(15), 42)
+        .run()
+        .sole_jct();
+    let protected = one_job(
+        Benchmark::Terasort,
+        20,
+        Mitigation::PerfCloud(PerfCloudConfig::default()),
+        fio_at(15),
+        42,
+    )
+    .run()
+    .sole_jct();
+
+    assert!(contended > 1.2 * clean, "antagonist must hurt: {clean} -> {contended}");
+    assert!(protected < contended, "PerfCloud must help: {protected} !< {contended}");
+    let recovered = (contended - protected) / (contended - clean);
+    assert!(recovered > 0.3, "recovered only {:.0}%", recovered * 100.0);
+}
+
+#[test]
+fn perfcloud_throttles_only_under_contention() {
+    // No antagonist: no VM must end the run throttled.
+    let mut e = one_job(
+        Benchmark::Terasort,
+        10,
+        Mitigation::PerfCloud(PerfCloudConfig::default()),
+        vec![],
+        11,
+    );
+    let _ = e.run();
+    for server in &e.servers {
+        for vm in server.vm_ids() {
+            assert!(
+                !server.io_throttle(vm).unwrap().is_throttled(),
+                "{vm} is throttled on a clean cluster"
+            );
+            assert!(!server.cpu_cap(vm).unwrap().is_capped());
+        }
+    }
+}
+
+#[test]
+fn late_speculation_spends_extra_work() {
+    // LATE must never be *less* efficient than 100%; with stragglers it
+    // speculates and pays some duplicated work.
+    let mut e = one_job(Benchmark::Terasort, 20, Mitigation::Late(LatePolicy::default()), fio_at(0), 3);
+    let r = e.run();
+    let eff = mean_efficiency(&r.outcomes);
+    assert!((0.3..=1.0).contains(&eff), "implausible efficiency {eff}");
+}
+
+#[test]
+fn dolly_first_clone_wins_and_wastes_the_rest() {
+    let mut e = one_job(Benchmark::Wordcount, 4, Mitigation::Dolly(Dolly::new(3)), vec![], 5);
+    let r = e.run();
+    assert_eq!(r.outcomes.len(), 1, "a clone group reports one logical job");
+    assert_eq!(r.outcomes[0].clones, 3);
+    let eff = r.outcomes[0].efficiency();
+    assert!(eff < 0.7, "three clones must waste work: {eff}");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let run = || {
+        one_job(Benchmark::InvertedIndex, 10, Mitigation::Default, fio_at(10), 9)
+            .run()
+            .sole_jct()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let jct = |seed| {
+        one_job(Benchmark::InvertedIndex, 10, Mitigation::Default, fio_at(10), seed)
+            .run()
+            .sole_jct()
+    };
+    assert_ne!(jct(1), jct(2));
+}
+
+#[test]
+fn multi_server_cluster_spreads_the_job() {
+    let mut cluster = ClusterSpec::large_scale(21);
+    cluster.servers = 3;
+    let mut cfg = ExperimentConfig::new(cluster, Mitigation::Default);
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(30)));
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    let mut e = Experiment::build(cfg);
+    let r = e.run();
+    assert_eq!(r.outcomes.len(), 1);
+    // Every server must have executed some instructions (tasks spread out).
+    for server in &e.servers {
+        let total: f64 = server
+            .vm_ids()
+            .iter()
+            .map(|&vm| server.counters(vm).unwrap().counters.instructions)
+            .sum();
+        assert!(total > 0.0, "a server did no work");
+    }
+}
+
+#[test]
+fn antagonist_keeps_most_throughput_when_victims_are_idle() {
+    // PerfCloud with no high-priority job running: the antagonist is never
+    // throttled, so its throughput matches the default run's.
+    let run = |mitigation| {
+        let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(33), mitigation);
+        cfg.antagonists = fio_at(0);
+        cfg.max_sim_time = SimTime::from_secs(60);
+        Experiment::build(cfg).run().antagonists[0].io_ops
+    };
+    let default_ops = run(Mitigation::Default);
+    let pc_ops = run(Mitigation::PerfCloud(PerfCloudConfig::default()));
+    assert!(
+        (pc_ops / default_ops - 1.0).abs() < 0.01,
+        "idle-cluster PerfCloud must not touch the antagonist: {default_ops} vs {pc_ops}"
+    );
+}
