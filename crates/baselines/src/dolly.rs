@@ -11,10 +11,9 @@
 use perfcloud_frameworks::scheduler::FrameworkScheduler;
 use perfcloud_frameworks::{JobId, JobSpec};
 use perfcloud_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Job-level cloning configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Dolly {
     /// Number of clones per eligible job (the paper's Dolly-2/4/6).
     pub clones: usize,
@@ -88,11 +87,8 @@ mod tests {
             perfcloud_sim::SimDuration::from_millis(100),
         );
         server.add_vm(VmId(0), VmConfig::high_priority());
-        let mut sched = FrameworkScheduler::new(vec![Worker {
-            server_idx: 0,
-            vm: VmId(0),
-            slots: 8,
-        }]);
+        let mut sched =
+            FrameworkScheduler::new(vec![Worker { server_idx: 0, vm: VmId(0), slots: 8 }]);
         let d = Dolly::new(3);
         let small = d.submit(&mut sched, job(4), SimTime::ZERO);
         assert_eq!(small.len(), 3);

@@ -115,7 +115,12 @@ mod tests {
     }
 
     fn view(running: Vec<RunningTaskView>, free: usize, total: usize) -> SchedulerView {
-        SchedulerView { now: SimTime::from_secs(100), running, free_slots: free, total_slots: total }
+        SchedulerView {
+            now: SimTime::from_secs(100),
+            running,
+            free_slots: free,
+            total_slots: total,
+        }
     }
 
     #[test]

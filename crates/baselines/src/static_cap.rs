@@ -8,10 +8,9 @@
 
 use perfcloud_host::throttle::{CpuCap, IoThrottle};
 use perfcloud_host::{PhysicalServer, VmId};
-use serde::{Deserialize, Serialize};
 
 /// One static cap assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StaticCap {
     /// Cap a VM's I/O at a fraction of the given reference rates.
     Io {
@@ -36,7 +35,7 @@ pub enum StaticCap {
 }
 
 /// A set of static caps applied once at experiment start.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StaticCapping {
     caps: Vec<StaticCap>,
 }
@@ -112,9 +111,8 @@ mod tests {
     #[test]
     fn applies_paper_20_percent_caps() {
         let mut s = server();
-        let policy = StaticCapping::new()
-            .cap_io(VmId(0), 0.2, 4000.0, 16.0e6)
-            .cap_cpu(VmId(1), 0.2, 2.0);
+        let policy =
+            StaticCapping::new().cap_io(VmId(0), 0.2, 4000.0, 16.0e6).cap_cpu(VmId(1), 0.2, 2.0);
         policy.apply(&mut s);
         let t = s.io_throttle(VmId(0)).unwrap();
         assert_eq!(t.iops, Some(800.0));

@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perfcloud_core::cubic::{CubicController, CubicState};
 use perfcloud_core::{AppId, CloudManager, NodeManager, PerfCloudConfig, VmRecord};
-use perfcloud_host::{
-    PhysicalServer, Priority, ServerConfig, ServerId, VmConfig, VmId,
-};
+use perfcloud_host::{PhysicalServer, Priority, ServerConfig, ServerId, VmConfig, VmId};
 use perfcloud_sim::{RngFactory, SimDuration, SimTime};
 use perfcloud_workloads::FioRandRead;
 use std::hint::black_box;
@@ -20,7 +18,7 @@ fn bench_cubic_step(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            black_box(ctrl.step(&mut state, k % 13 == 0))
+            black_box(ctrl.step(&mut state, k.is_multiple_of(13)))
         })
     });
 }

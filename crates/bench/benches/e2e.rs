@@ -47,8 +47,7 @@ fn bench_full_job(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("terasort4_clean_run", |b| {
         b.iter(|| {
-            let mut cfg =
-                ExperimentConfig::new(ClusterSpec::small_scale(42), Mitigation::Default);
+            let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(42), Mitigation::Default);
             cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(4)));
             cfg.max_sim_time = SimTime::from_secs(3_600);
             black_box(Experiment::build(cfg).run())

@@ -26,6 +26,35 @@ fn bench_event_calendar(c: &mut Criterion) {
     g.finish();
 }
 
+/// The simulator's real calendar pattern: handlers capture a few words
+/// (task/VM ids, amounts), and a third of the scheduled events — timeouts,
+/// speculative retries — are cancelled before they fire.
+fn bench_cancel_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_cancel_churn", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(0u64);
+                for i in 0..n {
+                    let a = i as u64;
+                    let bb = (i * 31) as u64;
+                    let cc = (i * 17) as u64;
+                    let id = sim.schedule_at(
+                        SimTime::from_micros(((i * 7919) % 100_000) as u64),
+                        move |w, _| *w += a ^ bb ^ cc,
+                    );
+                    if i % 3 == 0 {
+                        sim.cancel(id);
+                    }
+                }
+                sim.run();
+                black_box(sim.into_world())
+            })
+        });
+    }
+    g.finish();
+}
+
 fn server_with_vms(n: u32) -> PhysicalServer {
     let mut s = PhysicalServer::new(
         ServerId(0),
@@ -55,5 +84,5 @@ fn bench_server_tick(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_calendar, bench_server_tick);
+criterion_group!(benches, bench_event_calendar, bench_cancel_churn, bench_server_tick);
 criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! (suspect × resource) per 5-second interval per server.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use perfcloud_stats::{pearson, pearson_missing_as_zero, population_stddev, BoxplotSummary, Ewma};
+use perfcloud_stats::{
+    pearson, pearson_missing_as_zero, population_stddev, BoxplotSummary, Ewma, RollingPearson,
+};
 use std::hint::black_box;
 
 fn series(n: usize, phase: f64) -> Vec<f64> {
@@ -24,6 +26,45 @@ fn bench_pearson(c: &mut Criterion) {
             y.iter().enumerate().map(|(i, &v)| (i % 7 != 0).then_some(v)).collect();
         g.bench_with_input(BenchmarkId::new("missing_as_zero", n), &n, |b, _| {
             b.iter(|| pearson_missing_as_zero(black_box(&xo), black_box(&yo)))
+        });
+    }
+    g.finish();
+}
+
+/// The identifier's per-tick work, old vs new: batch recomputation over the
+/// trailing window after every new sample vs one O(1) rolling push.
+fn bench_identification_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("identification_tick");
+    for window in [24usize, 64] {
+        let x = series(window * 4, 0.0);
+        let y = series(window * 4, 1.0);
+        let xo: Vec<Option<f64>> =
+            x.iter().enumerate().map(|(i, &v)| (i % 5 != 0).then_some(v)).collect();
+        let yo: Vec<Option<f64>> =
+            y.iter().enumerate().map(|(i, &v)| (i % 7 != 0).then_some(v)).collect();
+        g.bench_with_input(BenchmarkId::new("batch_recompute", window), &window, |b, _| {
+            // Seed behavior: align the tail and recompute from scratch each tick.
+            b.iter(|| {
+                let mut last = None;
+                for i in window..xo.len() {
+                    last = pearson_missing_as_zero(
+                        black_box(&xo[i - window..i]),
+                        black_box(&yo[i - window..i]),
+                    );
+                }
+                last
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rolling_push", window), &window, |b, _| {
+            b.iter(|| {
+                let mut rp = RollingPearson::new(window);
+                let mut last = None;
+                for i in 0..xo.len() {
+                    rp.push(black_box(xo[i]), black_box(yo[i]));
+                    last = rp.correlation();
+                }
+                last
+            })
         });
     }
     g.finish();
@@ -55,10 +96,15 @@ fn bench_ewma(c: &mut Criterion) {
 
 fn bench_boxplot(c: &mut Criterion) {
     let xs = series(200, 0.1);
-    c.bench_function("boxplot/200", |b| {
-        b.iter(|| BoxplotSummary::from_data(black_box(&xs)))
-    });
+    c.bench_function("boxplot/200", |b| b.iter(|| BoxplotSummary::from_data(black_box(&xs))));
 }
 
-criterion_group!(benches, bench_pearson, bench_deviation, bench_ewma, bench_boxplot);
+criterion_group!(
+    benches,
+    bench_pearson,
+    bench_identification_tick,
+    bench_deviation,
+    bench_ewma,
+    bench_boxplot
+);
 criterion_main!(benches);

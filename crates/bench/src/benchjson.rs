@@ -1,0 +1,135 @@
+//! Machine-readable benchmark records.
+//!
+//! `run_all` (and anything else that measures a run) writes one
+//! `BENCH_<name>.json` file per measurement so CI and scripts can track
+//! wall time and engine throughput without scraping human-readable logs.
+//! Files land in `$BENCH_JSON_DIR` when set, else the current directory.
+
+use std::path::PathBuf;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Identifier; becomes the `BENCH_<name>.json` file name.
+    pub name: String,
+    /// Wall-clock duration of the measured run, in seconds.
+    pub wall_seconds: f64,
+    /// Simulation events fired during the run, when the measurement drove
+    /// a [`perfcloud_sim::Simulation`] directly.
+    pub events_fired: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Creates a wall-time-only record.
+    pub fn wall(name: impl Into<String>, wall_seconds: f64) -> Self {
+        BenchRecord { name: name.into(), wall_seconds, events_fired: None }
+    }
+
+    /// Events per wall-clock second, when events were counted.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let fired = self.events_fired?;
+        if self.wall_seconds > 0.0 {
+            Some(fired as f64 / self.wall_seconds)
+        } else {
+            None
+        }
+    }
+
+    /// The record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"name\":{},\"wall_seconds\":{}",
+            json_string(&self.name),
+            json_number(self.wall_seconds)
+        );
+        if let Some(fired) = self.events_fired {
+            s.push_str(&format!(",\"events_fired\":{fired}"));
+        }
+        if let Some(eps) = self.events_per_sec() {
+            s.push_str(&format!(",\"events_per_sec\":{}", json_number(eps)));
+        }
+        s.push('}');
+        s
+    }
+
+    /// The output path: `$BENCH_JSON_DIR/BENCH_<name>.json` (or the current
+    /// directory without the variable).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os("BENCH_JSON_DIR").map(PathBuf::from).unwrap_or_default();
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes the record, returning where it landed.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        std::fs::write(&path, format!("{}\n", self.to_json()))?;
+        Ok(path)
+    }
+}
+
+/// Escapes a string for JSON (the names we use are tame, but be correct).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as valid JSON (no NaN/inf; those become null).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_only_record() {
+        let r = BenchRecord::wall("fig3", 1.5);
+        assert_eq!(r.to_json(), "{\"name\":\"fig3\",\"wall_seconds\":1.5}");
+        assert_eq!(r.events_per_sec(), None);
+    }
+
+    #[test]
+    fn throughput_record() {
+        let r =
+            BenchRecord { name: "engine".into(), wall_seconds: 2.0, events_fired: Some(1_000_000) };
+        assert_eq!(r.events_per_sec(), Some(500_000.0));
+        let j = r.to_json();
+        assert!(j.contains("\"events_fired\":1000000"), "{j}");
+        assert!(j.contains("\"events_per_sec\":500000"), "{j}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn non_finite_wall_is_null() {
+        let r = BenchRecord::wall("x", f64::NAN);
+        assert!(r.to_json().contains("\"wall_seconds\":null"));
+    }
+
+    #[test]
+    fn path_respects_env_dir() {
+        let r = BenchRecord::wall("probe", 1.0);
+        assert!(r.path().to_string_lossy().ends_with("BENCH_probe.json"));
+    }
+}

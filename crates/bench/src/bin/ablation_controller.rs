@@ -21,6 +21,7 @@
 //! and unstable system behavior" concern).
 
 use perfcloud_bench::report::{f3, Table};
+use perfcloud_bench::sweep;
 use perfcloud_core::cubic::{CubicController, CubicState};
 use perfcloud_stats::population_stddev;
 
@@ -89,35 +90,25 @@ fn evaluate(name: &str, ctrl: &mut dyn Controller, horizon: usize) -> (String, f
     let mean_cap = caps.iter().sum::<f64>() / caps.len() as f64;
     let deltas: Vec<f64> = caps.windows(2).map(|w| w[1] - w[0]).collect();
     let oscillation = population_stddev(&deltas).unwrap_or(0.0);
-    (
-        name.to_string(),
-        contended_intervals as f64 / horizon as f64,
-        mean_cap,
-        oscillation,
-    )
+    (name.to_string(), contended_intervals as f64 / horizon as f64, mean_cap, oscillation)
 }
 
 fn main() {
     println!("=== Ablation: CUBIC vs AIMD vs ad-hoc on/off capping ===\n");
     let horizon = 600;
     // γ is rescaled because the synthetic plant's spare capacity is O(1);
-    // β matches the paper.
-    let rows = vec![
-        evaluate(
-            "cubic",
-            &mut Cubic { c: CubicController::new(0.8, 0.05), s: CubicState::new() },
-            horizon,
-        ),
-        evaluate("aimd", &mut Aimd { cap: 1.0 }, horizon),
-        evaluate("onoff", &mut OnOff { cap: 1.0 }, horizon),
-    ];
+    // β matches the paper. Each controller's closed loop is independent.
+    let rows = sweep::run(3, |i| {
+        let mut ctrl: Box<dyn Controller> = match i {
+            0 => Box::new(Cubic { c: CubicController::new(0.8, 0.05), s: CubicState::new() }),
+            1 => Box::new(Aimd { cap: 1.0 }),
+            _ => Box::new(OnOff { cap: 1.0 }),
+        };
+        evaluate(["cubic", "aimd", "onoff"][i], ctrl.as_mut(), horizon)
+    });
 
-    let mut t = Table::new(vec![
-        "controller",
-        "contended fraction",
-        "mean granted cap",
-        "cap oscillation",
-    ]);
+    let mut t =
+        Table::new(vec!["controller", "contended fraction", "mean granted cap", "cap oscillation"]);
     for (name, pain, cap, osc) in &rows {
         t.row(vec![name.clone(), f3(*pain), f3(*cap), f3(*osc)]);
     }

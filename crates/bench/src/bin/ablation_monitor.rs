@@ -16,7 +16,10 @@
 
 use perfcloud_bench::report::Table;
 use perfcloud_bench::scenarios::*;
-use perfcloud_cluster::{AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation};
+use perfcloud_bench::sweep;
+use perfcloud_cluster::{
+    AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
+};
 use perfcloud_core::antagonist::Resource;
 use perfcloud_core::PerfCloudConfig;
 use perfcloud_frameworks::Benchmark;
@@ -33,8 +36,9 @@ fn run(alpha: f64, interval: f64, with_fio: bool, seed: u64) -> Vec<(f64, f64)> 
     let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(seed), Mitigation::PerfCloud(pc));
     cfg.jobs.push((JOB_START, Benchmark::Terasort.job(20)));
     if with_fio {
-        cfg.antagonists
-            .push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(ANTAGONIST_ONSET));
+        cfg.antagonists.push(
+            AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(ANTAGONIST_ONSET),
+        );
     }
     cfg.max_sim_time = SimTime::from_secs(3_600);
     let mut e = Experiment::build(cfg);
@@ -59,23 +63,31 @@ fn main() {
         "detection latency (s)",
         "false positives (alone)",
     ]);
-    for &alpha in &[0.2, 0.5, 1.0] {
-        for &interval in &[2.5, 5.0, 10.0] {
-            let alone = run(alpha, interval, false, seed);
-            let fp = alone.iter().filter(|&&(_, v)| v > H).count();
-            let contended = run(alpha, interval, true, seed);
-            let onset = ANTAGONIST_ONSET.as_secs_f64();
-            let latency = contended
-                .iter()
-                .find(|&&(time, v)| time > onset && v > H)
-                .map(|&(time, _)| time - onset);
-            t.row(vec![
-                format!("{alpha}"),
-                format!("{interval}"),
-                latency.map(|l| format!("{l:.0}")).unwrap_or_else(|| "none".into()),
-                fp.to_string(),
-            ]);
-        }
+    // 3×3 grid × {alone, contended} = 18 independent experiments; job 2k is
+    // the alone run for grid point k, job 2k+1 its contended twin.
+    let grid: Vec<(f64, f64)> = [0.2, 0.5, 1.0]
+        .iter()
+        .flat_map(|&alpha| [2.5, 5.0, 10.0].iter().map(move |&interval| (alpha, interval)))
+        .collect();
+    let runs = sweep::run(grid.len() * 2, |j| {
+        let (alpha, interval) = grid[j / 2];
+        run(alpha, interval, j % 2 == 1, seed)
+    });
+    for (k, &(alpha, interval)) in grid.iter().enumerate() {
+        let alone = &runs[2 * k];
+        let contended = &runs[2 * k + 1];
+        let fp = alone.iter().filter(|&&(_, v)| v > H).count();
+        let onset = ANTAGONIST_ONSET.as_secs_f64();
+        let latency = contended
+            .iter()
+            .find(|&&(time, v)| time > onset && v > H)
+            .map(|&(time, _)| time - onset);
+        t.row(vec![
+            format!("{alpha}"),
+            format!("{interval}"),
+            latency.map(|l| format!("{l:.0}")).unwrap_or_else(|| "none".into()),
+            fp.to_string(),
+        ]);
     }
     t.print();
     println!(

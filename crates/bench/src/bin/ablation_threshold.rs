@@ -9,6 +9,7 @@
 
 use perfcloud_bench::report::Table;
 use perfcloud_bench::scenarios::*;
+use perfcloud_bench::sweep;
 use perfcloud_cluster::{AntagonistKind, AntagonistPlacement, Mitigation};
 use perfcloud_core::antagonist::Resource;
 use perfcloud_frameworks::Benchmark;
@@ -34,8 +35,10 @@ fn series(with_fio: bool, seed: u64) -> Vec<(f64, f64)> {
 fn main() {
     let seed = base_seed();
     println!("=== Ablation: detection threshold sweep (iowait-ratio deviation) ===\n");
-    let alone = series(false, seed);
-    let contended = series(true, seed);
+    // The alone and contended runs are independent; farm them out.
+    let mut runs = sweep::run(2, |i| series(i == 1, seed));
+    let contended = runs.pop().unwrap();
+    let alone = runs.pop().unwrap();
     let alone_peak = alone.iter().map(|x| x.1).fold(0.0f64, f64::max);
     let contended_peak = contended.iter().map(|x| x.1).fold(0.0f64, f64::max);
     println!("alone peak = {alone_peak:.2}; contended peak = {contended_peak:.2}\n");
@@ -57,7 +60,11 @@ fn main() {
         {
             let fp10 = alone.iter().filter(|&&(_, v)| v > 10.0).count();
             let lat10 = contended.iter().any(|&(time, v)| time > onset && v > 10.0);
-            if fp10 == 0 && lat10 { "HOLDS" } else { "VIOLATED" }
+            if fp10 == 0 && lat10 {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         }
     );
 }

@@ -29,9 +29,9 @@ fn capped_run(
     let fio_vm = VmId(10);
     let mitigation = match cap {
         None => Mitigation::Default,
-        Some(frac) => Mitigation::StaticCap(
-            StaticCapping::new().cap_io(fio_vm, frac, fio_ref.0, fio_ref.1),
-        ),
+        Some(frac) => {
+            Mitigation::StaticCap(StaticCapping::new().cap_io(fio_vm, frac, fio_ref.0, fio_ref.1))
+        }
     };
     let r = contended_run(bench, tasks, &[AntagonistKind::Fio], mitigation, seed);
     let secs = r.duration.as_secs_f64();
@@ -41,7 +41,13 @@ fn capped_run(
 fn sweep(bench: Benchmark, tasks: usize, label: &str, seed: u64) {
     let (solo_iops, solo_bps) = fio_solo_reference(seed);
     let solo = solo_jct(bench, tasks, seed);
-    println!("\nFig 1({label}): {} ({} tasks); solo JCT = {:.1}s, fio solo = {:.0} IOPS", bench.name(), tasks, solo, solo_iops);
+    println!(
+        "\nFig 1({label}): {} ({} tasks); solo JCT = {:.1}s, fio solo = {:.0} IOPS",
+        bench.name(),
+        tasks,
+        solo,
+        solo_iops
+    );
     let mut t = Table::new(vec!["fio I/O cap", "norm JCT", "norm fio IOPS"]);
     for cap in [None, Some(0.5), Some(0.4), Some(0.3), Some(0.2), Some(0.1)] {
         let (jct, iops) = capped_run(bench, tasks, cap, (solo_iops, solo_bps), seed);

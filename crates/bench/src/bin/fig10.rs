@@ -51,30 +51,21 @@ fn main() {
     let lookup = |trace: Option<&perfcloud_stats::TimeSeries>, us: u64| -> String {
         trace
             .and_then(|s| {
-                s.times()
-                    .iter()
-                    .position(|t| t.as_micros() == us)
-                    .and_then(|k| s.values()[k])
+                s.times().iter().position(|t| t.as_micros() == us).and_then(|k| s.values()[k])
             })
             .map(f3)
             .unwrap_or_default()
     };
     for us in &times {
-        t.row(vec![
-            format!("{:.0}", *us as f64 / 1e6),
-            lookup(io, *us),
-            lookup(cpu, *us),
-        ]);
+        t.row(vec![format!("{:.0}", *us as f64 / 1e6), lookup(io, *us), lookup(cpu, *us)]);
     }
     t.print();
 
     // Shape checks.
-    let io_caps: Vec<f64> = io
-        .map(|s| s.values().iter().filter_map(|v| *v).collect())
-        .unwrap_or_default();
-    let cpu_caps: Vec<f64> = cpu
-        .map(|s| s.values().iter().filter_map(|v| *v).collect())
-        .unwrap_or_default();
+    let io_caps: Vec<f64> =
+        io.map(|s| s.values().iter().filter_map(|v| *v).collect()).unwrap_or_default();
+    let cpu_caps: Vec<f64> =
+        cpu.map(|s| s.values().iter().filter_map(|v| *v).collect()).unwrap_or_default();
     let drop_to_20 = |caps: &[f64]| caps.first().is_some_and(|&c| c <= 0.21);
     let drop_ok = (!io_caps.is_empty() || !cpu_caps.is_empty())
         && (io_caps.is_empty() || drop_to_20(&io_caps))

@@ -23,6 +23,7 @@
 use perfcloud_baselines::{Dolly, LatePolicy};
 use perfcloud_bench::report::{f2, pct, Table};
 use perfcloud_bench::scenarios::base_seed;
+use perfcloud_bench::sweep;
 use perfcloud_cluster::{
     mean_efficiency, normalize_jcts, ClusterSpec, DegradationBreakdown, Experiment,
     ExperimentConfig, Mitigation, MixConfig, WorkloadMix,
@@ -37,28 +38,33 @@ fn arg_value(flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
-fn mitigations() -> Vec<(&'static str, Box<dyn Fn() -> Mitigation>)> {
+type MitigationFactory = fn() -> Mitigation;
+
+fn mitigations() -> Vec<(&'static str, MitigationFactory)> {
     vec![
-        ("late", Box::new(|| Mitigation::Late(LatePolicy::default()))),
-        ("dolly-2", Box::new(|| Mitigation::Dolly(Dolly::new(2)))),
-        ("dolly-4", Box::new(|| Mitigation::Dolly(Dolly::new(4)))),
-        ("dolly-6", Box::new(|| Mitigation::Dolly(Dolly::new(6)))),
-        ("perfcloud", Box::new(|| Mitigation::PerfCloud(PerfCloudConfig::default()))),
+        ("late", || Mitigation::Late(LatePolicy::default())),
+        ("dolly-2", || Mitigation::Dolly(Dolly::new(2))),
+        ("dolly-4", || Mitigation::Dolly(Dolly::new(4))),
+        ("dolly-6", || Mitigation::Dolly(Dolly::new(6))),
+        ("perfcloud", || Mitigation::PerfCloud(PerfCloudConfig::default())),
     ]
 }
 
-/// Measures each distinct job's interference-free JCT on a clean cluster.
+/// Measures each distinct job's interference-free JCT on a clean cluster,
+/// one parallel sweep repetition per distinct job.
 fn baselines(mix: &WorkloadMix, spec: &ClusterSpec) -> HashMap<String, f64> {
-    let mut out = HashMap::new();
-    for job in mix.distinct_specs() {
-        let mut cfg = ExperimentConfig::new(spec.clone(), Mitigation::Default);
+    let jobs = mix.distinct_specs();
+    sweep::run(jobs.len(), |i| {
+        let job = jobs[i].clone();
         let name = job.name.clone();
+        let mut cfg = ExperimentConfig::new(spec.clone(), Mitigation::Default);
         cfg.jobs.push((SimTime::from_secs(5), job));
         cfg.max_sim_time = SimTime::from_secs(7_200);
         let r = Experiment::build(cfg).run();
-        out.insert(name, r.outcomes[0].jct);
-    }
-    out
+        (name, r.outcomes[0].jct)
+    })
+    .into_iter()
+    .collect()
 }
 
 fn is_spark(outcome: &JobOutcome) -> bool {
@@ -90,26 +96,34 @@ fn main() {
         cluster.servers
     );
 
-    println!("measuring interference-free baselines ({} distinct jobs)…", mix.distinct_specs().len());
+    println!(
+        "measuring interference-free baselines ({} distinct jobs)…",
+        mix.distinct_specs().len()
+    );
     let base = baselines(&mix, &cluster);
 
-    let mut rows: Vec<(String, DegradationBreakdown, DegradationBreakdown, f64)> = Vec::new();
-    for (name, make) in mitigations() {
-        println!("running {name}…");
-        let mut cfg = ExperimentConfig::new(cluster.clone(), make());
-        cfg.jobs = mix.jobs.clone();
-        cfg.antagonists = mix.antagonists.clone();
-        cfg.max_sim_time = SimTime::from_secs(4 * 3_600);
-        let r = Experiment::build(cfg).run();
-        let mr: Vec<JobOutcome> =
-            r.outcomes.iter().filter(|o| !is_spark(o)).cloned().collect();
-        let spark: Vec<JobOutcome> =
-            r.outcomes.iter().filter(|o| is_spark(o)).cloned().collect();
-        let mr_b = DegradationBreakdown::from_normalized(&normalize_jcts(&mr, &base));
-        let sp_b = DegradationBreakdown::from_normalized(&normalize_jcts(&spark, &base));
-        let eff = mean_efficiency(&r.outcomes);
-        rows.push((name.to_string(), mr_b, sp_b, eff));
-    }
+    let systems = mitigations();
+    println!(
+        "running {} mitigations ({} sweep workers)…",
+        systems.len(),
+        sweep::worker_count(systems.len())
+    );
+    let rows: Vec<(String, DegradationBreakdown, DegradationBreakdown, f64)> =
+        sweep::run(systems.len(), |i| {
+            let (name, make) = systems[i];
+            let mut cfg = ExperimentConfig::new(cluster.clone(), make());
+            cfg.jobs = mix.jobs.clone();
+            cfg.antagonists = mix.antagonists.clone();
+            cfg.max_sim_time = SimTime::from_secs(4 * 3_600);
+            let r = Experiment::build(cfg).run();
+            let mr: Vec<JobOutcome> = r.outcomes.iter().filter(|o| !is_spark(o)).cloned().collect();
+            let spark: Vec<JobOutcome> =
+                r.outcomes.iter().filter(|o| is_spark(o)).cloned().collect();
+            let mr_b = DegradationBreakdown::from_normalized(&normalize_jcts(&mr, &base));
+            let sp_b = DegradationBreakdown::from_normalized(&normalize_jcts(&spark, &base));
+            let eff = mean_efficiency(&r.outcomes);
+            (name.to_string(), mr_b, sp_b, eff)
+        });
 
     for (label, pick) in [("a) MapReduce", 0usize), ("b) Spark", 1)] {
         println!("\nFig 11({label}): fraction of jobs by degradation bucket");
@@ -160,7 +174,11 @@ pays no duplication cost (efficiency 1.0 vs Dolly's {:.2}).",
     }
     println!(
         "shape check (Dolly efficiency falls with clone count): {}",
-        if d2.3 > by_name["dolly-4"].3 && by_name["dolly-4"].3 > d6.3 { "HOLDS" } else { "VIOLATED" }
+        if d2.3 > by_name["dolly-4"].3 && by_name["dolly-4"].3 > d6.3 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "shape check (PerfCloud efficiency ~1, above every Dolly): {}",

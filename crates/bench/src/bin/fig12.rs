@@ -16,6 +16,7 @@
 use perfcloud_baselines::{Dolly, LatePolicy};
 use perfcloud_bench::report::{f2, Table};
 use perfcloud_bench::scenarios::base_seed;
+use perfcloud_bench::sweep;
 use perfcloud_cluster::{
     AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
 };
@@ -24,7 +25,6 @@ use perfcloud_frameworks::Benchmark;
 use perfcloud_sim::{RngFactory, SimTime};
 use perfcloud_stats::BoxplotSummary;
 use rand::Rng;
-use rayon::prelude::*;
 
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -41,9 +41,7 @@ fn random_antagonists(rng: &RngFactory, servers: usize) -> Vec<AntagonistPlaceme
     for _ in 0..(servers / 3).max(1) {
         for kind in [AntagonistKind::Fio, AntagonistKind::Stream] {
             let start = SimTime::from_secs_f64(10.0 + 30.0 * r.gen::<f64>());
-            out.push(
-                AntagonistPlacement::pinned(kind, r.gen_range(0..servers)).starting_at(start),
-            );
+            out.push(AntagonistPlacement::pinned(kind, r.gen_range(0..servers)).starting_at(start));
         }
     }
     out
@@ -68,11 +66,11 @@ fn run_once(
 fn main() {
     let seed = base_seed();
     let reps: usize = arg_value("--reps").and_then(|s| s.parse().ok()).unwrap_or(30);
-    let servers: usize =
-        arg_value("--scale-servers").and_then(|s| s.parse().ok()).unwrap_or(15);
+    let servers: usize = arg_value("--scale-servers").and_then(|s| s.parse().ok()).unwrap_or(15);
     println!("=== Figure 12: variability over {reps} repetitions, {servers} servers ===\n");
 
-    let systems: Vec<(&str, fn() -> Mitigation)> = vec![
+    type MitigationFactory = fn() -> Mitigation;
+    let systems: Vec<(&str, MitigationFactory)> = vec![
         ("late", || Mitigation::Late(LatePolicy::default())),
         ("dolly-4", || Mitigation::Dolly(Dolly::new(4))),
         ("perfcloud", || Mitigation::PerfCloud(PerfCloudConfig::default())),
@@ -91,19 +89,13 @@ fn main() {
         let solo = Experiment::build(cfg).run().sole_jct();
 
         println!("Fig 12({label}); solo JCT = {solo:.1}s");
-        let mut t = Table::new(vec![
-            "system", "median", "q1", "q3", "whisker span", "max",
-        ]);
+        let mut t = Table::new(vec!["system", "median", "q1", "q3", "whisker span", "max"]);
         let mut spreads = Vec::new();
         for (name, make) in &systems {
-            let jcts: Vec<f64> = (0..reps)
-                .into_par_iter()
-                .map(|rep| {
-                    let rep_rng = RngFactory::new(seed).child_indexed("rep", rep as u64);
-                    run_once(bench, make(), servers, &rep_rng, seed ^ (rep as u64) << 8)
-                        / solo
-                })
-                .collect();
+            let jcts: Vec<f64> = sweep::run(reps, |rep| {
+                let rep_rng = sweep::rep_factory(seed, rep);
+                run_once(bench, make(), servers, &rep_rng, seed ^ (rep as u64) << 8) / solo
+            });
             let b = BoxplotSummary::from_data(&jcts).expect("non-empty");
             spreads.push((name.to_string(), b.median, b.whisker_spread()));
             t.row(vec![

@@ -70,11 +70,15 @@ fn main() {
     t.print();
     let pa = peak(&alone);
     let pf = peak(&with_fio);
-    println!("\npeak alone = {pa:.2}, peak with fio = {pf:.2}, ratio = {:.1}x (paper: 8.2x)", pf / pa.max(1e-9));
+    println!(
+        "\npeak alone = {pa:.2}, peak with fio = {pf:.2}, ratio = {:.1}x (paper: 8.2x)",
+        pf / pa.max(1e-9)
+    );
 
     // (b) all benchmarks: peak deviation alone vs. colocated.
     println!("\nFig 3(b): peak deviation per benchmark vs threshold H = {H_IO}");
-    let mut t = Table::new(vec!["benchmark", "peak alone", "peak with fio", "alone < H", "fio > H"]);
+    let mut t =
+        Table::new(vec!["benchmark", "peak alone", "peak with fio", "alone < H", "fio > H"]);
     let mut all_hold = true;
     for bench in Benchmark::ALL {
         // 20 tasks: long enough that the contended phase spans several

@@ -36,11 +36,8 @@ fn main() {
     let _ = e.run();
     e.run_for(SimDuration::from_secs(10.0));
 
-    let suspects = [
-        (VmId(10), "fio-randread"),
-        (VmId(11), "sysbench-oltp"),
-        (VmId(12), "sysbench-cpu"),
-    ];
+    let suspects =
+        [(VmId(10), "fio-randread"), (VmId(11), "sysbench-oltp"), (VmId(12), "sysbench-cpu")];
     let nm = &e.node_managers[0];
     let victim = nm.identifier().deviation_series(Resource::Io);
     let victim_norm = victim.normalized_by_peak();
@@ -63,11 +60,7 @@ fn main() {
             victim_norm.values()[i].map(f3).unwrap_or_else(|| "-".into()),
         ];
         for s in &suspect_series {
-            let v = s
-                .times()
-                .iter()
-                .position(|&u| u == ts)
-                .and_then(|k| s.values()[k]);
+            let v = s.times().iter().position(|&u| u == ts).and_then(|k| s.values()[k]);
             row.push(v.map(f3).unwrap_or_else(|| "-".into()));
         }
         t.row(row);
@@ -87,11 +80,7 @@ fn main() {
     let mut decoys_ok = true;
     // The dataset accumulates from the last sample before the suspect
     // became active (the paper's Fig. 5a/b series likewise span the onset).
-    let onset_idx = alive
-        .times()
-        .iter()
-        .rposition(|&u| u < ANTAGONIST_ONSET)
-        .unwrap_or(0);
+    let onset_idx = alive.times().iter().rposition(|&u| u < ANTAGONIST_ONSET).unwrap_or(0);
     for size in [3usize, 6, 9, 12, 15] {
         let mut row = vec![size.to_string()];
         let mut fio_row = 0.0;

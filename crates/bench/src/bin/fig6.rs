@@ -41,11 +41,7 @@ fn correlations(seed: u64, omit: bool) -> Vec<f64> {
     let nm = &e.node_managers[0];
     let victim = nm.identifier().deviation_series(Resource::Cpu);
     let alive = victim.trim_trailing_missing();
-    let onset_idx = alive
-        .times()
-        .iter()
-        .rposition(|&u| u < ANTAGONIST_ONSET)
-        .unwrap_or(0);
+    let onset_idx = alive.times().iter().rposition(|&u| u < ANTAGONIST_ONSET).unwrap_or(0);
     [VmId(10), VmId(11), VmId(12), VmId(13)]
         .iter()
         .map(|&vm| {
@@ -70,7 +66,10 @@ fn main() {
     let seed = base_seed();
     let omit = std::env::args().any(|a| a == "--omit-missing");
     println!("=== Figure 6: processor antagonist identification (CPI ↔ LLC miss rate) ===");
-    println!("policy: {}\n", if omit { "omit-missing (ablation)" } else { "missing-as-zero (paper)" });
+    println!(
+        "policy: {}\n",
+        if omit { "omit-missing (ablation)" } else { "missing-as-zero (paper)" }
+    );
 
     // Two STREAM VMs arrive together mid-run (copies of the same benchmark,
     // so their kernel phases co-vary); the decoys run throughout. The
@@ -86,7 +85,8 @@ fn main() {
         AntagonistPlacement::pinned(AntagonistKind::SysbenchOltp, 0),
         AntagonistPlacement::pinned(AntagonistKind::SysbenchCpu, 0),
     ];
-    let mut e = small_scale(Benchmark::LogisticRegression, 40, antagonists, Mitigation::Default, seed);
+    let mut e =
+        small_scale(Benchmark::LogisticRegression, 40, antagonists, Mitigation::Default, seed);
     let _ = e.run();
     e.run_for(SimDuration::from_secs(10.0));
 
@@ -113,9 +113,9 @@ fn main() {
             victim_norm.values()[i].map(f3).unwrap_or_else(|| "-".into()),
         ];
         for s in &series {
-            let v = s.as_ref().and_then(|s| {
-                s.times().iter().position(|&u| u == ts).and_then(|k| s.values()[k])
-            });
+            let v = s
+                .as_ref()
+                .and_then(|s| s.times().iter().position(|&u| u == ts).and_then(|k| s.values()[k]));
             row.push(v.map(f3).unwrap_or_else(|| "-".into()));
         }
         t.row(row);

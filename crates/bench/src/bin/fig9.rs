@@ -27,13 +27,8 @@ use perfcloud_sim::SimDuration;
 const TASKS: usize = 40;
 
 fn run(mitigation: Mitigation, seed: u64) -> (Experiment, ExperimentResult) {
-    let mut e = small_scale(
-        Benchmark::LogisticRegression,
-        TASKS,
-        four_antagonists(),
-        mitigation,
-        seed,
-    );
+    let mut e =
+        small_scale(Benchmark::LogisticRegression, TASKS, four_antagonists(), mitigation, seed);
     let r = e.run();
     (e, r)
 }
@@ -56,16 +51,19 @@ fn main() {
     let stream_cores = stream_solo_cores(seed);
 
     let (e_def, r_def) = run(Mitigation::Default, seed);
-    let static_policy = StaticCapping::new()
-        .cap_io(VmId(10), 0.2, fio_iops, fio_bps)
-        .cap_cpu(VmId(11), 0.2, stream_cores);
+    let static_policy = StaticCapping::new().cap_io(VmId(10), 0.2, fio_iops, fio_bps).cap_cpu(
+        VmId(11),
+        0.2,
+        stream_cores,
+    );
     let (_e_static, r_static) = run(Mitigation::StaticCap(static_policy), seed);
     let (e_pc, r_pc) = run(Mitigation::PerfCloud(PerfCloudConfig::default()), seed);
 
     // (a) + (b): deviation series.
-    for (label, resource, threshold) in
-        [("a) stddev of block iowait ratio [ms/op]", Resource::Io, 10.0), ("b) stddev of CPI", Resource::Cpu, 1.0)]
-    {
+    for (label, resource, threshold) in [
+        ("a) stddev of block iowait ratio [ms/op]", Resource::Io, 10.0),
+        ("b) stddev of CPI", Resource::Cpu, 1.0),
+    ] {
         println!("Fig 9({label}); threshold H = {threshold}");
         let d = deviation_rows(&e_def, resource);
         let p = deviation_rows(&e_pc, resource);
@@ -84,11 +82,7 @@ fn main() {
                 xs.iter().filter(|x| x.0 > ANTAGONIST_ONSET.as_secs_f64()).map(|x| x.1).collect();
             tail.iter().sum::<f64>() / tail.len().max(1) as f64
         };
-        println!(
-            "mean post-onset deviation: default {:.2}, perfcloud {:.2}\n",
-            mean(&d),
-            mean(&p)
-        );
+        println!("mean post-onset deviation: default {:.2}, perfcloud {:.2}\n", mean(&d), mean(&p));
     }
 
     // (c): JCT comparison.
@@ -109,10 +103,7 @@ fn main() {
     println!("\nAntagonist throughput retained (vs default run; higher is better for tenants)");
     let mut t = Table::new(vec!["antagonist", "static-cap", "perfcloud"]);
     let horizon = |r: &ExperimentResult| r.duration.as_secs_f64();
-    for (i, label, pick) in [
-        (0usize, "fio IOPS", 0usize),
-        (1usize, "STREAM instr/s", 1usize),
-    ] {
+    for (i, label, pick) in [(0usize, "fio IOPS", 0usize), (1usize, "STREAM instr/s", 1usize)] {
         let _ = i;
         let rate = |r: &ExperimentResult| {
             let a = &r.antagonists[pick];
@@ -122,11 +113,7 @@ fn main() {
             }
         };
         let d = rate(&r_def);
-        t.row(vec![
-            label.to_string(),
-            f2(rate(&r_static) / d),
-            f2(rate(&r_pc) / d),
-        ]);
+        t.row(vec![label.to_string(), f2(rate(&r_static) / d), f2(rate(&r_pc) / d)]);
     }
     t.print();
 

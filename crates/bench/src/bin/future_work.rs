@@ -41,8 +41,7 @@ fn run(mitigation: Mitigation, seed: u64) -> f64 {
         AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(20)),
     );
     cfg.antagonists.push(
-        AntagonistPlacement::pinned(AntagonistKind::Stream, 3)
-            .starting_at(SimTime::from_secs(20)),
+        AntagonistPlacement::pinned(AntagonistKind::Stream, 3).starting_at(SimTime::from_secs(20)),
     );
     cfg.max_sim_time = SimTime::from_secs(7_200);
     let r = Experiment::build(cfg).run();
@@ -60,10 +59,7 @@ fn main() {
         (
             "perfcloud+late",
             run(
-                Mitigation::PerfCloudWithLate(
-                    PerfCloudConfig::default(),
-                    LatePolicy::default(),
-                ),
+                Mitigation::PerfCloudWithLate(PerfCloudConfig::default(), LatePolicy::default()),
                 seed,
             ),
         ),
@@ -71,11 +67,7 @@ fn main() {
     let default_jct = rows[0].1;
     let mut t = Table::new(vec!["system", "mean JCT (s)", "vs default"]);
     for (name, jct) in &rows {
-        t.row(vec![
-            name.to_string(),
-            format!("{jct:.1}"),
-            f2(jct / default_jct),
-        ]);
+        t.row(vec![name.to_string(), format!("{jct:.1}"), f2(jct / default_jct)]);
     }
     t.print();
 

@@ -1,16 +1,73 @@
-//! Runs every figure harness and ablation in sequence.
+//! Runs every figure harness and ablation.
 //!
 //! `cargo run --release -p perfcloud-bench --bin run_all [-- --fast]`
+//!
+//! The light harnesses (fig1–fig10, future_work, the ablations) are
+//! independent child processes, so they run concurrently on the sweep
+//! runner with their captured output replayed in the canonical order. The
+//! two expensive sweeps (fig11, fig12) run sequentially afterwards: each
+//! parallelizes internally and should own the machine.
 //!
 //! `--fast` shrinks the expensive sweeps (fig11 scale 0.1, fig12 reps 8) so
 //! the full suite finishes in a few minutes; without it the defaults match
 //! the per-binary defaults.
+//!
+//! Every harness run also emits a machine-readable `BENCH_<bin>.json`
+//! record (wall seconds), and a final in-process engine probe emits
+//! `BENCH_engine.json` with raw simulator throughput (events/sec).
 
+use perfcloud_bench::benchjson::BenchRecord;
+use perfcloud_bench::sweep;
+use perfcloud_sim::{SimDuration, SimTime, Simulation};
+use std::path::Path;
 use std::process::Command;
+use std::time::Instant;
+
+fn banner(bin: &str, args: &[&str]) {
+    println!("\n################################################################");
+    println!("## {bin} {}", args.join(" "));
+    println!("################################################################");
+}
+
+/// Launches one harness binary, capturing its output and wall time.
+fn run_bin(exe_dir: &Path, bin: &str, args: &[&str]) -> (std::process::Output, f64) {
+    let start = Instant::now();
+    let output = Command::new(exe_dir.join(bin))
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    (output, start.elapsed().as_secs_f64())
+}
+
+fn record(bin: &str, wall_seconds: f64) {
+    if let Err(e) = BenchRecord::wall(bin, wall_seconds).write() {
+        eprintln!("warning: could not write BENCH_{bin}.json: {e}");
+    }
+}
+
+/// Raw simulator throughput: periodic tickers plus schedule/cancel churn,
+/// the hot-path pattern the cluster harness leans on. Reported as
+/// `BENCH_engine.json` so engine-level regressions show up even when the
+/// figure harnesses mask them behind model work.
+fn engine_probe() -> BenchRecord {
+    let mut sim = Simulation::new(0u64);
+    for k in 0..8u64 {
+        sim.schedule_periodic(SimTime::ZERO, SimDuration::from_micros(50 + 17 * k), |w, ctx| {
+            *w += 1;
+            let doomed = ctx.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 1);
+            ctx.cancel(doomed);
+            true
+        });
+    }
+    let start = Instant::now();
+    sim.run_until(SimTime::from_secs(20));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    BenchRecord { name: "engine".into(), wall_seconds, events_fired: Some(sim.events_fired()) }
+}
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let bins: Vec<(&str, Vec<&str>)> = vec![
+    let light: Vec<(&str, Vec<&str>)> = vec![
         ("fig1", vec![]),
         ("fig2", vec![]),
         ("fig3", vec![]),
@@ -20,36 +77,63 @@ fn main() {
         ("fig7", vec![]),
         ("fig9", vec![]),
         ("fig10", vec![]),
-        ("fig11", if fast { vec!["--scale", "0.1"] } else { vec![] }),
-        (
-            "fig12",
-            if fast { vec!["--reps", "8", "--scale-servers", "6"] } else { vec![] },
-        ),
         ("future_work", vec![]),
         ("ablation_controller", vec![]),
         ("ablation_threshold", vec![]),
         ("ablation_monitor", vec![]),
     ];
+    let heavy: Vec<(&str, Vec<&str>)> = vec![
+        ("fig11", if fast { vec!["--scale", "0.1"] } else { vec![] }),
+        ("fig12", if fast { vec!["--reps", "8", "--scale-servers", "6"] } else { vec![] }),
+    ];
 
-    let exe_dir = std::env::current_exe()
-        .expect("current_exe")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current_exe").parent().expect("bin dir").to_path_buf();
 
-    let mut failures = Vec::new();
-    for (bin, args) in bins {
-        println!("\n################################################################");
-        println!("## {bin} {}", args.join(" "));
-        println!("################################################################");
-        let status = Command::new(exe_dir.join(bin))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
+    let mut failures: Vec<&str> = Vec::new();
+
+    println!(
+        "running {} light harnesses across {} sweep workers…",
+        light.len(),
+        sweep::worker_count(light.len())
+    );
+    let outputs = sweep::run(light.len(), |i| {
+        let (bin, args) = &light[i];
+        run_bin(&exe_dir, bin, args)
+    });
+    for ((bin, args), (output, wall)) in light.iter().zip(outputs) {
+        banner(bin, args);
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        record(bin, wall);
+        if !output.status.success() {
             failures.push(bin);
         }
     }
+
+    for (bin, args) in &heavy {
+        banner(bin, args);
+        let (output, wall) = run_bin(&exe_dir, bin, args);
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        record(bin, wall);
+        if !output.status.success() {
+            failures.push(bin);
+        }
+    }
+
+    let probe = engine_probe();
+    match probe.write() {
+        Ok(path) => println!(
+            "\nengine probe: {} events in {:.3}s ({:.0} events/sec) -> {}",
+            probe.events_fired.unwrap_or(0),
+            probe.wall_seconds,
+            probe.events_per_sec().unwrap_or(0.0),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+    }
+
     if failures.is_empty() {
         println!("\nall harnesses completed");
     } else {

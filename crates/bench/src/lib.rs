@@ -7,7 +7,9 @@
 //! qualitative shape (`shape check … HOLDS/VIOLATED`). `run_all` executes
 //! everything in sequence; `--fast` shrinks the two expensive sweeps.
 
+pub mod benchjson;
 pub mod report;
 pub mod scenarios;
+pub mod sweep;
 
 pub use report::Table;

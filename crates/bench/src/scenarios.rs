@@ -9,10 +9,7 @@ use perfcloud_sim::{SimDuration, SimTime};
 
 /// Master seed used by the harnesses (override with `PERFCLOUD_SEED`).
 pub fn base_seed() -> u64 {
-    std::env::var("PERFCLOUD_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
+    std::env::var("PERFCLOUD_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
 /// When the job is submitted in small-scale scenarios.
@@ -52,9 +49,7 @@ pub fn small_scale_spec(
 
 /// Interference-free JCT of one benchmark at the given size.
 pub fn solo_jct(bench: Benchmark, tasks: usize, seed: u64) -> f64 {
-    small_scale(bench, tasks, Vec::new(), Mitigation::Default, seed)
-        .run()
-        .sole_jct()
+    small_scale(bench, tasks, Vec::new(), Mitigation::Default, seed).run().sole_jct()
 }
 
 /// JCT with antagonists pinned from t = 0 (degradation scenarios: the
@@ -66,8 +61,7 @@ pub fn contended_run(
     mitigation: Mitigation,
     seed: u64,
 ) -> ExperimentResult {
-    let placements =
-        kinds.iter().map(|&k| AntagonistPlacement::pinned(k, 0)).collect();
+    let placements = kinds.iter().map(|&k| AntagonistPlacement::pinned(k, 0)).collect();
     small_scale(bench, tasks, placements, mitigation, seed).run()
 }
 

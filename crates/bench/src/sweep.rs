@@ -1,0 +1,130 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Every expensive harness loop in this crate has the same shape: `n`
+//! independent repetitions, each fully determined by its index (the
+//! repetition derives its own RNG stream from the master seed and the
+//! index, so nothing depends on scheduling). [`run`] executes those
+//! repetitions on a small thread pool and returns the results **in index
+//! order**, which makes the downstream output byte-identical to a
+//! sequential run — the only observable difference is wall time.
+//!
+//! Worker threads pull indices from a shared atomic counter (work
+//! stealing), so uneven repetition costs still balance. The thread count
+//! defaults to the machine's available parallelism and can be overridden
+//! with `PERFCLOUD_THREADS` (set it to `1` to force sequential execution,
+//! e.g. when diffing against a parallel run).
+//!
+//! Repetition closures must not print: stdout interleaving is the one
+//! channel this module cannot order. Return the data and print from the
+//! caller, after `run` returns.
+
+use perfcloud_sim::RngFactory;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads a sweep of `jobs` repetitions will use:
+/// `PERFCLOUD_THREADS` if set, otherwise the available parallelism, never
+/// more than `jobs` and never less than 1.
+pub fn worker_count(jobs: usize) -> usize {
+    let hw = std::env::var("PERFCLOUD_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    hw.clamp(1, jobs.max(1))
+}
+
+/// The RNG factory for repetition `rep` of a sweep keyed by `master_seed`:
+/// an insulated child stream family, identical no matter which thread (or
+/// whether any thread) runs the repetition.
+pub fn rep_factory(master_seed: u64, rep: usize) -> RngFactory {
+    RngFactory::new(master_seed).child_indexed("rep", rep as u64)
+}
+
+/// Runs `f(0), f(1), …, f(jobs - 1)` across [`worker_count`] threads and
+/// returns the results in index order.
+pub fn run<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_with_threads(jobs, worker_count(jobs), f)
+}
+
+/// [`run`] with an explicit thread count. `threads == 1` executes inline
+/// with no pool at all; results are in index order either way.
+pub fn run_with_threads<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("unpoisoned result slot") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned result slot")
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_with_threads(64, 8, |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Uneven per-job cost exercises the work-stealing path.
+        let work = |i: usize| {
+            let mut acc = i as u64;
+            for k in 0..(i % 7) * 1_000 {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(k as u64);
+            }
+            acc
+        };
+        let seq = run_with_threads(40, 1, work);
+        let par = run_with_threads(40, 6, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u8> = run_with_threads(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rep_factories_are_insulated_and_stable() {
+        use rand::Rng;
+        let a = rep_factory(42, 3).stream("x").gen::<u64>();
+        let b = rep_factory(42, 3).stream("x").gen::<u64>();
+        let c = rep_factory(42, 4).stream("x").gen::<u64>();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,42 @@
+//! The parallel sweep must be a pure scheduling optimization: identical
+//! results — down to the formatted bytes — no matter the worker count.
+
+use perfcloud_bench::sweep;
+use rand::Rng;
+
+/// A stand-in for one sweep repetition: derives its RNG stream purely from
+/// (seed, rep) and burns an index-dependent amount of work so threads
+/// finish out of order.
+fn repetition(seed: u64, rep: usize) -> f64 {
+    let factory = sweep::rep_factory(seed, rep);
+    let mut rng = factory.stream("load");
+    let mut acc = 0.0f64;
+    for _ in 0..(rep % 5 + 1) * 2_000 {
+        acc += rng.gen_range(0.0..1.0);
+    }
+    acc
+}
+
+#[test]
+fn parallel_sweep_output_is_byte_identical_to_sequential() {
+    let seed = 0xC0FFEE;
+    let sequential = sweep::run_with_threads(24, 1, |rep| repetition(seed, rep));
+    for threads in [2, 4, 8] {
+        let parallel = sweep::run_with_threads(24, threads, |rep| repetition(seed, rep));
+        // Bitwise equality of the floats…
+        assert_eq!(sequential, parallel, "{threads} threads diverged");
+        // …and byte equality of what a harness would print.
+        let seq_text: Vec<String> = sequential.iter().map(|v| format!("{v:.6}")).collect();
+        let par_text: Vec<String> = parallel.iter().map(|v| format!("{v:.6}")).collect();
+        assert_eq!(seq_text, par_text);
+    }
+}
+
+#[test]
+fn repetition_streams_do_not_depend_on_execution_order() {
+    let seed = 42;
+    // Compute rep 7 alone vs. as part of a full sweep: same value.
+    let alone = repetition(seed, 7);
+    let swept = sweep::run_with_threads(12, 4, |rep| repetition(seed, rep));
+    assert_eq!(alone.to_bits(), swept[7].to_bits());
+}

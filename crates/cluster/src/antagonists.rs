@@ -7,10 +7,9 @@
 use perfcloud_host::Process;
 use perfcloud_sim::{SimDuration, SimTime};
 use perfcloud_workloads::{FioRandRead, Stream, SysbenchCpu, SysbenchOltp};
-use serde::{Deserialize, Serialize};
 
 /// Which antagonist workload to run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AntagonistKind {
     /// fio random read with the default saturating rate.
     Fio,
@@ -41,9 +40,9 @@ impl AntagonistKind {
             AntagonistKind::StreamThreads(t) => {
                 Box::new(Stream::with_threads(t, 16.0e9, duration).with_modulation(seed))
             }
-            AntagonistKind::StreamMild => Box::new(
-                Stream::new(duration).with_intensity(0.04).with_modulation(seed),
-            ),
+            AntagonistKind::StreamMild => {
+                Box::new(Stream::new(duration).with_intensity(0.04).with_modulation(seed))
+            }
             AntagonistKind::SysbenchOltp => Box::new(SysbenchOltp::new().with_modulation(seed)),
             AntagonistKind::SysbenchCpu => Box::new(SysbenchCpu::new()),
         }
@@ -76,7 +75,7 @@ impl AntagonistKind {
 }
 
 /// A placed antagonist: workload + server + lifetime.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AntagonistPlacement {
     /// Workload kind.
     pub kind: AntagonistKind,

@@ -18,7 +18,6 @@ use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, Specula
 use perfcloud_frameworks::{JobOutcome, JobSpec};
 use perfcloud_host::{PhysicalServer, VmId};
 use perfcloud_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The mitigation strategy of one run.
 pub enum Mitigation {
@@ -81,7 +80,7 @@ impl ExperimentConfig {
 }
 
 /// Final counters of one antagonist VM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AntagonistStats {
     /// The antagonist's VM.
     pub vm: VmId,
@@ -98,7 +97,7 @@ pub struct AntagonistStats {
 }
 
 /// Results of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Mitigation name.
     pub mitigation: String,
@@ -160,22 +159,23 @@ impl Experiment {
         }
         let pending_antagonists: Vec<usize> = (0..antagonist_vms.len()).collect();
 
-        let (policy, dolly, pc_config): (Box<dyn SpeculationPolicy>, Option<Dolly>, PerfCloudConfig) =
-            match config.mitigation {
-                Mitigation::Default => {
-                    (Box::new(NoSpeculation), None, monitoring_only())
+        let (policy, dolly, pc_config): (
+            Box<dyn SpeculationPolicy>,
+            Option<Dolly>,
+            PerfCloudConfig,
+        ) = match config.mitigation {
+            Mitigation::Default => (Box::new(NoSpeculation), None, monitoring_only()),
+            Mitigation::Late(l) => (Box::new(l), None, monitoring_only()),
+            Mitigation::Dolly(d) => (Box::new(NoSpeculation), Some(d), monitoring_only()),
+            Mitigation::StaticCap(s) => {
+                for server in &mut tb.servers {
+                    s.apply(server);
                 }
-                Mitigation::Late(l) => (Box::new(l), None, monitoring_only()),
-                Mitigation::Dolly(d) => (Box::new(NoSpeculation), Some(d), monitoring_only()),
-                Mitigation::StaticCap(s) => {
-                    for server in &mut tb.servers {
-                        s.apply(server);
-                    }
-                    (Box::new(NoSpeculation), None, monitoring_only())
-                }
-                Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg),
-                Mitigation::PerfCloudWithLate(cfg, late) => (Box::new(late), None, cfg),
-            };
+                (Box::new(NoSpeculation), None, monitoring_only())
+            }
+            Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg),
+            Mitigation::PerfCloudWithLate(cfg, late) => (Box::new(late), None, cfg),
+        };
 
         let node_managers: Vec<NodeManager> =
             (0..tb.servers.len()).map(|_| NodeManager::new(pc_config.clone())).collect();
@@ -268,7 +268,7 @@ impl Experiment {
             for (i, nm) in self.node_managers.iter_mut().enumerate() {
                 nm.step(now, &mut self.servers[i], &mut self.cloud);
             }
-            self.next_sample = self.next_sample + self.sample_interval;
+            self.next_sample += self.sample_interval;
         }
     }
 
@@ -309,10 +309,8 @@ impl Experiment {
             .antagonist_vms
             .iter()
             .map(|&(vm, p)| {
-                let c = self.servers[p.server_idx]
-                    .counters(vm)
-                    .expect("antagonist VM exists")
-                    .counters;
+                let c =
+                    self.servers[p.server_idx].counters(vm).expect("antagonist VM exists").counters;
                 AntagonistStats {
                     vm,
                     kind: p.kind,
@@ -364,12 +362,8 @@ mod tests {
 
     #[test]
     fn terasort_completes_on_clean_cluster() {
-        let mut e = Experiment::build(one_job_config(
-            Benchmark::Terasort,
-            10,
-            Mitigation::Default,
-            None,
-        ));
+        let mut e =
+            Experiment::build(one_job_config(Benchmark::Terasort, 10, Mitigation::Default, None));
         let r = e.run();
         assert_eq!(r.outcomes.len(), 1);
         let jct = r.sole_jct();
@@ -383,9 +377,13 @@ mod tests {
         let clean =
             Experiment::build(one_job_config(Benchmark::Terasort, 10, Mitigation::Default, None))
                 .run();
-        let dirty =
-            Experiment::build(one_job_config(Benchmark::Terasort, 10, Mitigation::Default, Some(0)))
-                .run();
+        let dirty = Experiment::build(one_job_config(
+            Benchmark::Terasort,
+            10,
+            Mitigation::Default,
+            Some(0),
+        ))
+        .run();
         assert!(
             dirty.sole_jct() > 1.25 * clean.sole_jct(),
             "fio must hurt terasort: clean {} dirty {}",
@@ -401,8 +399,7 @@ mod tests {
         // A longer I/O-heavy job with the antagonist arriving mid-run, so
         // the identification pipeline observes the onset (as in Figs. 9-10).
         let bench = Benchmark::Terasort;
-        let clean =
-            Experiment::build(one_job_config(bench, 20, Mitigation::Default, None)).run();
+        let clean = Experiment::build(one_job_config(bench, 20, Mitigation::Default, None)).run();
         let dirty =
             Experiment::build(one_job_config(bench, 20, Mitigation::Default, Some(15))).run();
         let pc = Experiment::build(one_job_config(
@@ -427,10 +424,8 @@ mod tests {
 
     #[test]
     fn dolly_clones_small_jobs_and_reduces_efficiency() {
-        let mut cfg = ExperimentConfig::new(
-            ClusterSpec::small_scale(9),
-            Mitigation::Dolly(Dolly::new(4)),
-        );
+        let mut cfg =
+            ExperimentConfig::new(ClusterSpec::small_scale(9), Mitigation::Dolly(Dolly::new(4)));
         cfg.jobs.push((SimTime::from_secs(5), Benchmark::Wordcount.job(4)));
         cfg.max_sim_time = SimTime::from_secs(2_000);
         let r = Experiment::build(cfg).run();
@@ -462,8 +457,7 @@ mod tests {
         );
         cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(12)));
         cfg.antagonists.push(
-            AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
-                .starting_at(SimTime::from_secs(15)),
+            AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(15)),
         );
         cfg.max_sim_time = SimTime::from_secs(2_000);
         let mut e = Experiment::build(cfg);

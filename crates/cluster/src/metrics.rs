@@ -1,7 +1,6 @@
 //! Evaluation metrics: normalized JCT, degradation breakdowns, efficiency.
 
 use perfcloud_frameworks::JobOutcome;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Normalizes each outcome's JCT by the baseline (interference-free) JCT of
@@ -19,7 +18,7 @@ pub fn normalize_jcts(outcomes: &[JobOutcome], baselines: &HashMap<String, f64>)
 /// The paper's Fig. 11a/b buckets: fraction of jobs whose performance
 /// degradation (normalized JCT − 1) falls under 10%, between 10–30%, and
 /// above 30%.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegradationBreakdown {
     /// Fraction of jobs with degradation < 10%.
     pub under_10: f64,
@@ -36,7 +35,12 @@ impl DegradationBreakdown {
     pub fn from_normalized(normalized: &[f64]) -> Self {
         let n = normalized.len();
         if n == 0 {
-            return DegradationBreakdown { under_10: 0.0, from_10_to_30: 0.0, over_30: 0.0, count: 0 };
+            return DegradationBreakdown {
+                under_10: 0.0,
+                from_10_to_30: 0.0,
+                over_30: 0.0,
+                count: 0,
+            };
         }
         let mut u10 = 0usize;
         let mut u30 = 0usize;

@@ -12,10 +12,9 @@ use crate::antagonists::{AntagonistKind, AntagonistPlacement};
 use perfcloud_frameworks::{Benchmark, JobSpec};
 use perfcloud_sim::{RngFactory, SimTime};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a workload mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixConfig {
     /// Number of MapReduce jobs.
     pub mapreduce_jobs: usize,
@@ -156,11 +155,7 @@ mod tests {
         let cfg = MixConfig::paper(15);
         let mix = WorkloadMix::generate(&cfg, &RngFactory::new(1));
         assert_eq!(mix.jobs.len(), 200);
-        let small = mix
-            .jobs
-            .iter()
-            .filter(|(_, s)| s.max_tasks_per_stage() < 10)
-            .count();
+        let small = mix.jobs.iter().filter(|(_, s)| s.max_tasks_per_stage() < 10).count();
         let frac = small as f64 / mix.jobs.len() as f64;
         assert!((0.70..0.90).contains(&frac), "small fraction {frac}");
         assert_eq!(mix.antagonists.len(), 10);
@@ -190,11 +185,8 @@ mod tests {
             assert_eq!(sa.name, sb.name);
         }
         let c = WorkloadMix::generate(&cfg, &RngFactory::new(10));
-        let same = a
-            .jobs
-            .iter()
-            .zip(&c.jobs)
-            .all(|((ta, sa), (tc, sc))| ta == tc && sa.name == sc.name);
+        let same =
+            a.jobs.iter().zip(&c.jobs).all(|((ta, sa), (tc, sc))| ta == tc && sa.name == sc.name);
         assert!(!same, "different seeds must differ");
     }
 
@@ -204,9 +196,7 @@ mod tests {
         let spark = mix
             .jobs
             .iter()
-            .filter(|(_, s)| {
-                Benchmark::SPARK.iter().any(|b| s.name.starts_with(b.name()))
-            })
+            .filter(|(_, s)| Benchmark::SPARK.iter().any(|b| s.name.starts_with(b.name())))
             .count();
         assert_eq!(spark, 100);
     }

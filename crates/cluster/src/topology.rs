@@ -2,14 +2,11 @@
 
 use perfcloud_core::{AppId, CloudManager, VmRecord};
 use perfcloud_frameworks::Worker;
-use perfcloud_host::{
-    PhysicalServer, Priority, ServerConfig, ServerId, VmConfig, VmId,
-};
+use perfcloud_host::{PhysicalServer, Priority, ServerConfig, ServerId, VmConfig, VmId};
 use perfcloud_sim::{RngFactory, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Specification of a virtual Hadoop cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Number of physical servers.
     pub servers: usize,
@@ -132,11 +129,7 @@ impl Testbed {
         self.servers[server_idx].add_vm(vm, VmConfig::low_priority());
         self.cloud.register(
             vm,
-            VmRecord {
-                server: ServerId(server_idx as u32),
-                priority: Priority::Low,
-                app: None,
-            },
+            VmRecord { server: ServerId(server_idx as u32), priority: Priority::Low, app: None },
         );
         vm
     }

@@ -12,9 +12,10 @@ use crate::config::PerfCloudConfig;
 use crate::monitor::{PerformanceMonitor, VmMetricKind};
 use perfcloud_host::VmId;
 use perfcloud_sim::SimTime;
-use perfcloud_stats::pearson::pearson_victim_aware;
 use perfcloud_stats::timeseries::align_tail;
-use perfcloud_stats::TimeSeries;
+use perfcloud_stats::{RollingPearson, TimeSeries};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 /// Which contended resource an identification concerns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +37,15 @@ impl Resource {
 }
 
 /// Maintains victim deviation series and identifies antagonists.
+///
+/// Correlation state is **incremental**: one [`RollingPearson`] window per
+/// (suspect, resource) is advanced by a single O(1) push per sampling
+/// interval in [`observe`](Self::observe), so [`correlation`] and
+/// [`identify`] are constant-time reads instead of re-aligning and
+/// re-summing the full window per suspect per tick.
+///
+/// [`correlation`]: Self::correlation
+/// [`identify`]: Self::identify
 #[derive(Debug)]
 pub struct AntagonistIdentifier {
     corr_threshold: f64,
@@ -43,6 +53,8 @@ pub struct AntagonistIdentifier {
     min_samples: usize,
     io_deviation: TimeSeries,
     cpi_deviation: TimeSeries,
+    io_windows: BTreeMap<VmId, RollingPearson>,
+    cpu_windows: BTreeMap<VmId, RollingPearson>,
 }
 
 impl AntagonistIdentifier {
@@ -55,15 +67,75 @@ impl AntagonistIdentifier {
             min_samples: config.min_corr_samples,
             io_deviation: TimeSeries::new(),
             cpi_deviation: TimeSeries::new(),
+            io_windows: BTreeMap::new(),
+            cpu_windows: BTreeMap::new(),
         }
     }
 
-    /// Appends the victim's deviations observed at `now`.
-    pub fn observe(&mut self, now: SimTime, io_dev: Option<f64>, cpi_dev: Option<f64>) {
+    /// Appends the victim's deviations observed at `now` and advances each
+    /// suspect's correlation window with its latest usage sample. Call once
+    /// per sampling interval, after `monitor.sample(now, …)`, so the
+    /// suspect series' freshest entries line up with the deviations.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        io_dev: Option<f64>,
+        cpi_dev: Option<f64>,
+        monitor: &PerformanceMonitor,
+        suspects: &[VmId],
+    ) {
         self.io_deviation.push(now, io_dev);
         self.cpi_deviation.push(now, cpi_dev);
         self.io_deviation.retain_last(self.window * 8);
         self.cpi_deviation.retain_last(self.window * 8);
+        self.advance(Resource::Io, io_dev, monitor, suspects);
+        self.advance(Resource::Cpu, cpi_dev, monitor, suspects);
+    }
+
+    fn advance(
+        &mut self,
+        resource: Resource,
+        dev: Option<f64>,
+        monitor: &PerformanceMonitor,
+        suspects: &[VmId],
+    ) {
+        let window = self.window;
+        let (dev_series, windows) = match resource {
+            Resource::Io => (&self.io_deviation, &mut self.io_windows),
+            Resource::Cpu => (&self.cpi_deviation, &mut self.cpu_windows),
+        };
+        // Suspects that left this server (migration, teardown) stop
+        // accumulating evidence; their windows go with them.
+        windows.retain(|vm, _| suspects.contains(vm));
+        let metric = resource.suspect_metric();
+        for &vm in suspects {
+            // No usage series at all (the monitor has never seen the VM)
+            // means no evidence either way — leave no window behind, so
+            // `correlation` keeps answering `None` for unknown suspects.
+            let Some(usage) = monitor.series(vm, metric) else {
+                continue;
+            };
+            match windows.entry(vm) {
+                Entry::Occupied(mut e) => {
+                    let sample = usage.last().and_then(|(_, v)| v);
+                    e.get_mut().push(dev, sample);
+                }
+                Entry::Vacant(slot) => {
+                    // A suspect (re)entering the suspect set starts with its
+                    // full retained history — both series keep `window * 8`
+                    // ticks — so identification is as fast as the batch path
+                    // that re-aligned at every read. The current tick is
+                    // already in both series, so no extra push here. O(window)
+                    // once on entry; O(1) every tick after.
+                    let (x, y) = align_tail(dev_series, usage, window);
+                    let mut rp = RollingPearson::new(window);
+                    for (v, s) in x.into_iter().zip(y) {
+                        rp.push(v, s);
+                    }
+                    slot.insert(rp);
+                }
+            }
+        }
     }
 
     /// The victim deviation series for `resource`.
@@ -75,40 +147,27 @@ impl AntagonistIdentifier {
     }
 
     /// Correlation between the victim deviation and one suspect's usage
-    /// series, over the sliding window. `None` until enough aligned samples
-    /// exist or when either series is constant.
-    pub fn correlation(
-        &self,
-        monitor: &PerformanceMonitor,
-        suspect: VmId,
-        resource: Resource,
-    ) -> Option<f64> {
-        let victim = self.deviation_series(resource);
-        let usage = monitor.series(suspect, resource.suspect_metric())?;
-        // Window over the victim's most recent *present* samples: intervals
-        // where the application was idle carry no evidence about suspects.
-        let (x, y) = align_tail(victim, usage, self.window);
-        let present = x.iter().filter(|v| v.is_some()).count();
-        if present < self.min_samples {
+    /// series, over the sliding window. `None` until enough contributing
+    /// samples exist (intervals where the victim was idle carry no evidence
+    /// about suspects) or when either series is constant.
+    pub fn correlation(&self, suspect: VmId, resource: Resource) -> Option<f64> {
+        let windows = match resource {
+            Resource::Io => &self.io_windows,
+            Resource::Cpu => &self.cpu_windows,
+        };
+        let w = windows.get(&suspect)?;
+        if w.contributing() < self.min_samples {
             return None;
         }
-        pearson_victim_aware(&x, &y)
+        w.correlation()
     }
 
     /// The suspects whose correlation meets the threshold.
-    pub fn identify(
-        &self,
-        monitor: &PerformanceMonitor,
-        suspects: &[VmId],
-        resource: Resource,
-    ) -> Vec<VmId> {
+    pub fn identify(&self, suspects: &[VmId], resource: Resource) -> Vec<VmId> {
         suspects
             .iter()
             .copied()
-            .filter(|&vm| {
-                self.correlation(monitor, vm, resource)
-                    .is_some_and(|r| r >= self.corr_threshold)
-            })
+            .filter(|&vm| self.correlation(vm, resource).is_some_and(|r| r >= self.corr_threshold))
             .collect()
     }
 }
@@ -161,33 +220,97 @@ mod tests {
             }
             now += SimDuration::from_secs(5.0);
             mon.sample(now, &server);
-            let dev = crate::detector::deviation_across_vms(
-                &mon,
-                &victims,
-                VmMetricKind::IowaitRatio,
-            );
-            let cdev =
-                crate::detector::deviation_across_vms(&mon, &victims, VmMetricKind::Cpi);
-            ident.observe(now, dev, cdev);
+            let dev =
+                crate::detector::deviation_across_vms(&mon, &victims, VmMetricKind::IowaitRatio);
+            let cdev = crate::detector::deviation_across_vms(&mon, &victims, VmMetricKind::Cpi);
+            ident.observe(now, dev, cdev, &mon, &[VmId(10), VmId(11)]);
         }
         (ident, mon)
     }
 
     #[test]
     fn fio_antagonist_correlates_decoy_does_not() {
-        let (ident, mon) = scenario();
-        let r_fio = ident.correlation(&mon, VmId(10), Resource::Io).unwrap();
-        let r_cpu = ident.correlation(&mon, VmId(11), Resource::Io).unwrap_or(0.0);
+        let (ident, _mon) = scenario();
+        let r_fio = ident.correlation(VmId(10), Resource::Io).unwrap();
+        let r_cpu = ident.correlation(VmId(11), Resource::Io).unwrap_or(0.0);
         assert!(r_fio > 0.8, "fio should correlate strongly, got {r_fio}");
         assert!(r_cpu < 0.8, "decoy must not cross the threshold, got {r_cpu}");
-        let found = ident.identify(&mon, &[VmId(10), VmId(11)], Resource::Io);
+        let found = ident.identify(&[VmId(10), VmId(11)], Resource::Io);
         assert_eq!(found, vec![VmId(10)]);
     }
 
     #[test]
-    fn unknown_suspect_yields_none() {
+    fn rolling_correlation_matches_batch_alignment() {
+        // The incremental windows must agree with the original batch path
+        // (align the series' tails, then victim-aware Pearson) to float
+        // round-off.
         let (ident, mon) = scenario();
-        assert_eq!(ident.correlation(&mon, VmId(99), Resource::Io), None);
+        let cfg = PerfCloudConfig::default();
+        for suspect in [VmId(10), VmId(11)] {
+            let victim = ident.deviation_series(Resource::Io);
+            let usage = mon.series(suspect, Resource::Io.suspect_metric()).unwrap();
+            let (x, y) = perfcloud_stats::timeseries::align_tail(victim, usage, cfg.corr_window);
+            let batch = perfcloud_stats::pearson::pearson_victim_aware(&x, &y);
+            let rolled = ident.correlation(suspect, Resource::Io);
+            match (rolled, batch) {
+                (Some(r), Some(b)) => assert!(
+                    (r - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "suspect {suspect:?}: rolled {r} vs batch {b}"
+                ),
+                (r, b) => assert_eq!(r, b, "suspect {suspect:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn late_suspect_enters_with_full_history() {
+        // A suspect added to the suspect set late must be judged on the
+        // retained history, exactly like the batch path — not start from an
+        // empty window.
+        let cfg = PerfCloudConfig::default();
+        let mut server =
+            PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(23), DT);
+        let victims: Vec<VmId> = (0..4).map(VmId).collect();
+        for &vm in &victims {
+            server.add_vm(vm, VmConfig::high_priority());
+            server.spawn(vm, Box::new(FioRandRead::with_rate(300.0, 4096.0, None)));
+        }
+        server.add_vm(VmId(10), VmConfig::low_priority());
+        server.spawn(VmId(10), Box::new(FioRandRead::with_rate(20_000.0, 4096.0, None)));
+
+        let mut mon = PerformanceMonitor::new(&cfg);
+        let mut late = AntagonistIdentifier::new(&cfg);
+        let mut always = AntagonistIdentifier::new(&cfg);
+        let mut now = perfcloud_sim::SimTime::ZERO;
+        mon.sample(now, &server);
+        for k in 0..12 {
+            for _ in 0..50 {
+                server.tick(DT);
+            }
+            now += SimDuration::from_secs(5.0);
+            mon.sample(now, &server);
+            let dev =
+                crate::detector::deviation_across_vms(&mon, &victims, VmMetricKind::IowaitRatio);
+            let cdev = crate::detector::deviation_across_vms(&mon, &victims, VmMetricKind::Cpi);
+            // `late` only starts suspecting VM 10 at interval 8.
+            let suspects: &[VmId] = if k < 8 { &[] } else { &[VmId(10)] };
+            late.observe(now, dev, cdev, &mon, suspects);
+            always.observe(now, dev, cdev, &mon, &[VmId(10)]);
+        }
+        let r_late = late.correlation(VmId(10), Resource::Io);
+        let r_always = always.correlation(VmId(10), Resource::Io);
+        match (r_late, r_always) {
+            (Some(a), Some(b)) => {
+                assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "late {a} vs always {b}")
+            }
+            (a, b) => assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn unknown_suspect_yields_none() {
+        let (ident, _mon) = scenario();
+        assert_eq!(ident.correlation(VmId(99), Resource::Io), None);
     }
 
     #[test]
@@ -195,18 +318,26 @@ mod tests {
         let cfg = PerfCloudConfig { min_corr_samples: 3, ..Default::default() };
         let mut ident = AntagonistIdentifier::new(&cfg);
         let mon = PerformanceMonitor::new(&cfg);
-        ident.observe(perfcloud_sim::SimTime::from_secs(5), Some(1.0), None);
-        ident.observe(perfcloud_sim::SimTime::from_secs(10), Some(2.0), None);
+        let suspects = [VmId(0)];
+        ident.observe(perfcloud_sim::SimTime::from_secs(5), Some(1.0), None, &mon, &suspects);
+        ident.observe(perfcloud_sim::SimTime::from_secs(10), Some(2.0), None, &mon, &suspects);
         // Monitor has no series for the suspect at all -> None regardless.
-        assert_eq!(ident.correlation(&mon, VmId(0), Resource::Io), None);
+        assert_eq!(ident.correlation(VmId(0), Resource::Io), None);
     }
 
     #[test]
     fn deviation_series_retained() {
         let cfg = PerfCloudConfig::default();
         let mut ident = AntagonistIdentifier::new(&cfg);
+        let mon = PerformanceMonitor::new(&cfg);
         for k in 1..=1000u64 {
-            ident.observe(perfcloud_sim::SimTime::from_secs(5 * k), Some(k as f64), None);
+            ident.observe(
+                perfcloud_sim::SimTime::from_secs(5 * k),
+                Some(k as f64),
+                None,
+                &mon,
+                &[],
+            );
         }
         assert!(ident.deviation_series(Resource::Io).len() <= cfg.corr_window * 8);
     }

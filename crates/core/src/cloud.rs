@@ -7,15 +7,14 @@
 //! arrivals and migrations (§III-D.2).
 
 use perfcloud_host::{Priority, ServerId, VmId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifier of a (high-priority) application whose VMs form one group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AppId(pub u32);
 
 /// Registry record for one VM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VmRecord {
     /// Where the VM currently runs.
     pub server: ServerId,
@@ -26,7 +25,7 @@ pub struct VmRecord {
 }
 
 /// The central VM registry.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CloudManager {
     vms: BTreeMap<VmId, VmRecord>,
     /// Colocation conflicts reported by node managers (multiple high-priority
@@ -67,11 +66,7 @@ impl CloudManager {
 
     /// All VMs placed on `server`, in id order.
     pub fn vms_on(&self, server: ServerId) -> Vec<(VmId, VmRecord)> {
-        self.vms
-            .iter()
-            .filter(|(_, r)| r.server == server)
-            .map(|(&v, &r)| (v, r))
-            .collect()
+        self.vms.iter().filter(|(_, r)| r.server == server).map(|(&v, &r)| (v, r)).collect()
     }
 
     /// High-priority application groups present on `server`: app id → its

@@ -1,10 +1,9 @@
 //! PerfCloud tuning parameters, with the paper's published defaults.
 
 use perfcloud_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the PerfCloud pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfCloudConfig {
     /// Monititoring/sampling interval. Paper: 5 seconds.
     pub sample_interval: SimDuration,
@@ -57,10 +56,7 @@ impl PerfCloudConfig {
     /// nonsense values. Builders call this once at construction.
     pub fn validate(&self) {
         assert!(!self.sample_interval.is_zero(), "sample interval must be positive");
-        assert!(
-            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
-            "ewma_alpha must be in (0,1]"
-        );
+        assert!(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0, "ewma_alpha must be in (0,1]");
         assert!(self.h_io > 0.0 && self.h_cpi > 0.0, "thresholds must be positive");
         assert!(self.beta > 0.0 && self.beta < 1.0, "beta must be in (0,1)");
         assert!(self.gamma > 0.0, "gamma must be positive");

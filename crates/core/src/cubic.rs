@@ -18,10 +18,8 @@
 //! grows past `release_level` (≥ the observed usage), the throttle is no
 //! longer binding and the controller releases the VM.
 
-use serde::{Deserialize, Serialize};
-
 /// Controller parameters (β, γ of Eq. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CubicController {
     /// Multiplicative-decrease factor β ∈ (0, 1).
     pub beta: f64,
@@ -64,7 +62,7 @@ impl CubicController {
 }
 
 /// Per-(VM, resource) controller state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CubicState {
     /// Current normalized cap (1.0 = usage observed at control start).
     pub cap: f64,
@@ -105,7 +103,7 @@ impl Default for CubicState {
 
 /// Classification of where on the growth curve a state currently sits —
 /// used by the Fig. 7 / Fig. 10 harnesses to label the regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GrowthRegion {
     /// Below ~95% of `C_max`: steep recovery toward fairness.
     InitialGrowth,

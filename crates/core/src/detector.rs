@@ -10,11 +10,10 @@
 
 use crate::monitor::{PerformanceMonitor, VmMetricKind};
 use perfcloud_host::VmId;
-use perfcloud_stats::population_stddev;
-use serde::{Deserialize, Serialize};
+use perfcloud_stats::Running;
 
 /// The detector's verdict for one sampling instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionSignal {
     /// Standard deviation of the block-iowait ratio across the application's
     /// VMs (ms/op); `None` if fewer than two VMs had I/O activity.
@@ -36,11 +35,18 @@ pub fn deviation_across_vms(
     vms: &[VmId],
     kind: VmMetricKind,
 ) -> Option<f64> {
-    let values: Vec<f64> = vms.iter().filter_map(|&vm| monitor.latest(vm, kind)).collect();
-    if values.len() < 2 {
+    // Streamed through a Welford accumulator: this runs once per metric per
+    // server per sampling tick, so it must not allocate a scratch Vec.
+    let mut acc = Running::new();
+    for &vm in vms {
+        if let Some(v) = monitor.latest(vm, kind) {
+            acc.push(v);
+        }
+    }
+    if acc.count() < 2 {
         return None;
     }
-    population_stddev(&values)
+    acc.population_stddev()
 }
 
 /// Evaluates the contention signal for one application's VM group.
@@ -73,12 +79,8 @@ mod tests {
     /// Builds a server with `n` VMs each running a mild fio load plus an
     /// optional heavy antagonist, then samples the monitor a few times.
     fn monitored(n: u32, antagonist: bool) -> (PerformanceMonitor, Vec<VmId>) {
-        let mut server = PhysicalServer::new(
-            ServerId(0),
-            ServerConfig::default(),
-            RngFactory::new(17),
-            DT,
-        );
+        let mut server =
+            PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(17), DT);
         let vms: Vec<VmId> = (0..n).map(VmId).collect();
         for &vm in &vms {
             server.add_vm(vm, VmConfig::high_priority());

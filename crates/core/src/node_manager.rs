@@ -137,29 +137,23 @@ impl NodeManager {
 
         // (3) Deviations across the application's VMs.
         let signal = detect(&self.monitor, &app_vms, self.config.h_io, self.config.h_cpi);
-        self.identifier.observe(now, signal.io_deviation, signal.cpi_deviation);
+        self.identifier.observe(
+            now,
+            signal.io_deviation,
+            signal.cpi_deviation,
+            &self.monitor,
+            &suspects,
+        );
 
         // (4) Identify antagonists.
-        let io_ants = self.identifier.identify(&self.monitor, &suspects, Resource::Io);
-        let cpu_ants = self.identifier.identify(&self.monitor, &suspects, Resource::Cpu);
+        let io_ants = self.identifier.identify(&suspects, Resource::Io);
+        let cpu_ants = self.identifier.identify(&suspects, Resource::Cpu);
 
         // (5) Control modules.
-        let io_caps = self.control(
-            Resource::Io,
-            signal.io_contended,
-            &io_ants,
-            &suspects,
-            server,
-            now,
-        );
-        let cpu_caps = self.control(
-            Resource::Cpu,
-            signal.cpu_contended,
-            &cpu_ants,
-            &suspects,
-            server,
-            now,
-        );
+        let io_caps =
+            self.control(Resource::Io, signal.io_contended, &io_ants, &suspects, server, now);
+        let cpu_caps =
+            self.control(Resource::Cpu, signal.cpu_contended, &cpu_ants, &suspects, server, now);
 
         StepReport {
             signal: Some(signal),
@@ -307,10 +301,8 @@ mod tests {
         }
         for vm in [VmId(10), VmId(11)] {
             server.add_vm(vm, VmConfig::low_priority());
-            cloud.register(
-                vm,
-                VmRecord { server: ServerId(0), priority: Priority::Low, app: None },
-            );
+            cloud
+                .register(vm, VmRecord { server: ServerId(0), priority: Priority::Low, app: None });
         }
         server.spawn(VmId(11), Box::new(SysbenchCpu::new()));
         let (h_io, h_cpi) = with_perfcloud_thresholds;
@@ -335,8 +327,7 @@ mod tests {
         /// Starts the heavy fio antagonist on VM 10 (the identification
         /// signal keys on this onset, as in the paper's case studies).
         fn start_antagonist(&mut self) {
-            self.server
-                .spawn(VmId(10), Box::new(FioRandRead::with_rate(20_000.0, 4096.0, None)));
+            self.server.spawn(VmId(10), Box::new(FioRandRead::with_rate(20_000.0, 4096.0, None)));
         }
     }
 
@@ -352,8 +343,7 @@ mod tests {
             "contention never detected"
         );
         // Identification: the fio VM (10) and never the CPU decoy (11).
-        let ants: Vec<VmId> =
-            reports.iter().flat_map(|r| r.io_antagonists.clone()).collect();
+        let ants: Vec<VmId> = reports.iter().flat_map(|r| r.io_antagonists.clone()).collect();
         assert!(ants.contains(&VmId(10)), "fio antagonist not identified");
         assert!(!ants.contains(&VmId(11)), "decoy wrongly identified");
         // Actuation: a throttle was applied to VM 10.
@@ -375,10 +365,8 @@ mod tests {
             tb.run(3);
             tb.start_antagonist();
             let reports = tb.run(16);
-            let tail: Vec<f64> = reports[8..]
-                .iter()
-                .filter_map(|r| r.signal.and_then(|s| s.io_deviation))
-                .collect();
+            let tail: Vec<f64> =
+                reports[8..].iter().filter_map(|r| r.signal.and_then(|s| s.io_deviation)).collect();
             tail.iter().sum::<f64>() / tail.len() as f64
         };
         let with = tail_dev(true);
@@ -399,11 +387,7 @@ mod tests {
         let caps: Vec<f64> = trace.values().iter().filter_map(|v| *v).collect();
         assert!(caps.len() >= 3);
         // First applied cap is the multiplicative decrease (≈ 0.2).
-        assert!(
-            (caps[0] - 0.2).abs() < 1e-9,
-            "first cap should be 1-β = 0.2, got {}",
-            caps[0]
-        );
+        assert!((caps[0] - 0.2).abs() < 1e-9, "first cap should be 1-β = 0.2, got {}", caps[0]);
         // Caps must later recover above 0.5 of the reference (cubic growth).
         assert!(
             caps.iter().any(|&c| c > 0.5),
@@ -458,10 +442,7 @@ mod tests {
         tb.start_antagonist();
         tb.run(20);
         let c = tb.server.counters(VmId(10)).unwrap().counters;
-        assert!(
-            c.io_serviced > 0.0,
-            "throttled antagonist must still make progress"
-        );
+        assert!(c.io_serviced > 0.0, "throttled antagonist must still make progress");
         // And the victims must still be doing I/O too.
         for &vm in &tb.victims {
             assert!(tb.server.counters(vm).unwrap().counters.io_serviced > 0.0);

@@ -1,9 +1,7 @@
 //! Integration tests of the PerfCloud pipeline's control dynamics.
 
 use perfcloud_core::{AppId, CloudManager, NodeManager, PerfCloudConfig, VmRecord};
-use perfcloud_host::{
-    PhysicalServer, Priority, ServerConfig, ServerId, VmConfig, VmId,
-};
+use perfcloud_host::{PhysicalServer, Priority, ServerConfig, ServerId, VmConfig, VmId};
 use perfcloud_sim::{RngFactory, SimDuration, SimTime};
 use perfcloud_workloads::FioRandRead;
 
@@ -30,10 +28,7 @@ fn rig(victims: u32) -> Rig {
         );
     }
     server.add_vm(VmId(50), VmConfig::low_priority());
-    cloud.register(
-        VmId(50),
-        VmRecord { server: ServerId(0), priority: Priority::Low, app: None },
-    );
+    cloud.register(VmId(50), VmRecord { server: ServerId(0), priority: Priority::Low, app: None });
     Rig { server, cloud, nm: NodeManager::new(PerfCloudConfig::default()), now: SimTime::ZERO }
 }
 
@@ -49,8 +44,7 @@ impl Rig {
     }
 
     fn start_antagonist(&mut self) {
-        self.server
-            .spawn(VmId(50), Box::new(FioRandRead::new(None).with_modulation(3)));
+        self.server.spawn(VmId(50), Box::new(FioRandRead::new(None).with_modulation(3)));
     }
 }
 

@@ -6,11 +6,10 @@
 //! job shape.
 
 use perfcloud_host::VmId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a stored block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u64);
 
 /// Default HDFS block size (64 MB), as in the paper.
@@ -20,7 +19,7 @@ pub const DEFAULT_BLOCK_SIZE: u64 = 64 << 20;
 pub const DEFAULT_REPLICATION: usize = 3;
 
 /// A stored block: size and replica locations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockInfo {
     /// Bytes in this block (the final block of a file may be short).
     pub size: u64,
@@ -29,7 +28,7 @@ pub struct BlockInfo {
 }
 
 /// The namenode's view: datanodes and the block map.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HdfsCluster {
     block_size: u64,
     replication: usize,

@@ -11,14 +11,13 @@
 use crate::task::TaskSpec;
 use perfcloud_host::{ProcessId, VmId};
 use perfcloud_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a job within one scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
 /// Identifier of a task within the scheduler: job, stage index, task index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId {
     /// Owning job.
     pub job: JobId,
@@ -29,18 +28,18 @@ pub struct TaskId {
 }
 
 /// Identifier of a task attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttemptId(pub u64);
 
 /// One stage of a job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageSpec {
     /// The stage's tasks.
     pub tasks: Vec<TaskSpec>,
 }
 
 /// A job specification: name plus stages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Human-readable name (benchmark + size), e.g. `"terasort/10m+10r"`.
     pub name: String,
@@ -64,18 +63,13 @@ impl JobSpec {
     pub fn nominal_critical_path(&self) -> f64 {
         self.stages
             .iter()
-            .map(|s| {
-                s.tasks
-                    .iter()
-                    .map(TaskSpec::nominal_seconds)
-                    .fold(0.0, f64::max)
-            })
+            .map(|s| s.tasks.iter().map(TaskSpec::nominal_seconds).fold(0.0, f64::max))
             .sum()
     }
 }
 
 /// How an attempt ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttemptOutcome {
     /// Still executing.
     Running,
@@ -89,7 +83,7 @@ pub enum AttemptOutcome {
 }
 
 /// One execution attempt of a task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Attempt {
     /// Attempt identifier.
     pub id: AttemptId,
@@ -116,7 +110,7 @@ impl Attempt {
 }
 
 /// Execution state of one task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskState {
     /// The task's specification.
     pub spec: TaskSpec,
@@ -143,7 +137,7 @@ impl TaskState {
 }
 
 /// Lifecycle of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobStatus {
     /// Some stage still has incomplete tasks.
     Running,
@@ -154,7 +148,7 @@ pub enum JobStatus {
 }
 
 /// Execution state of a job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobState {
     /// Identifier.
     pub id: JobId,
@@ -175,7 +169,12 @@ pub struct JobState {
 }
 
 impl JobState {
-    pub(crate) fn new(id: JobId, spec: &JobSpec, submitted: SimTime, clone_group: Option<u64>) -> Self {
+    pub(crate) fn new(
+        id: JobId,
+        spec: &JobSpec,
+        submitted: SimTime,
+        clone_group: Option<u64>,
+    ) -> Self {
         JobState {
             id,
             name: spec.name.clone(),
@@ -194,8 +193,7 @@ impl JobState {
 
     /// Job completion time, if finished.
     pub fn jct(&self) -> Option<f64> {
-        self.completed
-            .map(|c| c.saturating_since(self.submitted).as_secs_f64())
+        self.completed.map(|c| c.saturating_since(self.submitted).as_secs_f64())
     }
 
     /// True if every task of `stage` is complete.
@@ -205,7 +203,7 @@ impl JobState {
 }
 
 /// Final metrics for a logical job (one clone group counts once).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// Job name.
     pub name: String,

@@ -14,10 +14,9 @@ use crate::hdfs::DEFAULT_BLOCK_SIZE;
 use crate::job::{JobSpec, StageSpec};
 use crate::task::{Phase, TaskSpec};
 use perfcloud_host::IoPattern;
-use serde::{Deserialize, Serialize};
 
 /// The six benchmarks of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// PUMA terasort — I/O bound sort over TeraGen data.
     Terasort,
@@ -235,7 +234,10 @@ impl Benchmark {
         let write = Phase {
             mem_refs_per_instr: p.mem_refs_per_instr,
             cache_reuse: p.cache_reuse,
-            ..Phase::io(shuffle_bytes * p.output_ratio / p.shuffle_ratio.max(1e-9), IoPattern::Sequential)
+            ..Phase::io(
+                shuffle_bytes * p.output_ratio / p.shuffle_ratio.max(1e-9),
+                IoPattern::Sequential,
+            )
         };
         let phases = vec![fetch, compute, write];
         TaskSpec::new(format!("{}-reduce", self.name()), phases)

@@ -186,7 +186,12 @@ impl FrameworkScheduler {
         }
         self.clone_groups.insert(
             gid,
-            CloneGroup { members: members.clone(), winner: None, name: spec.name.clone(), submitted: now },
+            CloneGroup {
+                members: members.clone(),
+                winner: None,
+                name: spec.name.clone(),
+                submitted: now,
+            },
         );
         members
     }
@@ -254,9 +259,7 @@ impl FrameworkScheduler {
             let clean = !avoid_vms.contains(&w.vm);
             let better = match best {
                 None => true,
-                Some((_, bfree, bclean)) => {
-                    (clean, free) > (bclean, bfree)
-                }
+                Some((_, bfree, bclean)) => (clean, free) > (bclean, bfree),
             };
             if better {
                 best = Some((i, free, clean));
@@ -347,11 +350,8 @@ impl FrameworkScheduler {
             }
             let job = self.jobs.get_mut(&tid.job).expect("job exists");
             let task = &mut job.stages[tid.stage][tid.index];
-            let attempt = task
-                .attempts
-                .iter_mut()
-                .find(|a| a.id == aid)
-                .expect("attempt recorded at launch");
+            let attempt =
+                task.attempts.iter_mut().find(|a| a.id == aid).expect("attempt recorded at launch");
             attempt.ended = Some(now);
             let job_running = job.status == JobStatus::Running;
             if !job_running || task.completed_at.is_some() {
@@ -592,9 +592,7 @@ impl FrameworkScheduler {
         while self.free_slots() > 0 {
             let Some(tid) = self.pending.pop_front() else { break };
             let job = &self.jobs[&tid.job];
-            if job.status != JobStatus::Running
-                || job.stages[tid.stage][tid.index].is_complete()
-            {
+            if job.status != JobStatus::Running || job.stages[tid.stage][tid.index].is_complete() {
                 continue;
             }
             if !self.launch_attempt(tid, now, servers) {
@@ -656,7 +654,7 @@ mod tests {
 
     fn drive(
         sched: &mut FrameworkScheduler,
-        servers: &mut Vec<PhysicalServer>,
+        servers: &mut [PhysicalServer],
         policy: &mut dyn SpeculationPolicy,
         max_ticks: usize,
     ) -> usize {
@@ -778,7 +776,7 @@ mod tests {
         let job = sched.job(jid).unwrap();
         for task in &job.stages[0] {
             assert!(task.attempts.len() <= MAX_ATTEMPTS_PER_TASK);
-            assert!(task.attempts.len() >= 1);
+            assert!(!task.attempts.is_empty());
         }
         // With duplicates, some work is wasted.
         let o = &sched.outcomes()[0];

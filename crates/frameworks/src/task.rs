@@ -9,10 +9,9 @@
 
 use perfcloud_host::{Achieved, IoPattern, Process, ResourceDemand};
 use perfcloud_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// One phase of a task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Instructions to retire in this phase.
     pub instructions: f64,
@@ -95,14 +94,15 @@ impl Phase {
     /// Total abstract work for progress reporting: seconds of uncontended
     /// execution this phase represents.
     fn nominal_seconds(&self) -> f64 {
-        let cpu = if self.max_instr_rate > 0.0 { self.instructions / self.max_instr_rate } else { 0.0 };
+        let cpu =
+            if self.max_instr_rate > 0.0 { self.instructions / self.max_instr_rate } else { 0.0 };
         let io = if self.max_io_rate > 0.0 { self.io_bytes / self.max_io_rate } else { 0.0 };
         cpu + io
     }
 }
 
 /// The specification of a task: its label and phases.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Label carried into server traces, e.g. `"terasort-map"`.
     pub label: String,
@@ -155,9 +155,7 @@ impl TaskProcess {
     }
 
     fn advance_phase_if_complete(&mut self) {
-        while self.phase < self.spec.phases.len()
-            && self.instr_left <= 1e-9
-            && self.io_left <= 1e-9
+        while self.phase < self.spec.phases.len() && self.instr_left <= 1e-9 && self.io_left <= 1e-9
         {
             self.nominal_done_prior += self.current().nominal_seconds();
             self.phase += 1;
@@ -213,7 +211,8 @@ impl Process for TaskProcess {
         }
         let p = self.current();
         let phase_total = p.nominal_seconds().max(1e-12);
-        let instr_frac = if p.instructions > 0.0 { 1.0 - self.instr_left / p.instructions } else { 1.0 };
+        let instr_frac =
+            if p.instructions > 0.0 { 1.0 - self.instr_left / p.instructions } else { 1.0 };
         let io_frac = if p.io_bytes > 0.0 { 1.0 - self.io_left / p.io_bytes } else { 1.0 };
         // Weight sub-progress by each budget's share of the phase's time.
         let cpu_w = if p.max_instr_rate > 0.0 { p.instructions / p.max_instr_rate } else { 0.0 };
@@ -256,19 +255,14 @@ mod tests {
 
     #[test]
     fn phases_run_in_order() {
-        let spec = TaskSpec::new(
-            "t",
-            vec![Phase::io(1e6, IoPattern::Sequential), Phase::compute(1e6)],
-        );
+        let spec =
+            TaskSpec::new("t", vec![Phase::io(1e6, IoPattern::Sequential), Phase::compute(1e6)]);
         let mut t = TaskProcess::new(spec);
         // Initially the task demands I/O.
         let d = t.demand(DT);
         assert!(d.io_bytes > 0.0);
         // Complete phase 1 budgets.
-        t.advance(
-            &Achieved { io_bytes: 1e6, instructions: 5e5, ..Default::default() },
-            DT,
-        );
+        t.advance(&Achieved { io_bytes: 1e6, instructions: 5e5, ..Default::default() }, DT);
         let d = t.demand(DT);
         assert_eq!(d.io_bytes, 0.0, "now in compute phase");
         assert!(d.cpu_instructions > 0.0);
@@ -284,10 +278,8 @@ mod tests {
 
     #[test]
     fn progress_is_monotone_and_reaches_one() {
-        let spec = TaskSpec::new(
-            "t",
-            vec![Phase::io(12.0e6, IoPattern::Sequential), Phase::compute(1e9)],
-        );
+        let spec =
+            TaskSpec::new("t", vec![Phase::io(12.0e6, IoPattern::Sequential), Phase::compute(1e9)]);
         let mut t = TaskProcess::new(spec);
         let mut last = t.progress();
         assert!(last < 0.01);

@@ -11,12 +11,8 @@ use proptest::prelude::*;
 const DT: SimDuration = SimDuration::from_micros(100_000);
 
 fn testbed(workers: u32, slots: u32) -> (Vec<PhysicalServer>, Vec<Worker>) {
-    let mut server = PhysicalServer::new(
-        ServerId(0),
-        ServerConfig::default(),
-        RngFactory::new(19),
-        DT,
-    );
+    let mut server =
+        PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(19), DT);
     let mut ws = Vec::new();
     for i in 0..workers {
         server.add_vm(VmId(i), VmConfig::high_priority());

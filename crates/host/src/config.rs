@@ -5,13 +5,11 @@
 //! VMs, with a local disk whose random-read capability is in the
 //! few-thousand-IOPS range typical of the 2017-era testbed.
 
-use serde::{Deserialize, Serialize};
-
 /// Scheduling priority of a VM, assigned by the cloud administrator
 /// "possibly based on the cost of reserving the specific instance types".
 /// PerfCloud isolates *high*-priority applications by throttling *low*-
 /// priority antagonists; high-priority VMs are never throttled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Priority {
     /// Data-intensive scale-out application VMs (Hadoop / Spark workers).
     High,
@@ -20,7 +18,7 @@ pub enum Priority {
 }
 
 /// Block-device model parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskConfig {
     /// Random-access operations the device can serve per second.
     pub max_random_iops: f64,
@@ -62,7 +60,7 @@ impl Default for DiskConfig {
 }
 
 /// Memory-hierarchy model parameters (last-level cache + memory bandwidth).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryConfig {
     /// Last-level cache capacity in bytes (R630 Xeon: 2 × 30 MB).
     pub llc_bytes: f64,
@@ -95,7 +93,7 @@ impl Default for MemoryConfig {
 }
 
 /// Physical-server configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Number of physical cores.
     pub cores: u32,
@@ -154,7 +152,7 @@ impl ServerConfig {
 }
 
 /// Virtual-machine configuration (the paper's instances: 2 vCPU, 8 GB).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmConfig {
     /// Number of virtual CPUs.
     pub vcpus: u32,
@@ -197,8 +195,7 @@ mod tests {
 
     #[test]
     fn speed_factor_scales_frequency() {
-        let mut s = ServerConfig::default();
-        s.speed_factor = 0.5;
+        let s = ServerConfig { speed_factor: 0.5, ..Default::default() };
         assert!((s.effective_frequency() - 1.15e9).abs() < 1.0);
     }
 

@@ -9,10 +9,8 @@
 //! the fluid model produces fractional ops per tick, and keeping fractions
 //! avoids systematic rounding drift at small tick sizes.
 
-use serde::{Deserialize, Serialize};
-
 /// Cumulative counters for one VM (one cgroup).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct VmCounters {
     /// Block I/O operations completed (`blkio.io_serviced`).
     pub io_serviced: f64,
@@ -49,7 +47,7 @@ impl VmCounters {
 
 /// A point-in-time snapshot of one VM's counters, as the monitor would read
 /// them from the hypervisor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CounterSnapshot {
     /// The counters at the snapshot instant.
     pub counters: VmCounters,
@@ -78,7 +76,7 @@ impl CounterSnapshot {
 
 /// Derived per-interval metrics computed from a counter delta — the exact
 /// quantities in the paper's detection pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntervalMetrics {
     /// Block iowait ratio: `Δio_wait_time / Δio_serviced`, in **milliseconds
     /// per operation**. `None` when no I/O was serviced in the interval.
@@ -108,16 +106,10 @@ impl IntervalMetrics {
         } else {
             None
         };
-        let cpi = if delta.instructions > 0.0 {
-            Some(delta.cycles / delta.instructions)
-        } else {
-            None
-        };
-        let llc_miss_rate = if delta.instructions > 0.0 {
-            Some(delta.llc_misses / interval_secs)
-        } else {
-            None
-        };
+        let cpi =
+            if delta.instructions > 0.0 { Some(delta.cycles / delta.instructions) } else { None };
+        let llc_miss_rate =
+            if delta.instructions > 0.0 { Some(delta.llc_misses / interval_secs) } else { None };
         IntervalMetrics {
             iowait_ratio_ms,
             cpi,
@@ -201,12 +193,8 @@ mod tests {
 
     #[test]
     fn cpu_only_interval_has_cpi_but_no_iowait() {
-        let d = VmCounters {
-            cpu_time: 1.0,
-            cycles: 2.0e9,
-            instructions: 1.0e9,
-            ..Default::default()
-        };
+        let d =
+            VmCounters { cpu_time: 1.0, cycles: 2.0e9, instructions: 1.0e9, ..Default::default() };
         let m = IntervalMetrics::from_delta(&d, 5.0);
         assert_eq!(m.iowait_ratio_ms, None);
         assert_eq!(m.cpi, Some(2.0));

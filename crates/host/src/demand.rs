@@ -9,15 +9,14 @@
 //! stragglers are in the paper.
 
 use perfcloud_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a process within one server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcessId(pub u64);
 
 /// Access pattern of block I/O; random ops are seek-bound (cost ∝ IOPS
 /// budget), sequential ops are transfer-bound (cost ∝ bytes-per-sec budget).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoPattern {
     /// Random access (fio randread, OLTP point reads, shuffle spill reads).
     Random,
@@ -27,7 +26,7 @@ pub enum IoPattern {
 
 /// What a process wants to consume in one tick, expressed as *rates demanded
 /// over the tick*. The server may deliver anything from zero up to this.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceDemand {
     /// Degree of parallelism: how many cores the process can use at once.
     pub cpu_parallelism: f64,
@@ -80,7 +79,7 @@ impl ResourceDemand {
 }
 
 /// What the server actually delivered to a process in one tick.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Achieved {
     /// Core-seconds of CPU time consumed.
     pub cpu_time: f64,

@@ -71,10 +71,8 @@ pub fn allocate(requests: &[DiskRequest], cfg: &DiskConfig, speed: f64, dt: f64)
     let offered: f64 = want_time.iter().sum::<f64>() / dt;
 
     // Share device time max-min fairly (equal weights).
-    let cpu_reqs: Vec<CpuRequest> = want_time
-        .iter()
-        .map(|&w| CpuRequest { demand: w, limit: w, weight: 1.0 })
-        .collect();
+    let cpu_reqs: Vec<CpuRequest> =
+        want_time.iter().map(|&w| CpuRequest { demand: w, limit: w, weight: 1.0 }).collect();
     let granted = waterfill(&cpu_reqs, dt);
 
     // Per-op queueing wait: (queue factor − 1) service times, scaled by luck.
@@ -117,12 +115,7 @@ mod tests {
     }
 
     fn rand_req(ops: f64, luck: f64) -> DiskRequest {
-        DiskRequest {
-            rand_ops: ops,
-            rand_bytes: ops * 4096.0,
-            luck,
-            ..Default::default()
-        }
+        DiskRequest { rand_ops: ops, rand_bytes: ops * 4096.0, luck, ..Default::default() }
     }
 
     #[test]
@@ -177,7 +170,10 @@ mod tests {
         let high = allocate(&[rand_req(360.0, 1.0)], &cfg(), 1.0, 0.1);
         let w_low = low.outcomes[0].wait / low.outcomes[0].ops;
         let w_high = high.outcomes[0].wait / high.outcomes[0].ops;
-        assert!(w_high > 5.0 * w_low, "wait/op should blow up near saturation: {w_low} vs {w_high}");
+        assert!(
+            w_high > 5.0 * w_low,
+            "wait/op should blow up near saturation: {w_low} vs {w_high}"
+        );
     }
 
     #[test]

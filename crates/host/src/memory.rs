@@ -75,8 +75,7 @@ pub fn model(requests: &[MemRequest], cfg: &MemoryConfig, dt: f64) -> MemTick {
         .iter()
         .filter(|r| r.instr_demand > 0.0)
         .map(|r| {
-            let touched =
-                (r.instr_demand / dt) * r.refs_per_instr * 64.0 * EVICTION_WINDOW_SECS;
+            let touched = (r.instr_demand / dt) * r.refs_per_instr * 64.0 * EVICTION_WINDOW_SECS;
             (r.working_set * r.activity.clamp(0.0, 1.0)).min(touched)
         })
         .sum();

@@ -20,11 +20,10 @@ use crate::memory::{model as mem_model, MemRequest};
 use crate::throttle::{CpuCap, IoThrottle};
 use crate::vm::{Vm, VmId};
 use perfcloud_sim::{RngFactory, SimDuration};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a physical server within the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ServerId(pub u32);
 
 impl std::fmt::Display for ServerId {
@@ -166,11 +165,7 @@ impl PhysicalServer {
 
     /// Progress of a running process, if it exists.
     pub fn process_progress(&self, vm: VmId, pid: ProcessId) -> Option<f64> {
-        self.vm(vm)?
-            .processes
-            .iter()
-            .find(|(p, _)| *p == pid)
-            .map(|(_, proc_)| proc_.progress())
+        self.vm(vm)?.processes.iter().find(|(p, _)| *p == pid).map(|(_, proc_)| proc_.progress())
     }
 
     /// Number of live processes on a VM.
@@ -283,8 +278,7 @@ impl PhysicalServer {
                 // LLC/bandwidth antagonists (§III-C).
                 let cores = vm.cpu_cap.effective_cores(vm.config.vcpus);
                 let issue_limit = cores * dt_s * freq_for_mem / d.base_cpi.max(0.1);
-                let full_rate =
-                    vm.config.vcpus as f64 * dt_s * freq_for_mem / d.base_cpi.max(0.1);
+                let full_rate = vm.config.vcpus as f64 * dt_s * freq_for_mem / d.base_cpi.max(0.1);
                 let instr_demand = d.instructions.min(issue_limit);
                 MemRequest {
                     instr_demand,

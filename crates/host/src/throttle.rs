@@ -6,10 +6,8 @@
 //! the rate a VM may consume within a tick; an uncapped VM is bounded only by
 //! its vCPU count and the device.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-VM I/O throttle (the blkio throttling policy). `None` = unthrottled.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IoThrottle {
     /// Cap on operations per second.
     pub iops: Option<f64>,
@@ -52,7 +50,7 @@ impl IoThrottle {
 
 /// Per-VM CPU hard cap (`vcpu_quota`), in cores. `None` = only bounded by
 /// the VM's vCPU count.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CpuCap {
     /// Maximum cores' worth of CPU time per wall second.
     pub cores: Option<f64>,

@@ -6,10 +6,9 @@ use crate::demand::{IoPattern, Process, ProcessId, ResourceDemand};
 use crate::jitter::Ar1;
 use crate::throttle::{CpuCap, IoThrottle};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// Cluster-wide identifier of a VM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VmId(pub u32);
 
 impl std::fmt::Display for VmId {
@@ -132,10 +131,7 @@ impl Vm {
     }
 
     /// Per-process demands (same order as the internal process list).
-    pub(crate) fn process_demands(
-        &self,
-        dt: perfcloud_sim::SimDuration,
-    ) -> Vec<ResourceDemand> {
+    pub(crate) fn process_demands(&self, dt: perfcloud_sim::SimDuration) -> Vec<ResourceDemand> {
         self.processes.iter().map(|(_, p)| p.demand(dt)).collect()
     }
 }

@@ -9,8 +9,11 @@ use proptest::prelude::*;
 
 fn cpu_requests() -> impl Strategy<Value = Vec<CpuRequest>> {
     proptest::collection::vec(
-        (0.0f64..10.0, 0.0f64..10.0, 0.5f64..8.0)
-            .prop_map(|(demand, limit, weight)| CpuRequest { demand, limit, weight }),
+        (0.0f64..10.0, 0.0f64..10.0, 0.5f64..8.0).prop_map(|(demand, limit, weight)| CpuRequest {
+            demand,
+            limit,
+            weight,
+        }),
         0..12,
     )
 }

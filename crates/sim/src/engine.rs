@@ -1,59 +1,171 @@
 //! The event-calendar executor.
 //!
 //! [`Simulation<W>`] owns a world of type `W` and a priority queue of events.
-//! Each event is a boxed `FnOnce(&mut W, &mut Scheduler<W>)`; handlers mutate
-//! the world and may schedule or cancel further events through the
-//! [`Scheduler`] context. Ties at equal timestamps fire in insertion order,
-//! which makes runs deterministic.
+//! Each event is a `FnOnce(&mut W, &mut Scheduler<W>)` stored inline in the
+//! calendar entry (see [`crate::handler`]); handlers mutate the world and may
+//! schedule or cancel further events through the [`Scheduler`] context. Ties
+//! at equal timestamps fire in insertion order, which makes runs
+//! deterministic.
+//!
+//! # Hot-path design
+//!
+//! Steady-state stepping performs **no heap allocations**, and the binary
+//! heap stays cheap to sift:
+//!
+//! * handlers live in a generation-stamped slot map ([`SlotMap`]), inline
+//!   up to [`crate::handler::INLINE_BYTES`] bytes of captures (a box is
+//!   the overflow path, not the norm). Slots are written once at schedule
+//!   time and read once at fire time; the **heap entries themselves are
+//!   24-byte plain data** `(time, seq, id)`, so every sift moves three
+//!   words instead of a whole closure;
+//! * cancellation bumps the slot's generation, so a popped entry whose
+//!   stamp no longer matches is recognized as cancelled in O(1) without a
+//!   hash-set lookup or per-cancel allocation, and slots (and their
+//!   handler storage) are recycled through a free list;
+//! * the per-step scheduling context ([`Scheduler`]) writes **directly**
+//!   into the simulation's calendar and slot map (via raw pointers to
+//!   disjoint fields, confined to this module), so events scheduled from
+//!   within handlers pay no staging buffer, no per-step `Vec`, and no
+//!   post-handler drain loop.
 
+use crate::handler::RawHandler;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Handle to a scheduled event; can be used to cancel it before it fires.
+///
+/// Packs a slot index and a generation stamp; stale handles (events that
+/// already fired or were cancelled) are recognized and ignored in O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-type Handler<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+impl EventId {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventId((generation as u64) << 32 | slot as u64)
+    }
+    fn slot(self) -> usize {
+        self.0 as u32 as usize
+    }
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
-struct Entry<W> {
+type Handler<W> = RawHandler<W, Scheduler<W>>;
+
+/// One slot of the [`SlotMap`]: the generation a live handle must carry,
+/// plus the handler storage itself. The handler is written at schedule
+/// time and taken at fire time (or dropped on cancel); between reuses the
+/// slot keeps its storage, so steady-state churn never allocates.
+struct Slot<W> {
+    generation: u32,
+    handler: Option<Handler<W>>,
+}
+
+/// Generation-stamped slot map owning the scheduled handlers.
+///
+/// Retiring a slot (fire or cancel) bumps the stamp — invalidating every
+/// outstanding handle to it — and returns the slot to the free list for
+/// reuse. Keeping handlers here (rather than in the heap entries) keeps
+/// the binary heap's elements small plain data.
+struct SlotMap<W> {
+    slots: Vec<Slot<W>>,
+    free: Vec<u32>,
+}
+
+impl<W> Default for SlotMap<W> {
+    fn default() -> Self {
+        SlotMap { slots: Vec::new(), free: Vec::new() }
+    }
+}
+
+impl<W> SlotMap<W> {
+    /// Stores `handler` in a fresh or recycled slot and returns its id.
+    fn insert(&mut self, handler: Handler<W>) -> EventId {
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.handler.is_none());
+                s.handler = Some(handler);
+                EventId::new(slot, s.generation)
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.slots.len()).expect("more than u32::MAX concurrent events");
+                self.slots.push(Slot { generation: 0, handler: Some(handler) });
+                EventId::new(slot, 0)
+            }
+        }
+    }
+
+    /// Whether `id` still refers to a live (scheduled, uncancelled) event.
+    fn is_live(&self, id: EventId) -> bool {
+        self.slots.get(id.slot()).is_some_and(|s| s.generation == id.generation())
+    }
+
+    /// Takes the handler out of a live slot, invalidating `id` and
+    /// recycling the slot. `None` for cancelled or already-fired handles.
+    fn take(&mut self, id: EventId) -> Option<Handler<W>> {
+        let slot = id.slot();
+        match self.slots.get_mut(slot) {
+            Some(s) if s.generation == id.generation() => {
+                s.generation = s.generation.wrapping_add(1);
+                self.free.push(slot as u32);
+                s.handler.take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Invalidates `id`, dropping its handler and recycling its slot.
+    /// Returns whether it was live (false for double-cancel or
+    /// already-fired handles).
+    fn retire(&mut self, id: EventId) -> bool {
+        self.take(id).is_some()
+    }
+}
+
+/// A calendar entry: plain data, 24 bytes, cheap for the heap to sift.
+/// The handler it refers to lives in the [`SlotMap`] under `id`.
+#[derive(Clone, Copy)]
+struct Entry {
     time: SimTime,
     seq: u64,
     id: EventId,
-    handler: Handler<W>,
 }
 
-impl<W> PartialEq for Entry<W> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Entry<W> {
+impl Ord for Entry {
     // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 /// Scheduling context passed to event handlers.
 ///
 /// Events scheduled from a handler land on the same calendar as events
-/// scheduled from outside via [`Simulation`].
+/// scheduled from outside via [`Simulation`] — the context writes straight
+/// into the simulation's queue and slot map through raw pointers to those
+/// fields. The pointers are created in [`Simulation::step`] from fields
+/// disjoint from the world borrow handed to the handler, and the context
+/// only lives for the duration of one handler invocation.
 pub struct Scheduler<W> {
     now: SimTime,
-    next_seq: u64,
-    next_id: u64,
-    pending: Vec<Entry<W>>,
-    cancelled: Vec<EventId>,
+    queue: *mut BinaryHeap<Entry>,
+    slots: *mut SlotMap<W>,
+    next_seq: *mut u64,
 }
 
 impl<W> Scheduler<W> {
@@ -72,11 +184,15 @@ impl<W> Scheduler<W> {
     ) -> EventId {
         debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.pending.push(Entry { time: at, seq, id, handler: Box::new(handler) });
+        // SAFETY: `step` created these pointers from live, disjoint fields
+        // of the `Simulation` it is borrowing exclusively, and this context
+        // does not outlive the handler invocation.
+        let (queue, slots, next_seq) =
+            unsafe { (&mut *self.queue, &mut *self.slots, &mut *self.next_seq) };
+        let id = slots.insert(RawHandler::new(handler));
+        let seq = *next_seq;
+        *next_seq += 1;
+        queue.push(Entry { time: at, seq, id });
         id
     }
 
@@ -93,18 +209,18 @@ impl<W> Scheduler<W> {
     /// Cancels a previously scheduled event. Cancelling an event that has
     /// already fired (or was already cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.push(id);
+        // SAFETY: as in `schedule_at`.
+        unsafe { (*self.slots).retire(id) };
     }
 }
 
 /// A discrete-event simulation over a world `W`.
 pub struct Simulation<W> {
     world: W,
-    queue: BinaryHeap<Entry<W>>,
-    cancelled: HashSet<EventId>,
+    queue: BinaryHeap<Entry>,
+    slots: SlotMap<W>,
     now: SimTime,
     next_seq: u64,
-    next_id: u64,
     fired: u64,
 }
 
@@ -114,10 +230,9 @@ impl<W> Simulation<W> {
         Simulation {
             world,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: SlotMap::default(),
             now: SimTime::ZERO,
             next_seq: 0,
-            next_id: 0,
             fired: 0,
         }
     }
@@ -161,11 +276,10 @@ impl<W> Simulation<W> {
     ) -> EventId {
         debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+        let id = self.slots.insert(RawHandler::new(handler));
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Entry { time: at, seq, id, handler: Box::new(handler) });
+        self.queue.push(Entry { time: at, seq, id });
         id
     }
 
@@ -204,34 +318,27 @@ impl<W> Simulation<W> {
 
     /// Cancels a scheduled event. No-op if it already fired.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        self.slots.retire(id);
     }
 
     /// Fires the next event, if any. Returns `false` when the calendar is
     /// empty. Cancelled events are skipped (and do not count as fired).
     pub fn step(&mut self) -> bool {
         while let Some(entry) = self.queue.pop() {
-            if self.cancelled.remove(&entry.id) {
+            // A stale stamp means the event was cancelled; its slot was
+            // already recycled when the cancel happened.
+            let Some(handler) = self.slots.take(entry.id) else {
                 continue;
-            }
+            };
             debug_assert!(entry.time >= self.now);
             self.now = entry.time;
             let mut ctx = Scheduler {
                 now: self.now,
-                next_seq: self.next_seq,
-                next_id: self.next_id,
-                pending: Vec::new(),
-                cancelled: Vec::new(),
+                queue: &mut self.queue,
+                slots: &mut self.slots,
+                next_seq: &mut self.next_seq,
             };
-            (entry.handler)(&mut self.world, &mut ctx);
-            self.next_seq = ctx.next_seq;
-            self.next_id = ctx.next_id;
-            for e in ctx.pending {
-                self.queue.push(e);
-            }
-            for id in ctx.cancelled {
-                self.cancelled.insert(id);
-            }
+            handler.invoke(&mut self.world, &mut ctx);
             self.fired += 1;
             return true;
         }
@@ -252,9 +359,8 @@ impl<W> Simulation<W> {
             let next_time = loop {
                 match self.queue.peek() {
                     None => break None,
-                    Some(e) if self.cancelled.contains(&e.id) => {
-                        let e = self.queue.pop().expect("peeked entry must pop");
-                        self.cancelled.remove(&e.id);
+                    Some(e) if !self.slots.is_live(e.id) => {
+                        self.queue.pop();
                     }
                     Some(e) => break Some(e.time),
                 }
@@ -419,5 +525,61 @@ mod tests {
         sim.schedule_in(SimDuration::from_secs(1.0), |w, _| w.push_str("done"));
         sim.run();
         assert_eq!(sim.into_world(), "done");
+    }
+
+    #[test]
+    fn slots_are_recycled_and_stale_ids_stay_dead() {
+        let mut sim = Simulation::new(0u64);
+        let a = sim.schedule_at(SimTime::from_secs(1), |w, _| *w += 1);
+        sim.cancel(a);
+        // The freed slot is reused with a bumped generation…
+        let b = sim.schedule_at(SimTime::from_secs(2), |w, _| *w += 10);
+        assert_ne!(a, b);
+        // …and cancelling through the stale handle must not kill the new event.
+        sim.cancel(a);
+        sim.run();
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn cancel_event_scheduled_in_same_handler() {
+        let mut sim = Simulation::new(0u64);
+        sim.schedule_at(SimTime::from_secs(1), |_, ctx| {
+            let id = ctx.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 100);
+            ctx.cancel(id);
+        });
+        sim.run();
+        assert_eq!(*sim.world(), 0);
+    }
+
+    #[test]
+    fn dropping_a_simulation_drops_pending_handlers() {
+        use std::rc::Rc;
+        let token = Rc::new(());
+        let mut sim = Simulation::new(());
+        let witness = Rc::clone(&token);
+        sim.schedule_at(SimTime::from_secs(1), move |_, _| drop(witness));
+        assert_eq!(Rc::strong_count(&token), 2);
+        drop(sim);
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn heavy_cancel_churn_stays_correct() {
+        // Interleave scheduling and cancelling so slots recycle constantly;
+        // only the survivors may fire.
+        let mut sim = Simulation::new(0u64);
+        let mut live = Vec::new();
+        for round in 0..1_000u64 {
+            let id = sim.schedule_at(SimTime::from_secs(round + 1), move |w, _| *w += 1);
+            if round % 3 == 0 {
+                sim.cancel(id);
+            } else {
+                live.push(id);
+            }
+        }
+        sim.run();
+        assert_eq!(*sim.world() as usize, live.len());
+        assert_eq!(sim.events_fired() as usize, live.len());
     }
 }

@@ -1,0 +1,157 @@
+//! Inline storage for event handlers.
+//!
+//! Every event on the calendar owns a `FnOnce(&mut W, &mut Scheduler<W>)`.
+//! Storing that as `Box<dyn FnOnce>` costs one heap allocation per
+//! scheduled event — by far the hottest allocation site in the simulator,
+//! since cluster runs schedule millions of task/antagonist/tick events.
+//! [`RawHandler`] instead stores closures up to [`INLINE_BYTES`] bytes (and
+//! at most 8-byte alignment) inline in the event entry, falling back to a
+//! box only for oversized captures. In practice every handler in this
+//! workspace captures a few ids and small copies and fits inline, which
+//! makes steady-state stepping allocation-free.
+//!
+//! The implementation is the usual small-function-object layout: a raw
+//! byte buffer plus two monomorphized function pointers (call-and-consume,
+//! drop-in-place). All `unsafe` is confined to this module.
+
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
+
+/// Capacity of the inline buffer, in bytes. Sized to the largest capture
+/// actually scheduled by this workspace (a few ids and small copies);
+/// keeping it tight keeps slot-map writes cheap. Oversized captures still
+/// work via the boxed fallback.
+pub const INLINE_BYTES: usize = 32;
+
+const WORDS: usize = INLINE_BYTES / 8;
+
+/// A type-erased `FnOnce(&mut W, &mut C)` stored inline when small.
+///
+/// `C` is the scheduling context type handed to handlers (kept generic so
+/// this module does not depend on the engine's types).
+pub struct RawHandler<W, C> {
+    buf: [MaybeUninit<u64>; WORDS],
+    /// Consumes the value in `buf` and calls it. The buffer must not be
+    /// touched again afterwards.
+    call: unsafe fn(*mut u64, &mut W, &mut C),
+    /// Drops the value in `buf` without calling it.
+    drop_fn: unsafe fn(*mut u64),
+}
+
+unsafe fn call_inline<W, C, F: FnOnce(&mut W, &mut C)>(p: *mut u64, w: &mut W, c: &mut C) {
+    // SAFETY: `new` wrote an `F` at `p`; `invoke` guarantees this runs at
+    // most once and that `drop_fn` is not run afterwards.
+    let f = unsafe { p.cast::<F>().read() };
+    f(w, c)
+}
+
+unsafe fn drop_inline<F>(p: *mut u64) {
+    // SAFETY: an `F` lives at `p` and is dropped exactly once.
+    unsafe { p.cast::<F>().drop_in_place() }
+}
+
+unsafe fn call_boxed<W, C, F: FnOnce(&mut W, &mut C)>(p: *mut u64, w: &mut W, c: &mut C) {
+    // SAFETY: `new` wrote a `Box<F>` at `p`; consumed exactly once.
+    let f = unsafe { p.cast::<Box<F>>().read() };
+    f(w, c)
+}
+
+unsafe fn drop_boxed<F>(p: *mut u64) {
+    // SAFETY: a `Box<F>` lives at `p` and is dropped exactly once.
+    unsafe { p.cast::<Box<F>>().drop_in_place() }
+}
+
+impl<W, C> RawHandler<W, C> {
+    /// Wraps `f`, storing it inline if it fits.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: FnOnce(&mut W, &mut C) + 'static,
+    {
+        let mut buf = [MaybeUninit::<u64>::uninit(); WORDS];
+        if size_of::<F>() <= INLINE_BYTES && align_of::<F>() <= align_of::<u64>() {
+            // SAFETY: the buffer is large and aligned enough for `F`.
+            unsafe { buf.as_mut_ptr().cast::<F>().write(f) };
+            RawHandler { buf, call: call_inline::<W, C, F>, drop_fn: drop_inline::<F> }
+        } else {
+            // SAFETY: a `Box<F>` is one pointer, which always fits.
+            unsafe { buf.as_mut_ptr().cast::<Box<F>>().write(Box::new(f)) };
+            RawHandler { buf, call: call_boxed::<W, C, F>, drop_fn: drop_boxed::<F> }
+        }
+    }
+
+    /// Calls the stored closure, consuming it.
+    pub fn invoke(self, world: &mut W, ctx: &mut C) {
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: `this` is never dropped (ManuallyDrop), so the closure is
+        // consumed exactly once, by `call`.
+        unsafe { (this.call)(this.buf.as_mut_ptr().cast(), world, ctx) }
+    }
+}
+
+impl<W, C> Drop for RawHandler<W, C> {
+    fn drop(&mut self) {
+        // Runs only if the handler was never invoked (e.g. the simulation
+        // was dropped with events still pending).
+        // SAFETY: the stored value is live — `invoke` prevents this Drop.
+        unsafe { (self.drop_fn)(self.buf.as_mut_ptr().cast()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    type Ctx = ();
+
+    #[test]
+    fn small_closure_runs_inline() {
+        let h: RawHandler<u64, Ctx> = RawHandler::new(|w, _| *w += 5);
+        let mut world = 1u64;
+        h.invoke(&mut world, &mut ());
+        assert_eq!(world, 6);
+    }
+
+    #[test]
+    fn large_closure_falls_back_to_box() {
+        let big = [7u64; 32]; // 256 bytes of capture, over the inline cap
+        let h: RawHandler<u64, Ctx> = RawHandler::new(move |w, _| *w = big.iter().sum());
+        let mut world = 0u64;
+        h.invoke(&mut world, &mut ());
+        assert_eq!(world, 7 * 32);
+    }
+
+    #[test]
+    fn uninvoked_handlers_drop_their_captures() {
+        let token = Rc::new(());
+        let witness = Rc::clone(&token);
+        let h: RawHandler<u64, Ctx> = RawHandler::new(move |_, _| drop(witness));
+        assert_eq!(Rc::strong_count(&token), 2);
+        drop(h);
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn invoked_handlers_do_not_double_drop() {
+        let token = Rc::new(());
+        let witness = Rc::clone(&token);
+        let h: RawHandler<u64, Ctx> = RawHandler::new(move |w, _| {
+            *w = Rc::strong_count(&witness) as u64;
+        });
+        let mut world = 0u64;
+        h.invoke(&mut world, &mut ());
+        assert_eq!(world, 2);
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn overaligned_captures_fall_back_to_box() {
+        #[repr(align(32))]
+        #[derive(Clone, Copy)]
+        struct Wide(u64);
+        let v = Wide(9);
+        let h: RawHandler<u64, Ctx> = RawHandler::new(move |w, _| *w = v.0);
+        let mut world = 0u64;
+        h.invoke(&mut world, &mut ());
+        assert_eq!(world, 9);
+    }
+}

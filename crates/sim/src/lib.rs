@@ -32,6 +32,7 @@
 //! ```
 
 pub mod engine;
+pub mod handler;
 pub mod rng;
 pub mod time;
 

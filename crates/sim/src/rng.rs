@@ -97,8 +97,10 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let f = RngFactory::new(7);
-        let xs: Vec<u64> = (0..16).map(|_| 0u64).scan(f.stream("a"), |r, _| Some(r.gen())).collect();
-        let ys: Vec<u64> = (0..16).map(|_| 0u64).scan(f.stream("a"), |r, _| Some(r.gen())).collect();
+        let xs: Vec<u64> =
+            (0..16).map(|_| 0u64).scan(f.stream("a"), |r, _| Some(r.gen())).collect();
+        let ys: Vec<u64> =
+            (0..16).map(|_| 0u64).scan(f.stream("a"), |r, _| Some(r.gen())).collect();
         assert_eq!(xs, ys);
     }
 

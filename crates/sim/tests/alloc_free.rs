@@ -1,0 +1,61 @@
+//! Proof that steady-state stepping performs zero heap allocations.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase (buffers grown, calendar at steady size), a long stretch of
+//! periodic events — including schedule-then-cancel churn, the pattern the
+//! cluster harness hammers — must not allocate at all.
+
+use perfcloud_sim::{SimDuration, SimTime, Simulation};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_stepping_is_allocation_free() {
+    let mut sim = Simulation::new(0u64);
+
+    // A ticker that also schedules-and-cancels a victim each firing: the
+    // slot map, scratch buffers, and inline handler storage all cycle.
+    sim.schedule_periodic(SimTime::ZERO, SimDuration::from_millis(10), |w, ctx| {
+        *w += 1;
+        let doomed = ctx.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 1_000_000);
+        ctx.cancel(doomed);
+        true
+    });
+    // A second independent ticker so the calendar holds several live events.
+    sim.schedule_periodic(SimTime::ZERO, SimDuration::from_millis(37), |w, _| {
+        *w += 2;
+        true
+    });
+
+    // Warm-up: grow every buffer to its steady capacity (including the
+    // one-simulated-second backlog of cancelled victims).
+    sim.run_until(SimTime::from_secs(5));
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    sim.run_until(SimTime::from_secs(120));
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+
+    assert!(*sim.world() > 0);
+    assert_eq!(after - before, 0, "steady-state stepping allocated {} times", after - before);
+}

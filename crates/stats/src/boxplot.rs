@@ -1,10 +1,9 @@
 //! Five-number boxplot summaries (Fig. 12's variability analysis).
 
 use crate::quantile::quantile_sorted;
-use serde::{Deserialize, Serialize};
 
 /// Tukey boxplot summary: quartiles, 1.5·IQR whiskers and outliers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoxplotSummary {
     /// Smallest observation.
     pub min: f64,
@@ -40,11 +39,8 @@ impl BoxplotSummary {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let whisker_low = sorted
-            .iter()
-            .copied()
-            .find(|&x| x >= lo_fence)
-            .expect("q1 itself is within the fence");
+        let whisker_low =
+            sorted.iter().copied().find(|&x| x >= lo_fence).expect("q1 itself is within the fence");
         let whisker_high = sorted
             .iter()
             .rev()

@@ -1,10 +1,8 @@
 //! Empirical CDFs and fixed-bucket histograms (Fig. 11's job-performance
 //! breakdown uses degradation buckets; CDFs support shape checks).
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical cumulative distribution function over observed samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -51,7 +49,7 @@ impl Cdf {
 
 /// A histogram over half-open buckets `[edge[i], edge[i+1])` with two
 /// implicit overflow buckets at the ends.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     edges: Vec<f64>,
     counts: Vec<u64>,

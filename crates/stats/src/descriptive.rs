@@ -118,9 +118,7 @@ impl Running {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -168,7 +166,9 @@ mod tests {
         }
         assert_eq!(r.count(), xs.len() as u64);
         assert!((r.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-12);
-        assert!((r.population_variance().unwrap() - population_variance(&xs).unwrap()).abs() < 1e-12);
+        assert!(
+            (r.population_variance().unwrap() - population_variance(&xs).unwrap()).abs() < 1e-12
+        );
         assert!((r.sample_variance().unwrap() - sample_variance(&xs).unwrap()).abs() < 1e-12);
         assert_eq!(r.min(), Some(-7.25));
         assert_eq!(r.max(), Some(10.0));

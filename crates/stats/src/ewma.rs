@@ -5,10 +5,8 @@
 //! collected over 5 second intervals" (§III-D.1). The smoothed value after an
 //! observation `x` is `s ← α·x + (1 − α)·s`.
 
-use serde::{Deserialize, Serialize};
-
 /// An EWMA smoother with weight `alpha ∈ (0, 1]` on the newest observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     state: Option<f64>,

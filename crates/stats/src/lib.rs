@@ -14,6 +14,7 @@ pub mod descriptive;
 pub mod ewma;
 pub mod pearson;
 pub mod quantile;
+pub mod rolling;
 pub mod timeseries;
 
 pub use boxplot::BoxplotSummary;
@@ -22,4 +23,5 @@ pub use descriptive::{mean, population_stddev, population_variance, sample_stdde
 pub use ewma::Ewma;
 pub use pearson::{pearson, pearson_missing_as_zero};
 pub use quantile::{median, quantile};
+pub use rolling::{RollingPearson, RollingStddev};
 pub use timeseries::TimeSeries;

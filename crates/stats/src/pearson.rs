@@ -6,21 +6,33 @@
 //! the paper treats such missing values **as 0 rather than omitting them**,
 //! "to avoid over-emphasizing similarities computed over little data".
 
-/// Pearson correlation coefficient of two equal-length series.
+/// Two-pass Pearson over a restartable stream of pairs.
 ///
-/// Returns `None` if the series are shorter than 2, have different lengths,
-/// or either has zero variance (correlation undefined).
-pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
-    if x.len() != y.len() || x.len() < 2 {
+/// Shared by every variant below so the missing-value policies differ only
+/// in which pairs they feed in — no intermediate `Vec`s. The two passes
+/// visit pairs in the same order with the same operations as the original
+/// slice-based implementation, so results are bit-identical to it.
+pub(crate) fn pearson_of_pairs<I>(pairs: I) -> Option<f64>
+where
+    I: Iterator<Item = (f64, f64)> + Clone,
+{
+    let mut n = 0u64;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    for (a, b) in pairs.clone() {
+        n += 1;
+        sx += a;
+        sy += b;
+    }
+    if n < 2 {
         return None;
     }
-    let n = x.len() as f64;
-    let mx = x.iter().sum::<f64>() / n;
-    let my = y.iter().sum::<f64>() / n;
+    let mx = sx / n as f64;
+    let my = sy / n as f64;
     let mut sxy = 0.0;
     let mut sxx = 0.0;
     let mut syy = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
+    for (a, b) in pairs {
         let dx = a - mx;
         let dy = b - my;
         sxy += dx * dy;
@@ -34,6 +46,17 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
     Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
 }
 
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` if the series are shorter than 2, have different lengths,
+/// or either has zero variance (correlation undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() {
+        return None;
+    }
+    pearson_of_pairs(x.iter().copied().zip(y.iter().copied()))
+}
+
 /// Pearson correlation where missing observations (`None`) are treated as 0.
 ///
 /// This is PerfCloud's policy for suspect metrics like LLC miss rates that
@@ -41,12 +64,10 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
 /// sample count honest and penalizes suspects that were idle while the victim
 /// suffered, instead of silently dropping those intervals.
 pub fn pearson_missing_as_zero(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
-    if x.len() != y.len() || x.len() < 2 {
+    if x.len() != y.len() {
         return None;
     }
-    let xs: Vec<f64> = x.iter().map(|v| v.unwrap_or(0.0)).collect();
-    let ys: Vec<f64> = y.iter().map(|v| v.unwrap_or(0.0)).collect();
-    pearson(&xs, &ys)
+    pearson_of_pairs(x.iter().zip(y).map(|(a, b)| (a.unwrap_or(0.0), b.unwrap_or(0.0))))
 }
 
 /// The asymmetric policy PerfCloud's identifier uses online: pairs where the
@@ -59,12 +80,7 @@ pub fn pearson_victim_aware(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64>
     if x.len() != y.len() {
         return None;
     }
-    let (xs, ys): (Vec<f64>, Vec<f64>) = x
-        .iter()
-        .zip(y)
-        .filter_map(|(a, b)| a.map(|a| (a, b.unwrap_or(0.0))))
-        .unzip();
-    pearson(&xs, &ys)
+    pearson_of_pairs(x.iter().zip(y).filter_map(|(a, b)| a.map(|a| (a, b.unwrap_or(0.0)))))
 }
 
 /// Pearson correlation that **omits** pairs with a missing observation — the
@@ -74,12 +90,7 @@ pub fn pearson_omit_missing(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64>
     if x.len() != y.len() {
         return None;
     }
-    let (xs, ys): (Vec<f64>, Vec<f64>) = x
-        .iter()
-        .zip(y)
-        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
-        .unzip();
-    pearson(&xs, &ys)
+    pearson_of_pairs(x.iter().zip(y).filter_map(|(a, b)| Some(((*a)?, (*b)?))))
 }
 
 #[cfg(test)]
@@ -136,22 +147,8 @@ mod tests {
     fn missing_as_zero_penalizes_idle_suspect() {
         // Victim deviation spikes in intervals 3..6; suspect A was active and
         // correlated; suspect B only has data for two early idle intervals.
-        let victim = [
-            Some(0.1),
-            Some(0.1),
-            Some(0.9),
-            Some(1.0),
-            Some(0.8),
-            Some(0.1),
-        ];
-        let active = [
-            Some(0.2),
-            Some(0.2),
-            Some(0.95),
-            Some(1.0),
-            Some(0.9),
-            Some(0.15),
-        ];
+        let victim = [Some(0.1), Some(0.1), Some(0.9), Some(1.0), Some(0.8), Some(0.1)];
+        let active = [Some(0.2), Some(0.2), Some(0.95), Some(1.0), Some(0.9), Some(0.15)];
         let idle = [Some(0.1), Some(0.11), None, None, None, None];
         let r_active = pearson_missing_as_zero(&victim, &active).unwrap();
         let r_idle = pearson_missing_as_zero(&victim, &idle).unwrap();

@@ -1,0 +1,440 @@
+//! Sliding-window statistics with O(1) push/evict.
+//!
+//! The identifier correlates the victim's deviation series against every
+//! suspect VM's usage series over a sliding window, every sampling interval
+//! (paper §III-B). Recomputing Pearson from scratch per suspect per tick is
+//! O(window) work and allocates aligned copies; [`RollingPearson`] instead
+//! maintains the running sums (`n, Σx, Σy, Σx², Σy², Σxy`) of the window's
+//! *contributing* pairs so each new sample costs O(1). [`RollingStddev`]
+//! does the same for a windowed population standard deviation.
+//!
+//! Two measures keep the floating point honest. The sums are taken over
+//! **pivot-shifted** values (`x - pivot`, with the pivot re-chosen near the
+//! window mean), which defuses the catastrophic cancellation the textbook
+//! `Σx² - (Σx)²/n` form suffers when the mean dwarfs the spread. And an
+//! exact recomputation from the retained window every [`REFRESH_INTERVAL`]
+//! evictions cancels incremental drift, keeping the rolling results within
+//! property-test tolerance (1e-9 relative) of their batch counterparts
+//! indefinitely.
+//!
+//! The missing-value policy matches [`crate::pearson::pearson_victim_aware`]:
+//! pairs where the **victim** observation is missing contribute nothing (an
+//! idle victim yields no evidence), while a missing **suspect** observation
+//! counts as zero per the paper's rule.
+
+use std::collections::VecDeque;
+
+/// Evictions between exact recomputations of the running sums.
+pub const REFRESH_INTERVAL: u32 = 128;
+
+/// Conditioning floor for the O(1) formulas. The running sums carry a
+/// rounding residue of order `eps × gross`, where *gross* is the monotone
+/// sum of squared magnitudes pushed since the last exact refresh. When a
+/// centered sum comes out at or below this fraction of gross, the value is
+/// dominated by cancellation (the window is nearly constant relative to
+/// everything that flowed through it), so the reader falls back to an
+/// exact pass over the retained window — bit-identical to the batch
+/// implementation, and still cheap because it only happens for degenerate
+/// windows.
+const CONDITION_FLOOR: f64 = 1e-4;
+
+/// Windowed Pearson correlation with the paper's victim-aware missing
+/// policy, updated in O(1) per sample.
+#[derive(Debug, Clone)]
+pub struct RollingPearson {
+    window: usize,
+    /// Raw observations in window order: (victim, suspect).
+    pairs: VecDeque<(Option<f64>, Option<f64>)>,
+    /// Running sums over contributing pairs (victim present), taken over
+    /// pivot-shifted values to avoid cancellation.
+    n: u64,
+    px: f64,
+    py: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+    /// Monotone sums of squared shifted magnitudes since the last refresh —
+    /// the conditioning reference for [`Self::correlation`]. Evictions do
+    /// not decrease them; the rounding residue they bound does not shrink
+    /// when values leave the window.
+    gross_x: f64,
+    gross_y: f64,
+    evictions_since_refresh: u32,
+}
+
+impl RollingPearson {
+    /// An empty window of capacity `window` (≥ 2).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "a correlation window needs at least 2 slots");
+        RollingPearson {
+            window,
+            pairs: VecDeque::with_capacity(window),
+            n: 0,
+            px: 0.0,
+            py: 0.0,
+            sx: 0.0,
+            sy: 0.0,
+            sxx: 0.0,
+            syy: 0.0,
+            sxy: 0.0,
+            gross_x: 0.0,
+            gross_y: 0.0,
+            evictions_since_refresh: 0,
+        }
+    }
+
+    /// The window capacity.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Observations currently held (contributing or not).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of pairs currently contributing to the correlation (pairs
+    /// with a present victim observation) — the identifier's evidence count.
+    pub fn contributing(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Pushes one (victim, suspect) observation, evicting the oldest when
+    /// the window is full.
+    pub fn push(&mut self, victim: Option<f64>, suspect: Option<f64>) {
+        if self.pairs.len() == self.window {
+            self.evict();
+        }
+        if let Some(v) = victim {
+            let s = suspect.unwrap_or(0.0);
+            if self.n == 0 {
+                // Anchor the pivot at the first contributing pair — close
+                // enough to the window mean for stationary series.
+                self.px = v;
+                self.py = s;
+            }
+            self.add(v, s);
+        }
+        self.pairs.push_back((victim, suspect));
+    }
+
+    fn add(&mut self, v: f64, s: f64) {
+        let v = v - self.px;
+        let s = s - self.py;
+        self.n += 1;
+        self.sx += v;
+        self.sy += s;
+        self.sxx += v * v;
+        self.syy += s * s;
+        self.sxy += v * s;
+        self.gross_x += v * v;
+        self.gross_y += s * s;
+    }
+
+    /// Drops the oldest observation, if any.
+    pub fn evict(&mut self) {
+        let Some((victim, suspect)) = self.pairs.pop_front() else {
+            return;
+        };
+        if let Some(v) = victim {
+            let v = v - self.px;
+            let s = suspect.unwrap_or(0.0) - self.py;
+            self.n -= 1;
+            self.sx -= v;
+            self.sy -= s;
+            self.sxx -= v * v;
+            self.syy -= s * s;
+            self.sxy -= v * s;
+        }
+        self.evictions_since_refresh += 1;
+        if self.evictions_since_refresh >= REFRESH_INTERVAL {
+            self.refresh();
+        }
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+        self.refresh();
+    }
+
+    /// Recomputes the running sums exactly from the retained window —
+    /// re-centering the pivot on the window's first contributing pair —
+    /// cancelling accumulated floating-point drift.
+    fn refresh(&mut self) {
+        self.n = 0;
+        self.sx = 0.0;
+        self.sy = 0.0;
+        self.sxx = 0.0;
+        self.syy = 0.0;
+        self.sxy = 0.0;
+        self.gross_x = 0.0;
+        self.gross_y = 0.0;
+        let mut first = true;
+        // Borrow the deque contents up front so `add` can re-borrow self.
+        for i in 0..self.pairs.len() {
+            let (victim, suspect) = self.pairs[i];
+            if let Some(v) = victim {
+                let s = suspect.unwrap_or(0.0);
+                if first {
+                    self.px = v;
+                    self.py = s;
+                    first = false;
+                }
+                self.add(v, s);
+            }
+        }
+        self.evictions_since_refresh = 0;
+    }
+
+    /// The correlation over the current window, or `None` with fewer than
+    /// two contributing pairs or degenerate variance.
+    pub fn correlation(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let num = self.sxy - self.sx * self.sy / n;
+        let vx = self.sxx - self.sx * self.sx / n;
+        let vy = self.syy - self.sy * self.sy / n;
+        if vx <= CONDITION_FLOOR * self.gross_x || vy <= CONDITION_FLOOR * self.gross_y {
+            // Ill-conditioned (near-constant window): answer exactly, with
+            // the same pair stream and operations as the batch path.
+            return crate::pearson::pearson_of_pairs(
+                self.pairs.iter().filter_map(|&(v, s)| v.map(|v| (v, s.unwrap_or(0.0)))),
+            );
+        }
+        Some((num / (vx * vy).sqrt()).clamp(-1.0, 1.0))
+    }
+}
+
+/// Windowed population standard deviation, updated in O(1) per sample.
+#[derive(Debug, Clone)]
+pub struct RollingStddev {
+    window: usize,
+    values: VecDeque<f64>,
+    /// Running sums over pivot-shifted values.
+    pivot: f64,
+    sum: f64,
+    sum_sq: f64,
+    /// Monotone sum of squared shifted magnitudes since the last refresh —
+    /// the conditioning reference for [`Self::population_variance`].
+    gross_sq: f64,
+    evictions_since_refresh: u32,
+}
+
+impl RollingStddev {
+    /// An empty window of capacity `window` (≥ 1).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one value");
+        RollingStddev {
+            window,
+            values: VecDeque::with_capacity(window),
+            pivot: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            gross_sq: 0.0,
+            evictions_since_refresh: 0,
+        }
+    }
+
+    /// The window capacity.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Observations currently held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Pushes one observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.values.len() == self.window {
+            self.evict();
+        }
+        if self.values.is_empty() {
+            self.pivot = x;
+        }
+        let shifted = x - self.pivot;
+        self.sum += shifted;
+        self.sum_sq += shifted * shifted;
+        self.gross_sq += shifted * shifted;
+        self.values.push_back(x);
+    }
+
+    /// Drops the oldest observation, if any.
+    pub fn evict(&mut self) {
+        let Some(x) = self.values.pop_front() else {
+            return;
+        };
+        let shifted = x - self.pivot;
+        self.sum -= shifted;
+        self.sum_sq -= shifted * shifted;
+        self.evictions_since_refresh += 1;
+        if self.evictions_since_refresh >= REFRESH_INTERVAL {
+            self.refresh();
+        }
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.refresh();
+    }
+
+    fn refresh(&mut self) {
+        self.pivot = self.values.front().copied().unwrap_or(0.0);
+        self.sum = self.values.iter().map(|x| x - self.pivot).sum();
+        self.sum_sq = self.values.iter().map(|x| (x - self.pivot) * (x - self.pivot)).sum();
+        self.gross_sq = self.sum_sq;
+        self.evictions_since_refresh = 0;
+    }
+
+    /// Mean of the current window; `None` when empty. The running sum is
+    /// pivot-shifted, so the pivot is added back.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.values.is_empty()).then(|| self.pivot + self.sum / self.values.len() as f64)
+    }
+
+    /// Population variance of the current window; `None` when empty.
+    /// Clamped at zero (incremental subtraction can go slightly negative);
+    /// ill-conditioned windows are recomputed exactly from the retained
+    /// values, matching [`crate::descriptive::population_variance`].
+    pub fn population_variance(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let n = self.values.len() as f64;
+        let v = (self.sum_sq - self.sum * self.sum / n) / n;
+        if v * n <= CONDITION_FLOOR * self.gross_sq {
+            let m = self.values.iter().sum::<f64>() / n;
+            return Some(self.values.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n);
+        }
+        Some(v.max(0.0))
+    }
+
+    /// Population standard deviation of the current window.
+    pub fn population_stddev(&self) -> Option<f64> {
+        self.population_variance().map(f64::sqrt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::population_stddev;
+    use crate::pearson::pearson_victim_aware;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn rolling_pearson_matches_batch_on_full_window() {
+        let mut rp = RollingPearson::new(4);
+        let victim = [Some(0.1), Some(0.5), Some(0.9), Some(0.4)];
+        let suspect = [Some(0.2), Some(0.55), Some(1.0), Some(0.35)];
+        for (&v, &s) in victim.iter().zip(&suspect) {
+            rp.push(v, s);
+        }
+        let batch = pearson_victim_aware(&victim, &suspect).unwrap();
+        assert!(close(rp.correlation().unwrap(), batch));
+    }
+
+    #[test]
+    fn rolling_pearson_honors_victim_missing_policy() {
+        let mut rp = RollingPearson::new(8);
+        // Victim idle for two intervals, then suffering; suspect flat-out.
+        let victim = [None, None, Some(0.2), Some(0.9), Some(1.0)];
+        let suspect = [Some(1.0), Some(1.0), Some(0.3), Some(0.95), Some(1.0)];
+        for (&v, &s) in victim.iter().zip(&suspect) {
+            rp.push(v, s);
+        }
+        assert_eq!(rp.contributing(), 3);
+        let batch = pearson_victim_aware(&victim, &suspect).unwrap();
+        assert!(close(rp.correlation().unwrap(), batch));
+    }
+
+    #[test]
+    fn eviction_tracks_the_tail() {
+        let mut rp = RollingPearson::new(3);
+        let victim: Vec<Option<f64>> = (0..10).map(|i| Some((i as f64 * 0.7).sin())).collect();
+        let suspect: Vec<Option<f64>> =
+            (0..10).map(|i| Some((i as f64 * 0.7 + 0.3).sin())).collect();
+        for (&v, &s) in victim.iter().zip(&suspect) {
+            rp.push(v, s);
+        }
+        assert_eq!(rp.len(), 3);
+        let batch = pearson_victim_aware(&victim[7..], &suspect[7..]).unwrap();
+        assert!(close(rp.correlation().unwrap(), batch));
+    }
+
+    #[test]
+    fn too_few_contributing_pairs_is_none() {
+        let mut rp = RollingPearson::new(4);
+        rp.push(Some(1.0), Some(2.0));
+        assert_eq!(rp.correlation(), None);
+        rp.push(None, Some(3.0));
+        assert_eq!(rp.correlation(), None);
+        assert_eq!(rp.contributing(), 1);
+    }
+
+    #[test]
+    fn rolling_stddev_matches_batch() {
+        let mut rs = RollingStddev::new(5);
+        let xs: Vec<f64> = (0..12).map(|i| (i as f64).sqrt() * 3.0 - 2.0).collect();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.len(), 5);
+        let batch = population_stddev(&xs[7..]).unwrap();
+        assert!(close(rs.population_stddev().unwrap(), batch));
+    }
+
+    #[test]
+    fn refresh_cancels_drift() {
+        let mut rs = RollingStddev::new(16);
+        // Large offset + tiny spread is the worst case for running sums;
+        // enough evictions to cross several refresh intervals.
+        for i in 0..(REFRESH_INTERVAL as usize * 4) {
+            rs.push(1e9 + (i % 7) as f64 * 1e-3);
+        }
+        let window: Vec<f64> = rs.values.iter().copied().collect();
+        let batch = population_stddev(&window).unwrap();
+        let rolled = rs.population_stddev().unwrap();
+        assert!(
+            (rolled - batch).abs() <= 1e-6 * batch.max(1.0),
+            "rolled {rolled} vs batch {batch}"
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut rp = RollingPearson::new(4);
+        rp.push(Some(1.0), Some(2.0));
+        rp.push(Some(2.0), Some(4.0));
+        rp.clear();
+        assert!(rp.is_empty());
+        assert_eq!(rp.contributing(), 0);
+        assert_eq!(rp.correlation(), None);
+
+        let mut rs = RollingStddev::new(4);
+        rs.push(1.0);
+        rs.clear();
+        assert!(rs.is_empty());
+        assert_eq!(rs.population_stddev(), None);
+    }
+}

@@ -7,11 +7,10 @@
 //! miss rates "are not counted when the VMs are not running any workload".
 
 use perfcloud_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A time series of optionally-missing samples at monotonically increasing
 /// timestamps.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     times: Vec<SimTime>,
     values: Vec<Option<f64>>,
@@ -65,11 +64,7 @@ impl TimeSeries {
 
     /// Latest present (non-missing) value.
     pub fn last_present(&self) -> Option<(SimTime, f64)> {
-        self.times
-            .iter()
-            .zip(&self.values)
-            .rev()
-            .find_map(|(&t, &v)| v.map(|v| (t, v)))
+        self.times.iter().zip(&self.values).rev().find_map(|(&t, &v)| v.map(|v| (t, v)))
     }
 
     /// Present values only, in time order.
@@ -108,12 +103,7 @@ impl TimeSeries {
     /// Returns a copy with trailing missing samples removed — e.g. the
     /// victim deviation series after the application has finished.
     pub fn trim_trailing_missing(&self) -> TimeSeries {
-        let keep = self
-            .values
-            .iter()
-            .rposition(|v| v.is_some())
-            .map(|i| i + 1)
-            .unwrap_or(0);
+        let keep = self.values.iter().rposition(|v| v.is_some()).map(|i| i + 1).unwrap_or(0);
         TimeSeries { times: self.times[..keep].to_vec(), values: self.values[..keep].to_vec() }
     }
 
@@ -130,7 +120,11 @@ impl TimeSeries {
 /// Aligns the tails of two series by timestamp and returns paired values for
 /// the most recent `window` timestamps present in **both** series. Missing
 /// values are preserved as `None` for the caller's missing-value policy.
-pub fn align_tail(a: &TimeSeries, b: &TimeSeries, window: usize) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
+pub fn align_tail(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    window: usize,
+) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
     let mut xs = Vec::with_capacity(window);
     let mut ys = Vec::with_capacity(window);
     let mut ia = a.times.len();

@@ -1,10 +1,17 @@
 //! Property-based tests for the statistics toolkit.
 
+use perfcloud_stats::pearson::pearson_victim_aware;
 use perfcloud_stats::{
-    mean, pearson, pearson_missing_as_zero, population_stddev, quantile, BoxplotSummary, Cdf,
-    Ewma, Running,
+    mean, pearson, pearson_missing_as_zero, population_stddev, quantile, BoxplotSummary, Cdf, Ewma,
+    RollingPearson, RollingStddev, Running,
 };
 use proptest::prelude::*;
+
+/// 1e-9 relative agreement — the rolling accumulators' contract with their
+/// batch counterparts.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1e6f64..1e6, len)
@@ -136,6 +143,94 @@ proptest! {
             hi = hi.max(v);
             let s = e.update(v);
             prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "EWMA {s} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// After every push, `RollingPearson` agrees with the batch victim-aware
+    /// Pearson over the same window to 1e-9 relative — including on whether
+    /// the correlation is defined at all.
+    #[test]
+    fn rolling_pearson_matches_batch(
+        window in 2usize..16,
+        pairs in proptest::collection::vec(
+            (proptest::option::of(-1e3f64..1e3), proptest::option::of(-1e3f64..1e3)),
+            0..200,
+        ),
+    ) {
+        let mut rp = RollingPearson::new(window);
+        let mut mirror: Vec<(Option<f64>, Option<f64>)> = Vec::new();
+        for &(v, s) in &pairs {
+            rp.push(v, s);
+            mirror.push((v, s));
+            let start = mirror.len().saturating_sub(window);
+            let x: Vec<Option<f64>> = mirror[start..].iter().map(|p| p.0).collect();
+            let y: Vec<Option<f64>> = mirror[start..].iter().map(|p| p.1).collect();
+            match (rp.correlation(), pearson_victim_aware(&x, &y)) {
+                (Some(r), Some(b)) => prop_assert!(close(r, b), "rolled {r} vs batch {b}"),
+                (None, None) => {}
+                (r, b) => prop_assert!(
+                    false,
+                    "definedness mismatch: {r:?} vs {b:?}\nx = {x:?}\ny = {y:?}"
+                ),
+            }
+        }
+    }
+
+    /// Same agreement under arbitrary interleavings of pushes and explicit
+    /// evictions (the window is rarely full in this regime, exercising the
+    /// partial-window paths and the refresh counter).
+    #[test]
+    fn rolling_pearson_survives_explicit_evictions(
+        window in 2usize..12,
+        ops in proptest::collection::vec(
+            (0u8..4, proptest::option::of(-1e3f64..1e3), proptest::option::of(-1e3f64..1e3)),
+            0..300,
+        ),
+    ) {
+        let mut rp = RollingPearson::new(window);
+        let mut mirror: std::collections::VecDeque<(Option<f64>, Option<f64>)> =
+            std::collections::VecDeque::new();
+        for &(op, v, s) in &ops {
+            if op == 0 {
+                // 1-in-4 ops evict; the rest push.
+                rp.evict();
+                mirror.pop_front();
+            } else {
+                if mirror.len() == window {
+                    mirror.pop_front();
+                }
+                rp.push(v, s);
+                mirror.push_back((v, s));
+            }
+            prop_assert_eq!(rp.len(), mirror.len());
+            let x: Vec<Option<f64>> = mirror.iter().map(|p| p.0).collect();
+            let y: Vec<Option<f64>> = mirror.iter().map(|p| p.1).collect();
+            match (rp.correlation(), pearson_victim_aware(&x, &y)) {
+                (Some(r), Some(b)) => prop_assert!(close(r, b), "rolled {r} vs batch {b}"),
+                (None, None) => {}
+                (r, b) => prop_assert!(false, "definedness mismatch: {r:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// After every push, `RollingStddev` agrees with the batch population
+    /// stddev over the same window to 1e-9 relative.
+    #[test]
+    fn rolling_stddev_matches_batch(
+        window in 1usize..16,
+        values in proptest::collection::vec(-1e3f64..1e3, 0..200),
+    ) {
+        let mut rs = RollingStddev::new(window);
+        for (i, &v) in values.iter().enumerate() {
+            rs.push(v);
+            let start = (i + 1).saturating_sub(window);
+            let win = &values[start..=i];
+            let batch = population_stddev(win).unwrap();
+            let rolled = rs.population_stddev().unwrap();
+            prop_assert!(close(rolled, batch), "rolled {rolled} vs batch {batch}");
+            let bm = mean(win).unwrap();
+            let rm = rs.mean().unwrap();
+            prop_assert!(close(rm, bm), "mean rolled {rm} vs batch {bm}");
         }
     }
 }

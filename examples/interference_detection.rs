@@ -9,10 +9,8 @@
 //! Run with: `cargo run --release --example interference_detection`
 
 use perfcloud::core::antagonist::Resource;
-use perfcloud::core::detector::{deviation_across_vms, detect};
-use perfcloud::core::{
-    AntagonistIdentifier, PerfCloudConfig, PerformanceMonitor, VmMetricKind,
-};
+use perfcloud::core::detector::{detect, deviation_across_vms};
+use perfcloud::core::{AntagonistIdentifier, PerfCloudConfig, PerformanceMonitor, VmMetricKind};
 use perfcloud::host::{PhysicalServer, ServerConfig, ServerId, VmConfig, VmId};
 use perfcloud::prelude::*;
 use perfcloud::workloads::FioRandRead;
@@ -51,17 +49,14 @@ fn main() {
 
         monitor.sample(now, &server);
         let signal = detect(&monitor, &victims, config.h_io, config.h_cpi);
-        identifier.observe(now, signal.io_deviation, signal.cpi_deviation);
-        let corr = identifier.correlation(&monitor, suspect, Resource::Io);
-        let found = identifier.identify(&monitor, &[suspect], Resource::Io);
+        identifier.observe(now, signal.io_deviation, signal.cpi_deviation, &monitor, &[suspect]);
+        let corr = identifier.correlation(suspect, Resource::Io);
+        let found = identifier.identify(&[suspect], Resource::Io);
 
         println!(
             "{:>4}  {:>12}  {:>9}  {:>12}  {:>10}",
             now.as_secs_f64() as u64,
-            signal
-                .io_deviation
-                .map(|d| format!("{d:8.2}"))
-                .unwrap_or_else(|| "-".into()),
+            signal.io_deviation.map(|d| format!("{d:8.2}")).unwrap_or_else(|| "-".into()),
             signal.io_contended,
             corr.map(|r| format!("{r:+.3}")).unwrap_or_else(|| "-".into()),
             if found.contains(&suspect) { "YES" } else { "" },

@@ -8,8 +8,7 @@
 
 use perfcloud::baselines::{Dolly, LatePolicy};
 use perfcloud::cluster::{
-    mean_efficiency, ClusterSpec, Experiment, ExperimentConfig, Mitigation, MixConfig,
-    WorkloadMix,
+    mean_efficiency, ClusterSpec, Experiment, ExperimentConfig, Mitigation, MixConfig, WorkloadMix,
 };
 use perfcloud::core::PerfCloudConfig;
 use perfcloud::prelude::*;

@@ -21,8 +21,7 @@ fn run(mitigation: Mitigation, with_antagonist: bool) -> f64 {
     if with_antagonist {
         // A colocated low-priority VM starts hammering the disk at t = 15 s.
         cfg.antagonists.push(
-            AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
-                .starting_at(SimTime::from_secs(15)),
+            AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(15)),
         );
     }
     cfg.max_sim_time = SimTime::from_secs(3_600);

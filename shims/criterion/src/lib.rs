@@ -1,0 +1,228 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the API surface the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of a plain
+//! wall-clock harness: a short warm-up calibrates an iteration count per
+//! sample, then `sample_size` samples are timed and the median ns/iter is
+//! reported on stdout. No statistical analysis, plots, or HTML reports.
+//!
+//! If `CRITERION_OUT` is set, one JSON line per benchmark
+//! (`{"name": ..., "median_ns_per_iter": ..., "samples": ...}`) is appended
+//! to that path so sweeps can diff runs mechanically.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Warm-up budget per benchmark before calibration.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// The top-level harness handle passed to each bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.default_sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with a parameter, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A function+parameter label, e.g. `BenchmarkId::new("step", 1024)`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function.into();
+        let _ = write!(label, "/{parameter}");
+        BenchmarkId { label }
+    }
+
+    /// A label with only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to the closure under test; `iter` times the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    result_ns: f64,
+    measured: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running a calibrated number of iterations per
+    /// sample and recording the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations so we can calibrate the per-sample batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let iters =
+            ((SAMPLE_TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        self.iters_per_sample = iters;
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = sample_ns[sample_ns.len() / 2];
+        self.measured = true;
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters_per_sample: 0, samples, result_ns: 0.0, measured: false };
+    f(&mut b);
+    if !b.measured {
+        println!("{label}: no measurement (Bencher::iter never called)");
+        return;
+    }
+    println!(
+        "{label}: {:.1} ns/iter (median of {} samples, {} iters/sample)",
+        b.result_ns, samples, b.iters_per_sample
+    );
+    if let Ok(path) = std::env::var("CRITERION_OUT") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let escaped: String = label
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    _ => vec![c],
+                })
+                .collect();
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{escaped}\",\"median_ns_per_iter\":{:.1},\"samples\":{samples}}}",
+                b.result_ns
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro. Tolerates the
+/// CLI arguments cargo passes to `--bench` targets (`--bench`, filters).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo invokes bench binaries with `--bench`; test harness
+            // flags may also appear. They select/report in real criterion;
+            // this shim just runs everything.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_measures() {
+        let mut c = Criterion::default();
+        trivial_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

