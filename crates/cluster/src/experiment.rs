@@ -12,12 +12,13 @@
 
 use crate::antagonists::{AntagonistKind, AntagonistPlacement};
 use crate::topology::{ClusterSpec, Testbed};
+use crate::trace::DecisionTrace;
 use perfcloud_baselines::{Dolly, LatePolicy, StaticCapping};
-use perfcloud_core::{CloudManager, NodeManager, PerfCloudConfig};
+use perfcloud_core::{CloudManager, NodeFaults, NodeManager, PerfCloudConfig};
 use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, SpeculationPolicy};
 use perfcloud_frameworks::{JobOutcome, JobSpec};
 use perfcloud_host::{PhysicalServer, VmId};
-use perfcloud_sim::{SimDuration, SimTime};
+use perfcloud_sim::{FaultScenario, SimDuration, SimTime};
 
 /// The mitigation strategy of one run.
 pub enum Mitigation {
@@ -64,6 +65,10 @@ pub struct ExperimentConfig {
     pub jobs: Vec<(SimTime, JobSpec)>,
     /// Hard wall on simulated time.
     pub max_sim_time: SimTime,
+    /// Fault-injection scenario applied to every node manager; the per-run
+    /// chaos seed is derived from the testbed's master seed, so a run is
+    /// replayable from `(cluster seed, scenario)` alone.
+    pub faults: Option<FaultScenario>,
 }
 
 impl ExperimentConfig {
@@ -75,6 +80,7 @@ impl ExperimentConfig {
             antagonists: Vec::new(),
             jobs: Vec::new(),
             max_sim_time: SimTime::from_secs(3_600),
+            faults: None,
         }
     }
 }
@@ -140,6 +146,7 @@ pub struct Experiment {
     next_sample: SimTime,
     now: SimTime,
     max_sim_time: SimTime,
+    trace: Option<DecisionTrace>,
 }
 
 impl Experiment {
@@ -177,8 +184,14 @@ impl Experiment {
             Mitigation::PerfCloudWithLate(cfg, late) => (Box::new(late), None, cfg),
         };
 
-        let node_managers: Vec<NodeManager> =
+        let mut node_managers: Vec<NodeManager> =
             (0..tb.servers.len()).map(|_| NodeManager::new(pc_config.clone())).collect();
+        if let Some(scenario) = &config.faults {
+            let chaos_seed = tb.rng.child("chaos").master_seed();
+            for (i, nm) in node_managers.iter_mut().enumerate() {
+                nm.attach_faults(NodeFaults::new(chaos_seed, scenario.clone(), i as u32));
+            }
+        }
 
         let mut jobs = config.jobs;
         jobs.sort_by_key(|(t, _)| *t);
@@ -204,7 +217,19 @@ impl Experiment {
             next_sample: SimTime::ZERO + sample_interval,
             now: SimTime::ZERO,
             max_sim_time: config.max_sim_time,
+            trace: None,
         }
+    }
+
+    /// Starts recording a canonical decision trace of every node-manager
+    /// step from this point on.
+    pub fn enable_decision_trace(&mut self) {
+        self.trace = Some(DecisionTrace::new());
+    }
+
+    /// The decision trace, if [`Self::enable_decision_trace`] was called.
+    pub fn decision_trace(&self) -> Option<&DecisionTrace> {
+        self.trace.as_ref()
     }
 
     /// Current simulated time.
@@ -266,7 +291,10 @@ impl Experiment {
         // Node managers at the sampling cadence.
         if now >= self.next_sample {
             for (i, nm) in self.node_managers.iter_mut().enumerate() {
-                nm.step(now, &mut self.servers[i], &mut self.cloud);
+                let report = nm.step(now, &mut self.servers[i], &mut self.cloud);
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(now, i, &report);
+                }
             }
             self.next_sample += self.sample_interval;
         }

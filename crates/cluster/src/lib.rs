@@ -20,9 +20,11 @@ pub mod experiment;
 pub mod metrics;
 pub mod mix;
 pub mod topology;
+pub mod trace;
 
 pub use antagonists::{AntagonistKind, AntagonistPlacement};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, Mitigation};
 pub use metrics::{mean_efficiency, normalize_jcts, DegradationBreakdown};
 pub use mix::{MixConfig, WorkloadMix};
 pub use topology::{ClusterSpec, Testbed};
+pub use trace::DecisionTrace;

@@ -1,0 +1,198 @@
+//! Canonical decision traces.
+//!
+//! A [`DecisionTrace`] records, per node-manager step, everything the agent
+//! observed and did: the deviation signal, contention flags, identified
+//! antagonists, applied caps, and fault flags. The encoding is one line per
+//! step in a fixed field order, with `f64` values printed via Rust's `{}`
+//! Display — the shortest string that round-trips to the same bits — so two
+//! traces are byte-identical exactly when the decision sequences are
+//! bit-identical. The golden-trace suite diffs these against checked-in
+//! references and prints the first diverging decision.
+
+use perfcloud_core::StepReport;
+use perfcloud_sim::rng::fnv1a64;
+use perfcloud_sim::SimTime;
+use std::fmt::Write;
+
+/// An append-only, canonically encoded record of node-manager decisions.
+#[derive(Debug, Default, Clone)]
+pub struct DecisionTrace {
+    lines: Vec<String>,
+}
+
+impl DecisionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one node-manager step. `server` is the server index the
+    /// report came from.
+    pub fn record(&mut self, now: SimTime, server: usize, report: &StepReport) {
+        let mut line = String::with_capacity(96);
+        let _ = write!(line, "t={} s={}", now.as_secs_f64(), server);
+
+        match &report.signal {
+            Some(sig) => {
+                let _ = write!(
+                    line,
+                    " dio={} dcpi={} io={} cpu={}",
+                    opt(sig.io_deviation),
+                    opt(sig.cpi_deviation),
+                    u8::from(sig.io_contended),
+                    u8::from(sig.cpu_contended),
+                );
+            }
+            None => line.push_str(" dio=- dcpi=- io=- cpu=-"),
+        }
+
+        let _ = write!(
+            line,
+            " aio={} acpu={}",
+            vm_list(&report.io_antagonists),
+            vm_list(&report.cpu_antagonists)
+        );
+        let _ =
+            write!(line, " cio={} ccpu={}", cap_list(&report.io_caps), cap_list(&report.cpu_caps));
+
+        let mut flags = String::new();
+        if report.stalled {
+            flags.push('S');
+        }
+        if report.restarted {
+            flags.push('R');
+        }
+        if report.placement_stale {
+            flags.push('P');
+        }
+        if flags.is_empty() {
+            flags.push('-');
+        }
+        let _ = write!(line, " f={flags}");
+        self.lines.push(line);
+    }
+
+    /// The recorded lines, in order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The whole trace as one newline-terminated string.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A stable 64-bit digest of the canonical encoding.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x}"),
+        None => "-".into(),
+    }
+}
+
+fn vm_list(vms: &[perfcloud_host::VmId]) -> String {
+    if vms.is_empty() {
+        return "-".into();
+    }
+    let mut out = String::new();
+    for (i, vm) in vms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", vm.0);
+    }
+    out
+}
+
+fn cap_list(caps: &[(perfcloud_host::VmId, f64)]) -> String {
+    if caps.is_empty() {
+        return "-".into();
+    }
+    let mut out = String::new();
+    for (i, (vm, cap)) in caps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", vm.0, cap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfcloud_core::ContentionSignal;
+    use perfcloud_host::VmId;
+
+    fn idle_report() -> StepReport {
+        StepReport {
+            signal: None,
+            io_antagonists: Vec::new(),
+            cpu_antagonists: Vec::new(),
+            io_caps: Vec::new(),
+            cpu_caps: Vec::new(),
+            stalled: false,
+            restarted: false,
+            placement_stale: false,
+        }
+    }
+
+    #[test]
+    fn canonical_line_shape() {
+        let mut trace = DecisionTrace::new();
+        trace.record(SimTime::from_secs(5), 0, &idle_report());
+        let mut busy = idle_report();
+        busy.signal = Some(ContentionSignal {
+            io_deviation: Some(12.5),
+            cpi_deviation: None,
+            io_contended: true,
+            cpu_contended: false,
+        });
+        busy.io_antagonists = vec![VmId(10)];
+        busy.io_caps = vec![(VmId(10), 0.2)];
+        busy.restarted = true;
+        trace.record(SimTime::from_secs(10), 3, &busy);
+        assert_eq!(
+            trace.lines()[0],
+            "t=5 s=0 dio=- dcpi=- io=- cpu=- aio=- acpu=- cio=- ccpu=- f=-"
+        );
+        assert_eq!(
+            trace.lines()[1],
+            "t=10 s=3 dio=12.5 dcpi=- io=1 cpu=0 aio=10 acpu=- cio=10:0.2 ccpu=- f=R"
+        );
+        assert_eq!(trace.canonical().lines().count(), 2);
+        assert!(trace.canonical().ends_with('\n'));
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut a = DecisionTrace::new();
+        let mut b = DecisionTrace::new();
+        a.record(SimTime::from_secs(5), 0, &idle_report());
+        b.record(SimTime::from_secs(5), 0, &idle_report());
+        assert_eq!(a.digest(), b.digest());
+        b.record(SimTime::from_secs(10), 0, &idle_report());
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn float_encoding_round_trips() {
+        // Display for f64 is shortest-roundtrip: parsing the encoded value
+        // back must recover the exact bits.
+        let vals = [0.1 + 0.2, 1.0 / 3.0, 12.5, f64::MIN_POSITIVE];
+        for v in vals {
+            let s = opt(Some(v));
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

@@ -18,6 +18,13 @@
 //! grows past `release_level` (≥ the observed usage), the throttle is no
 //! longer binding and the controller releases the VM.
 
+/// Floor for the normalized cap. Repeated multiplicative decreases converge
+/// toward zero; an actual zero cap would freeze the antagonist entirely
+/// (starving it of the progress the paper's throttling preserves) and pin
+/// `K = ∛(C_max/γ)` so recovery never anchors. Saturating here keeps every
+/// quota strictly positive and the cubic curve well-defined.
+pub const CAP_FLOOR: f64 = 1e-3;
+
 /// Controller parameters (β, γ of Eq. 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CubicController {
@@ -45,7 +52,7 @@ impl CubicController {
     pub fn step(&self, state: &mut CubicState, contended: bool) -> f64 {
         if contended {
             state.c_max = state.cap;
-            state.cap *= 1.0 - self.beta;
+            state.cap = (state.cap * (1.0 - self.beta)).max(CAP_FLOOR);
             state.anchor = state.cap;
             state.intervals_since_decrease = 0;
             state.ever_decreased = true;
@@ -227,6 +234,71 @@ mod tests {
         c.step(&mut s, true);
         assert!((s.cap - 0.2 * high).abs() < 1e-9);
         assert!((s.c_max - high).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustained_contention_saturates_at_floor() {
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        for _ in 0..100 {
+            let cap = c.step(&mut s, true);
+            assert!(cap >= CAP_FLOOR, "cap fell through the floor: {cap}");
+        }
+        assert_eq!(s.cap, CAP_FLOOR, "repeated decrease must saturate exactly at the floor");
+        // A decrease *at* the floor keeps the state consistent: C_max is the
+        // pre-decrease cap (also the floor), anchor equals cap.
+        let cap = c.step(&mut s, true);
+        assert_eq!(cap, CAP_FLOOR);
+        assert_eq!(s.c_max, CAP_FLOOR);
+    }
+
+    #[test]
+    fn recovery_from_floor_is_finite_and_monotone() {
+        // After saturating, K = ∛((C_max − anchor)/γ) = 0 and growth is pure
+        // γ·T³ from the floor — the cap must escape in bounded time rather
+        // than stay pinned.
+        let c = CubicController::paper();
+        let mut s = CubicState::new();
+        for _ in 0..50 {
+            c.step(&mut s, true);
+        }
+        assert_eq!(s.cap, CAP_FLOOR);
+        let mut last = s.cap;
+        let mut escaped_at = None;
+        for t in 1..=40 {
+            let cap = c.step(&mut s, false);
+            assert!(cap.is_finite());
+            assert!(cap >= last, "recovery must be monotone");
+            last = cap;
+            if escaped_at.is_none() && cap >= 0.5 {
+                escaped_at = Some(t);
+            }
+        }
+        // γ·T³ reaches 0.5 at T = ∛(0.5/0.005) ≈ 4.6.
+        let t = escaped_at.expect("cap must recover from the floor");
+        assert!((3..=8).contains(&t), "escaped at interval {t}");
+    }
+
+    #[test]
+    fn wmax_crossing_is_exact() {
+        // γ = 0.8/27 makes K = ∛(0.8/γ) = 3 exactly: the curve must touch
+        // C_max precisely at T = 3, sit below it before, and exceed after.
+        let c = CubicController::new(0.8, 0.8 / 27.0);
+        let mut s = CubicState::new();
+        c.step(&mut s, true); // cap -> 0.2, C_max = 1.0
+        let c1 = c.step(&mut s, false);
+        let c2 = c.step(&mut s, false);
+        let c3 = c.step(&mut s, false);
+        let c4 = c.step(&mut s, false);
+        assert!(c1 < 1.0 && c2 < 1.0, "below W_max before the crossing: {c1} {c2}");
+        assert!((c3 - 1.0).abs() < 1e-9, "curve touches C_max exactly at T = K: {c3}");
+        assert!(c4 > 1.0, "beyond K the curve probes past W_max: {c4}");
+        // The inflection: increments shrink approaching K, grow after it.
+        let inc_before = c2 - c1;
+        let inc_at = c3 - c2;
+        let inc_after = c4 - c3;
+        assert!(inc_before > inc_at, "growth decelerates into the plateau");
+        assert!(inc_after < inc_at * 2.0 + 1e-9, "first probe step stays gentle");
     }
 
     #[test]

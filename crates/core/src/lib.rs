@@ -22,6 +22,7 @@
 //!   `vcpu_quota` actuators (§III-D.2).
 
 pub mod antagonist;
+pub mod chaos;
 pub mod cloud;
 pub mod config;
 pub mod cubic;
@@ -30,9 +31,10 @@ pub mod monitor;
 pub mod node_manager;
 
 pub use antagonist::AntagonistIdentifier;
+pub use chaos::{ManagerFault, NodeFaults};
 pub use cloud::{AppId, CloudManager, VmRecord};
 pub use config::PerfCloudConfig;
 pub use cubic::{CubicController, CubicState};
 pub use detector::{deviation_across_vms, ContentionSignal};
-pub use monitor::{PerformanceMonitor, VmMetricKind};
-pub use node_manager::NodeManager;
+pub use monitor::{IngestOutcome, PerformanceMonitor, VmMetricKind};
+pub use node_manager::{NodeManager, StepReport};

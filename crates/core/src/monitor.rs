@@ -44,9 +44,25 @@ impl VmMetricKind {
     ];
 }
 
+/// What the monitor did with one delivered snapshot — the graceful-
+/// degradation contract the fault layer exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// First snapshot for this VM: establishes the delta baseline only.
+    Baseline,
+    /// Metrics were derived and recorded.
+    Recorded,
+    /// Rejected: the snapshot is older than state already held (a delayed
+    /// delivery overtaken by fresher samples, or a counter regression).
+    Stale,
+    /// Rejected: a snapshot for this instant was already ingested.
+    Duplicate,
+}
+
 #[derive(Debug, Default)]
 struct VmMonitorState {
     prev: Option<CounterSnapshot>,
+    last_ingest: Option<SimTime>,
     ewma: BTreeMap<VmMetricKind, Ewma>,
     series: BTreeMap<VmMetricKind, TimeSeries>,
 }
@@ -74,11 +90,46 @@ impl PerformanceMonitor {
     /// Samples every VM on `server` at time `now`. The first sample of a VM
     /// only establishes its baseline snapshot (no series point).
     pub fn sample(&mut self, now: SimTime, server: &PhysicalServer) {
-        let interval_guess = 5.0; // replaced below by the actual delta time
         for vm in server.vm_ids() {
             let Some(snap) = server.counters(vm) else { continue };
-            let state = self.vms.entry(vm).or_default();
-            if let Some(prev) = state.prev {
+            self.ingest(now, vm, snap);
+        }
+    }
+
+    /// Ingests one VM snapshot delivered at `now` (the per-VM unit `sample`
+    /// iterates; the fault layer calls it directly to drop, delay, duplicate
+    /// or corrupt individual deliveries).
+    pub fn ingest(&mut self, now: SimTime, vm: VmId, snap: CounterSnapshot) -> IngestOutcome {
+        self.ingest_tweaked(now, vm, snap, |_, raw| raw)
+    }
+
+    /// [`Self::ingest`] with a hook that may rewrite each raw metric value
+    /// before smoothing — the corruption point for NaN/spike/stuck-at
+    /// faults. Returning `None` records the metric as missing.
+    pub fn ingest_tweaked(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        snap: CounterSnapshot,
+        mut tweak: impl FnMut(VmMetricKind, Option<f64>) -> Option<f64>,
+    ) -> IngestOutcome {
+        let interval_guess = 5.0; // replaced below by the actual delta time
+        let state = self.vms.entry(vm).or_default();
+        if let Some(last) = state.last_ingest {
+            if now == last {
+                return IngestOutcome::Duplicate;
+            }
+            if now < last {
+                return IngestOutcome::Stale;
+            }
+        }
+        let outcome = match state.prev {
+            Some(prev) => {
+                if snap.regressed_since(&prev) {
+                    // A late delivery of a pre-baseline snapshot; computing
+                    // its delta would go negative. Reject, keep state as-is.
+                    return IngestOutcome::Stale;
+                }
                 let delta = prev.delta_to(&snap);
                 // Interval length: derive from last series timestamp if any.
                 let interval = state
@@ -88,16 +139,45 @@ impl PerformanceMonitor {
                     .filter(|&s| s > 0.0)
                     .unwrap_or(interval_guess);
                 let m = IntervalMetrics::from_delta(&delta, interval);
-                self.record(vm, now, VmMetricKind::IowaitRatio, m.iowait_ratio_ms);
-                self.record(vm, now, VmMetricKind::Cpi, m.cpi);
-                self.record(vm, now, VmMetricKind::LlcMissRate, m.llc_miss_rate);
-                self.record(vm, now, VmMetricKind::IoBps, Some(m.io_bps));
-                self.record(vm, now, VmMetricKind::IoIops, Some(m.io_iops));
-                self.record(vm, now, VmMetricKind::CpuCores, Some(m.cpu_cores));
+                self.record(
+                    vm,
+                    now,
+                    VmMetricKind::IowaitRatio,
+                    tweak(VmMetricKind::IowaitRatio, m.iowait_ratio_ms),
+                );
+                self.record(vm, now, VmMetricKind::Cpi, tweak(VmMetricKind::Cpi, m.cpi));
+                self.record(
+                    vm,
+                    now,
+                    VmMetricKind::LlcMissRate,
+                    tweak(VmMetricKind::LlcMissRate, m.llc_miss_rate),
+                );
+                self.record(
+                    vm,
+                    now,
+                    VmMetricKind::IoBps,
+                    tweak(VmMetricKind::IoBps, Some(m.io_bps)),
+                );
+                self.record(
+                    vm,
+                    now,
+                    VmMetricKind::IoIops,
+                    tweak(VmMetricKind::IoIops, Some(m.io_iops)),
+                );
+                self.record(
+                    vm,
+                    now,
+                    VmMetricKind::CpuCores,
+                    tweak(VmMetricKind::CpuCores, Some(m.cpu_cores)),
+                );
+                IngestOutcome::Recorded
             }
-            let state = self.vms.get_mut(&vm).expect("just inserted");
-            state.prev = Some(snap);
-        }
+            None => IngestOutcome::Baseline,
+        };
+        let state = self.vms.get_mut(&vm).expect("just inserted");
+        state.prev = Some(snap);
+        state.last_ingest = Some(now);
+        outcome
     }
 
     fn record(&mut self, vm: VmId, now: SimTime, kind: VmMetricKind, raw: Option<f64>) {
@@ -105,7 +185,9 @@ impl PerformanceMonitor {
         let retain = self.retain;
         let state = self.vms.get_mut(&vm).expect("state exists");
         let series = state.series.entry(kind).or_default();
-        let smoothed = match raw {
+        // A corrupted non-finite reading is recorded as missing: it must not
+        // enter the EWMA (which would hold it forever) or the series.
+        let smoothed = match raw.filter(|v| v.is_finite()) {
             None => None,
             Some(x) => {
                 let e = state.ewma.entry(kind).or_insert_with(|| Ewma::new(alpha));
@@ -113,6 +195,29 @@ impl PerformanceMonitor {
             }
         };
         series.push(now, smoothed);
+        series.retain_last(retain);
+    }
+
+    /// The last snapshot successfully ingested for `vm` (the baseline for
+    /// its next delta). The fault layer uses it to re-deliver duplicates.
+    pub fn previous_snapshot(&self, vm: VmId) -> Option<CounterSnapshot> {
+        self.vms.get(&vm)?.prev
+    }
+
+    /// Appends a raw (unsmoothed) point to a VM's series — a test hook for
+    /// driving the identifier with exactly known values.
+    #[doc(hidden)]
+    pub fn push_synthetic(
+        &mut self,
+        vm: VmId,
+        kind: VmMetricKind,
+        now: SimTime,
+        value: Option<f64>,
+    ) {
+        let retain = self.retain;
+        let state = self.vms.entry(vm).or_default();
+        let series = state.series.entry(kind).or_default();
+        series.push(now, value);
         series.retain_last(retain);
     }
 
@@ -250,6 +355,78 @@ mod tests {
         }
         let len = mon.series(VmId(0), VmMetricKind::CpuCores).unwrap().len();
         assert!(len <= 64);
+    }
+
+    #[test]
+    fn duplicate_and_stale_deliveries_are_rejected() {
+        let mut server = busy_server();
+        let mut mon = PerformanceMonitor::new(&PerfCloudConfig::default());
+        let t0 = SimTime::from_secs(5);
+        let snap0 = server.counters(VmId(0)).unwrap();
+        assert_eq!(mon.ingest(t0, VmId(0), snap0), IngestOutcome::Baseline);
+        for _ in 0..50 {
+            server.tick(DT);
+        }
+        let t1 = SimTime::from_secs(10);
+        let snap1 = server.counters(VmId(0)).unwrap();
+        assert_eq!(mon.ingest(t1, VmId(0), snap1), IngestOutcome::Recorded);
+        // Re-delivery at the same instant: rejected, series unchanged.
+        assert_eq!(mon.ingest(t1, VmId(0), snap1), IngestOutcome::Duplicate);
+        // A delivery from the past: rejected on timestamp alone.
+        assert_eq!(mon.ingest(t0, VmId(0), snap1), IngestOutcome::Stale);
+        // A later-timestamped delivery of regressed counters: also stale.
+        assert_eq!(mon.ingest(SimTime::from_secs(15), VmId(0), snap0), IngestOutcome::Stale);
+        assert_eq!(mon.series(VmId(0), VmMetricKind::IoBps).unwrap().len(), 1);
+        // The pipeline recovers with the next good delivery.
+        for _ in 0..50 {
+            server.tick(DT);
+        }
+        let snap2 = server.counters(VmId(0)).unwrap();
+        assert_eq!(mon.ingest(SimTime::from_secs(20), VmId(0), snap2), IngestOutcome::Recorded);
+    }
+
+    #[test]
+    fn tweaked_nan_is_recorded_as_missing() {
+        let mut server = busy_server();
+        let mut mon = PerformanceMonitor::new(&PerfCloudConfig::default());
+        let mut now = SimTime::ZERO;
+        mon.sample(now, &server);
+        sample_after(&mut mon, &mut server, &mut now);
+        let before = mon.latest_present(VmId(0), VmMetricKind::IowaitRatio).unwrap();
+        for _ in 0..50 {
+            server.tick(DT);
+        }
+        now += SimDuration::from_secs(5.0);
+        let snap = server.counters(VmId(0)).unwrap();
+        let outcome = mon.ingest_tweaked(now, VmId(0), snap, |kind, raw| {
+            if kind == VmMetricKind::IowaitRatio {
+                Some(f64::NAN)
+            } else {
+                raw
+            }
+        });
+        assert_eq!(outcome, IngestOutcome::Recorded);
+        // NaN became a missing sample; the EWMA held its previous state.
+        assert_eq!(mon.latest(VmId(0), VmMetricKind::IowaitRatio), None);
+        assert_eq!(mon.latest_present(VmId(0), VmMetricKind::IowaitRatio), Some(before));
+        // Other metrics in the same delivery were unaffected.
+        assert!(mon.latest(VmId(0), VmMetricKind::IoBps).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn duplicate_snapshot_content_yields_missing_metrics() {
+        // The duplicate *fault* re-delivers the previous snapshot content at
+        // a fresh timestamp: zero delta => iowait/CPI missing, rates zero.
+        let mut server = busy_server();
+        let mut mon = PerformanceMonitor::new(&PerfCloudConfig::default());
+        let mut now = SimTime::ZERO;
+        mon.sample(now, &server);
+        sample_after(&mut mon, &mut server, &mut now);
+        let prev = mon.previous_snapshot(VmId(0)).unwrap();
+        now += SimDuration::from_secs(5.0);
+        assert_eq!(mon.ingest(now, VmId(0), prev), IngestOutcome::Recorded);
+        assert_eq!(mon.latest(VmId(0), VmMetricKind::IowaitRatio), None);
+        assert_eq!(mon.latest(VmId(0), VmMetricKind::Cpi), None);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! point where the throttle binds.
 
 use crate::antagonist::{AntagonistIdentifier, Resource};
+use crate::chaos::{ManagerFault, NodeFaults};
 use crate::cloud::{AppId, CloudManager};
 use crate::config::PerfCloudConfig;
 use crate::cubic::{CubicController, CubicState};
@@ -49,6 +50,28 @@ pub struct StepReport {
     pub io_caps: Vec<(VmId, f64)>,
     /// Normalized CPU caps currently applied (VM, cap fraction).
     pub cpu_caps: Vec<(VmId, f64)>,
+    /// The manager was stalled and skipped this interval entirely.
+    pub stalled: bool,
+    /// The manager crash-restarted this interval, losing its windows.
+    pub restarted: bool,
+    /// Decisions ran on a cached (or no) placement view this interval.
+    pub placement_stale: bool,
+}
+
+impl StepReport {
+    /// A report for an interval in which the manager took no action.
+    fn idle() -> Self {
+        StepReport {
+            signal: None,
+            io_antagonists: Vec::new(),
+            cpu_antagonists: Vec::new(),
+            io_caps: Vec::new(),
+            cpu_caps: Vec::new(),
+            stalled: false,
+            restarted: false,
+            placement_stale: false,
+        }
+    }
 }
 
 /// The per-server PerfCloud agent.
@@ -62,6 +85,18 @@ pub struct NodeManager {
     io_cap_trace: BTreeMap<VmId, TimeSeries>,
     cpu_cap_trace: BTreeMap<VmId, TimeSeries>,
     controlled_app: Option<AppId>,
+    faults: Option<NodeFaults>,
+    /// Last placement view fetched from the cloud manager, for riding out
+    /// desynchronization.
+    placement_cache: Option<PlacementView>,
+}
+
+/// A cached cloud-manager placement view with its fetch time.
+#[derive(Debug)]
+struct PlacementView {
+    fetched: SimTime,
+    apps: Vec<(AppId, Vec<VmId>)>,
+    suspects: Vec<VmId>,
 }
 
 impl NodeManager {
@@ -78,7 +113,18 @@ impl NodeManager {
             io_cap_trace: BTreeMap::new(),
             cpu_cap_trace: BTreeMap::new(),
             controlled_app: None,
+            faults: None,
+            placement_cache: None,
         }
+    }
+
+    /// Intervals the manager will run on a cached placement view before
+    /// refusing to make decisions (bounded staleness).
+    pub const MAX_PLACEMENT_STALENESS: u32 = 12;
+
+    /// Attaches a fault scenario; every subsequent step goes through it.
+    pub fn attach_faults(&mut self, faults: NodeFaults) {
+        self.faults = Some(faults);
     }
 
     /// The underlying monitor (read access for experiments).
@@ -108,12 +154,51 @@ impl NodeManager {
         server: &mut PhysicalServer,
         cloud: &mut CloudManager,
     ) -> StepReport {
-        // (1) Fetch placement and priorities from the cloud manager.
-        let apps = cloud.apps_on(server.id);
-        let suspects = cloud.low_priority_on(server.id);
+        // (0) Manager-level faults: a stalled agent does nothing at all this
+        // interval; a crashed one loses its in-memory state and restarts.
+        if let Some(faults) = self.faults.as_mut() {
+            match faults.begin_interval(now, self.config.sample_interval) {
+                ManagerFault::Stalled => {
+                    return StepReport { stalled: true, ..StepReport::idle() };
+                }
+                ManagerFault::Crashed => {
+                    self.crash_restart(server);
+                    return StepReport { restarted: true, ..StepReport::idle() };
+                }
+                ManagerFault::None => {}
+            }
+        }
 
-        // (2) Sample all VMs.
-        self.monitor.sample(now, server);
+        // (1) Fetch placement and priorities from the cloud manager — or,
+        // when the update channel is desynchronized, ride the cached view up
+        // to the bounded-staleness limit.
+        let desynced = self.faults.as_ref().is_some_and(|f| f.placement_desynced(now));
+        let (apps, suspects, placement_stale) = if desynced {
+            let limit = self.config.sample_interval.mul_f64(Self::MAX_PLACEMENT_STALENESS as f64);
+            match &self.placement_cache {
+                Some(view) if now.saturating_since(view.fetched) <= limit => {
+                    (view.apps.clone(), view.suspects.clone(), true)
+                }
+                _ => {
+                    // The cached view is too old to act on safely. Keep the
+                    // metric windows warm but make no control decisions.
+                    self.sample(now, server);
+                    return StepReport { placement_stale: true, ..StepReport::idle() };
+                }
+            }
+        } else {
+            let apps = cloud.apps_on(server.id);
+            let suspects = cloud.low_priority_on(server.id);
+            self.placement_cache = Some(PlacementView {
+                fetched: now,
+                apps: apps.clone(),
+                suspects: suspects.clone(),
+            });
+            (apps, suspects, false)
+        };
+
+        // (2) Sample all VMs (through the fault filter, when attached).
+        self.sample(now, server);
 
         // Multiple high-priority applications colocated → notify (the
         // paper's hook for migration-based resolution); control the first.
@@ -123,13 +208,7 @@ impl NodeManager {
         let Some((app, app_vms)) = apps.into_iter().next() else {
             // Nothing to protect on this server; release any leftover caps.
             self.release_all(server, now);
-            return StepReport {
-                signal: None,
-                io_antagonists: Vec::new(),
-                cpu_antagonists: Vec::new(),
-                io_caps: Vec::new(),
-                cpu_caps: Vec::new(),
-            };
+            return StepReport { placement_stale, ..StepReport::idle() };
         };
         if self.controlled_app != Some(app) {
             self.controlled_app = Some(app);
@@ -161,6 +240,41 @@ impl NodeManager {
             cpu_antagonists: cpu_ants,
             io_caps,
             cpu_caps,
+            stalled: false,
+            restarted: false,
+            placement_stale,
+        }
+    }
+
+    /// Samples all VMs, through the fault filter when one is attached.
+    fn sample(&mut self, now: SimTime, server: &PhysicalServer) {
+        match self.faults.as_mut() {
+            Some(faults) => {
+                faults.sample(now, self.config.sample_interval, &mut self.monitor, server)
+            }
+            None => self.monitor.sample(now, server),
+        }
+    }
+
+    /// Models the agent process dying and restarting: every in-memory rolling
+    /// window, EWMA, controller state and cached placement is gone. The fresh
+    /// process finds hypervisor caps it has no record of and releases them —
+    /// clean-slate recovery; re-detection re-applies them within a bounded
+    /// number of intervals (the windows re-warm from empty).
+    fn crash_restart(&mut self, server: &mut PhysicalServer) {
+        self.monitor = PerformanceMonitor::new(&self.config);
+        self.identifier = AntagonistIdentifier::new(&self.config);
+        self.io_controlled.clear();
+        self.cpu_controlled.clear();
+        self.controlled_app = None;
+        self.placement_cache = None;
+        for vm in server.vm_ids() {
+            if server.io_throttle(vm).is_some_and(|t| t.is_throttled()) {
+                server.set_io_throttle(vm, IoThrottle::unlimited());
+            }
+            if server.cpu_cap(vm).is_some_and(|c| c.is_capped()) {
+                server.set_cpu_cap(vm, CpuCap::unlimited());
+            }
         }
     }
 
@@ -173,10 +287,26 @@ impl NodeManager {
         server: &mut PhysicalServer,
         now: SimTime,
     ) -> Vec<(VmId, f64)> {
-        // Drop control state for VMs that left this server (migration,
-        // teardown) — their caps travel with the hypervisor, not with us.
-        for set in [&mut self.io_controlled, &mut self.cpu_controlled] {
-            set.retain(|vm, _| suspects.contains(vm));
+        // Drop control state for VMs that left the suspect set. One that is
+        // still hosted here (deregistered or promoted in the cloud manager)
+        // must have its cap released — nothing else will ever do it; one
+        // that migrated keeps its caps, which travel with the hypervisor.
+        {
+            let controlled = match resource {
+                Resource::Io => &mut self.io_controlled,
+                Resource::Cpu => &mut self.cpu_controlled,
+            };
+            let departed: Vec<VmId> =
+                controlled.keys().filter(|vm| !suspects.contains(vm)).copied().collect();
+            for vm in departed {
+                controlled.remove(&vm);
+                if server.hosts(vm) {
+                    match resource {
+                        Resource::Io => server.set_io_throttle(vm, IoThrottle::unlimited()),
+                        Resource::Cpu => server.set_cpu_cap(vm, CpuCap::unlimited()),
+                    }
+                }
+            }
         }
         // Enroll newly identified antagonists while contention persists.
         if contended {
@@ -432,6 +562,53 @@ mod tests {
         assert!(
             !tb.cloud.notifications().is_empty(),
             "node manager must notify the cloud manager about colocated apps"
+        );
+    }
+
+    #[test]
+    fn throttle_released_when_antagonist_leaves_placement() {
+        let mut tb = testbed((10.0, 1.0));
+        tb.run(3);
+        tb.start_antagonist();
+        tb.run(10);
+        assert!(
+            tb.server.io_throttle(VmId(10)).unwrap().is_throttled(),
+            "precondition: antagonist under throttle"
+        );
+        // The VM is torn down in the cloud manager but the guest lingers on
+        // this host: it leaves the suspect set, so the cap must come off.
+        tb.cloud.deregister(VmId(10));
+        tb.run(1);
+        assert!(
+            !tb.server.io_throttle(VmId(10)).unwrap().is_throttled(),
+            "cap must be released when the VM disappears from placement"
+        );
+    }
+
+    #[test]
+    fn crash_restart_rewarns_and_redetects() {
+        let mut tb = testbed((10.0, 1.0));
+        tb.run(3);
+        tb.start_antagonist();
+        tb.run(10);
+        assert!(tb.server.io_throttle(VmId(10)).unwrap().is_throttled());
+        // Crash at the next interval boundary via an attached scenario.
+        let crash_at = tb.now + SimDuration::from_secs(5.0);
+        let scenario = perfcloud_sim::FaultScenario::named("crash-once").rule(
+            perfcloud_sim::FaultRule::new("crash", perfcloud_sim::FaultKind::CrashRestart)
+                .window(crash_at, crash_at + SimDuration::from_secs(1.0)),
+        );
+        tb.nm.attach_faults(crate::chaos::NodeFaults::new(1, scenario, 0));
+        let reports = tb.run(1);
+        assert!(reports[0].restarted);
+        // Clean-slate recovery: the unknown cap was released…
+        assert!(!tb.server.io_throttle(VmId(10)).unwrap().is_throttled());
+        // …and with the antagonist still raging, re-detection re-throttles
+        // within a bounded number of intervals (warm-up ≥ min_corr_samples).
+        let reports = tb.run(8);
+        assert!(
+            reports.iter().any(|r| r.io_caps.iter().any(|&(vm, _)| vm == VmId(10))),
+            "no re-throttle within 8 intervals of the restart"
         );
     }
 

@@ -54,6 +54,25 @@ pub struct CounterSnapshot {
 }
 
 impl CounterSnapshot {
+    /// True if any counter in `self` is below its value in `earlier`.
+    ///
+    /// Counters are monotone per VM boot, so a regressed snapshot is the
+    /// signature of a stale delivery (a delayed sample overtaken by fresher
+    /// ones) or a counter reset; the monitor rejects such snapshots instead
+    /// of computing a negative delta.
+    pub fn regressed_since(&self, earlier: &CounterSnapshot) -> bool {
+        let a = &earlier.counters;
+        let b = &self.counters;
+        b.io_serviced < a.io_serviced
+            || b.io_service_bytes < a.io_service_bytes
+            || b.io_wait_time < a.io_wait_time
+            || b.cpu_time < a.cpu_time
+            || b.cycles < a.cycles
+            || b.instructions < a.instructions
+            || b.llc_references < a.llc_references
+            || b.llc_misses < a.llc_misses
+    }
+
     /// Difference of two snapshots (`later - self`), i.e. activity in the
     /// interval between them. Panics in debug builds if `later` is not
     /// actually later (counters are monotone).
@@ -158,6 +177,20 @@ mod tests {
         assert_eq!(d.io_serviced, 100.0);
         assert_eq!(d.io_wait_time, 0.5);
         assert_eq!(d.cycles, 4.6e9);
+    }
+
+    #[test]
+    fn regression_detection() {
+        let base = CounterSnapshot { counters: sample() };
+        let mut advanced = sample();
+        advanced.accumulate(&sample());
+        let later = CounterSnapshot { counters: advanced };
+        assert!(!later.regressed_since(&base));
+        assert!(base.regressed_since(&later));
+        assert!(!base.regressed_since(&base), "equal snapshots are not a regression");
+        let mut dipped = sample();
+        dipped.cycles -= 1.0;
+        assert!(CounterSnapshot { counters: dipped }.regressed_since(&base));
     }
 
     #[test]

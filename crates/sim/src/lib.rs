@@ -32,10 +32,12 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod handler;
 pub mod rng;
 pub mod time;
 
 pub use engine::{EventId, Scheduler, Simulation};
+pub use faults::{FaultInjector, FaultKind, FaultRule, FaultScenario, FaultTarget, MetricClass};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};

@@ -77,8 +77,10 @@ impl RngFactory {
 }
 
 /// FNV-1a 64-bit hash; tiny, stable across platforms and Rust versions
-/// (unlike `DefaultHasher`, whose output may change between releases).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// (unlike `DefaultHasher`, whose output may change between releases). Also
+/// the basis for the fault injector's stateless Bernoulli decisions and the
+/// golden-trace digests, which need the same stability guarantee.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;

@@ -56,8 +56,13 @@ impl Running {
         Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
-    /// Feeds one observation.
+    /// Feeds one observation. Non-finite values (NaN/inf from corrupted
+    /// telemetry) are ignored: one poisoned sample must not destroy the
+    /// accumulated mean/variance the detector depends on.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -181,6 +186,42 @@ mod tests {
         assert_eq!(r.population_stddev(), None);
         assert_eq!(r.min(), None);
         assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn running_ignores_nan_and_inf() {
+        let mut r = Running::new();
+        r.push(2.0);
+        r.push(f64::NAN);
+        r.push(f64::INFINITY);
+        r.push(f64::NEG_INFINITY);
+        r.push(4.0);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.mean(), Some(3.0));
+        assert_eq!(r.population_variance(), Some(1.0));
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(4.0));
+    }
+
+    #[test]
+    fn running_all_nan_stream_stays_empty() {
+        let mut r = Running::new();
+        for _ in 0..16 {
+            r.push(f64::NAN);
+        }
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.population_stddev(), None);
+    }
+
+    #[test]
+    fn running_stuck_at_constant_has_zero_spread() {
+        let mut r = Running::new();
+        for _ in 0..50 {
+            r.push(9.25);
+        }
+        assert_eq!(r.population_stddev(), Some(0.0));
+        assert_eq!(r.mean(), Some(9.25));
     }
 
     #[test]

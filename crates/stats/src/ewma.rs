@@ -26,7 +26,14 @@ impl Ewma {
 
     /// Feeds an observation and returns the new smoothed value. The first
     /// observation initializes the state directly.
+    ///
+    /// Non-finite observations leave the state unchanged (a NaN folded into
+    /// `α·x + (1−α)·s` would stick forever); the previous smoothed value is
+    /// returned, or `x` itself if there is no state yet.
     pub fn update(&mut self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return self.state.unwrap_or(x);
+        }
         let next = match self.state {
             None => x,
             Some(s) => self.alpha * x + (1.0 - self.alpha) * s,
@@ -91,6 +98,35 @@ mod tests {
         for &x in &inputs {
             let v = e.update(x);
             assert!((3.0..=9.0).contains(&v), "EWMA {v} escaped input range");
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_leave_state_unchanged() {
+        let mut e = Ewma::new(0.5);
+        e.update(10.0);
+        assert_eq!(e.update(f64::NAN), 10.0);
+        assert_eq!(e.update(f64::INFINITY), 10.0);
+        assert_eq!(e.update(f64::NEG_INFINITY), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+        // Recovery: the next finite observation smooths normally.
+        assert_eq!(e.update(20.0), 15.0);
+    }
+
+    #[test]
+    fn leading_nan_does_not_initialize() {
+        let mut e = Ewma::new(0.5);
+        let r = e.update(f64::NAN);
+        assert!(r.is_nan());
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(4.0), 4.0);
+    }
+
+    #[test]
+    fn stuck_at_constant_converges_exactly() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..10 {
+            assert_eq!(e.update(6.5), 6.5);
         }
     }
 

@@ -49,12 +49,16 @@ where
 /// Pearson correlation coefficient of two equal-length series.
 ///
 /// Returns `None` if the series are shorter than 2, have different lengths,
-/// or either has zero variance (correlation undefined).
+/// or either has zero variance (correlation undefined). Pairs containing a
+/// non-finite observation (NaN/inf) are omitted — a single corrupted sample
+/// must not turn the whole coefficient into NaN.
 pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
     if x.len() != y.len() {
         return None;
     }
-    pearson_of_pairs(x.iter().copied().zip(y.iter().copied()))
+    pearson_of_pairs(
+        x.iter().copied().zip(y.iter().copied()).filter(|(a, b)| a.is_finite() && b.is_finite()),
+    )
 }
 
 /// Pearson correlation where missing observations (`None`) are treated as 0.
@@ -67,7 +71,10 @@ pub fn pearson_missing_as_zero(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f
     if x.len() != y.len() {
         return None;
     }
-    pearson_of_pairs(x.iter().zip(y).map(|(a, b)| (a.unwrap_or(0.0), b.unwrap_or(0.0))))
+    // Non-finite observations are treated as missing, i.e. zero.
+    pearson_of_pairs(x.iter().zip(y).map(|(a, b)| {
+        (a.filter(|v| v.is_finite()).unwrap_or(0.0), b.filter(|v| v.is_finite()).unwrap_or(0.0))
+    }))
 }
 
 /// The asymmetric policy PerfCloud's identifier uses online: pairs where the
@@ -80,7 +87,12 @@ pub fn pearson_victim_aware(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64>
     if x.len() != y.len() {
         return None;
     }
-    pearson_of_pairs(x.iter().zip(y).filter_map(|(a, b)| a.map(|a| (a, b.unwrap_or(0.0)))))
+    // Non-finite observations are demoted to missing on both sides, matching
+    // the normalization `RollingPearson::push` applies on entry.
+    pearson_of_pairs(x.iter().zip(y).filter_map(|(a, b)| {
+        let a = a.filter(|v| v.is_finite())?;
+        Some((a, b.filter(|v| v.is_finite()).unwrap_or(0.0)))
+    }))
 }
 
 /// Pearson correlation that **omits** pairs with a missing observation — the
@@ -90,7 +102,11 @@ pub fn pearson_omit_missing(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64>
     if x.len() != y.len() {
         return None;
     }
-    pearson_of_pairs(x.iter().zip(y).filter_map(|(a, b)| Some(((*a)?, (*b)?))))
+    pearson_of_pairs(
+        x.iter().zip(y).filter_map(|(a, b)| {
+            Some((a.filter(|v| v.is_finite())?, b.filter(|v| v.is_finite())?))
+        }),
+    )
 }
 
 #[cfg(test)]
@@ -193,6 +209,37 @@ mod tests {
         let y = [Some(2.0), Some(9.0), Some(6.0), None];
         // surviving pairs: (1,2) and (3,6) => perfectly linear
         assert!((pearson_omit_missing(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_pairs_are_neutralized() {
+        // Plain: corrupted pairs omitted, rest still perfectly linear.
+        let x = [1.0, f64::NAN, 3.0, 4.0, f64::INFINITY];
+        let y = [2.0, 9.0, 6.0, 8.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+
+        // Victim-aware: non-finite victim omitted, non-finite suspect -> 0.
+        let victim = [Some(0.1), Some(f64::NAN), Some(0.9), Some(0.5)];
+        let suspect = [Some(0.2), Some(1.0), Some(f64::INFINITY), Some(0.6)];
+        let r = pearson_victim_aware(&victim, &suspect).unwrap();
+        assert!(r.is_finite());
+        let expect =
+            pearson_victim_aware(&[Some(0.1), Some(0.9), Some(0.5)], &[Some(0.2), None, Some(0.6)])
+                .unwrap();
+        assert!((r - expect).abs() < 1e-12);
+
+        // Missing-as-zero: non-finite counts as zero like missing does.
+        let a = [Some(1.0), Some(f64::NAN), Some(3.0)];
+        let b = [Some(2.0), Some(5.0), Some(6.0)];
+        assert_eq!(
+            pearson_missing_as_zero(&a, &b),
+            pearson_missing_as_zero(&[Some(1.0), None, Some(3.0)], &b)
+        );
+
+        // Omit-missing: non-finite drops the pair entirely.
+        let c = [Some(1.0), Some(2.0), Some(3.0), Some(f64::NEG_INFINITY)];
+        let d = [Some(2.0), Some(4.0), Some(6.0), Some(0.0)];
+        assert!((pearson_omit_missing(&c, &d).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

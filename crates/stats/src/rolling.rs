@@ -108,7 +108,15 @@ impl RollingPearson {
 
     /// Pushes one (victim, suspect) observation, evicting the oldest when
     /// the window is full.
+    ///
+    /// Non-finite observations (NaN/inf from corrupted telemetry) are
+    /// demoted to *missing* before entering the window, so they can poison
+    /// neither the running sums nor the exact-refresh fallback: a non-finite
+    /// victim contributes nothing, a non-finite suspect counts as zero —
+    /// the same policy [`crate::pearson::pearson_victim_aware`] applies.
     pub fn push(&mut self, victim: Option<f64>, suspect: Option<f64>) {
+        let victim = victim.filter(|v| v.is_finite());
+        let suspect = suspect.filter(|s| s.is_finite());
         if self.pairs.len() == self.window {
             self.evict();
         }
@@ -260,8 +268,13 @@ impl RollingStddev {
         self.values.is_empty()
     }
 
-    /// Pushes one observation, evicting the oldest when full.
+    /// Pushes one observation, evicting the oldest when full. Non-finite
+    /// values are rejected outright (not stored): a single NaN would
+    /// otherwise make every windowed statistic NaN until it ages out.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         if self.values.len() == self.window {
             self.evict();
         }
@@ -419,6 +432,79 @@ mod tests {
             (rolled - batch).abs() <= 1e-6 * batch.max(1.0),
             "rolled {rolled} vs batch {batch}"
         );
+    }
+
+    #[test]
+    fn pearson_survives_nan_and_inf_inputs() {
+        let mut rp = RollingPearson::new(6);
+        let victim =
+            [Some(0.1), Some(f64::NAN), Some(0.5), Some(f64::INFINITY), Some(0.9), Some(0.4)];
+        let suspect =
+            [Some(0.2), Some(0.5), Some(f64::NEG_INFINITY), Some(0.8), Some(1.0), Some(f64::NAN)];
+        for (&v, &s) in victim.iter().zip(&suspect) {
+            rp.push(v, s);
+        }
+        // NaN/inf victims contribute nothing; NaN/inf suspects count as zero.
+        assert_eq!(rp.contributing(), 4);
+        let r = rp.correlation().unwrap();
+        assert!(r.is_finite(), "correlation poisoned: {r}");
+        let batch = pearson_victim_aware(
+            &[Some(0.1), Some(0.5), Some(0.9), Some(0.4)],
+            &[Some(0.2), None, Some(1.0), None],
+        )
+        .unwrap();
+        assert!(close(r, batch));
+    }
+
+    #[test]
+    fn pearson_stuck_at_constant_suspect_is_none() {
+        let mut rp = RollingPearson::new(8);
+        for i in 0..8 {
+            // Victim varies, suspect is a stuck sensor: zero variance on one
+            // side means the correlation is undefined, not NaN.
+            rp.push(Some(i as f64 * 0.3), Some(7.5));
+        }
+        assert_eq!(rp.correlation(), None);
+    }
+
+    #[test]
+    fn stddev_rejects_nan_and_inf() {
+        let mut rs = RollingStddev::new(4);
+        rs.push(1.0);
+        rs.push(f64::NAN);
+        rs.push(f64::INFINITY);
+        rs.push(f64::NEG_INFINITY);
+        rs.push(3.0);
+        assert_eq!(rs.len(), 2, "non-finite values must not be stored");
+        let sd = rs.population_stddev().unwrap();
+        assert!(close(sd, 1.0), "stddev of [1, 3] is 1, got {sd}");
+    }
+
+    #[test]
+    fn stddev_stuck_at_constant_is_zero() {
+        let mut rs = RollingStddev::new(4);
+        for _ in 0..10 {
+            rs.push(42.0);
+        }
+        assert_eq!(rs.population_stddev(), Some(0.0));
+        assert_eq!(rs.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn nan_burst_then_recovery() {
+        // A stuck-NaN sensor for a while, then good data again: the window
+        // must come back clean rather than stay poisoned.
+        let mut rs = RollingStddev::new(3);
+        rs.push(5.0);
+        for _ in 0..20 {
+            rs.push(f64::NAN);
+        }
+        for x in [2.0, 4.0, 6.0] {
+            rs.push(x);
+        }
+        assert_eq!(rs.len(), 3);
+        let batch = population_stddev(&[2.0, 4.0, 6.0]).unwrap();
+        assert!(close(rs.population_stddev().unwrap(), batch));
     }
 
     #[test]

@@ -132,6 +132,51 @@ fn multi_server_cluster_spreads_the_job() {
 }
 
 #[test]
+fn crash_restart_redetects_within_bounded_intervals() {
+    // A node-manager crash mid-mitigation loses the rolling windows and
+    // releases all caps; the restarted manager must rebuild its evidence
+    // and re-throttle the antagonist within a bounded number of sampling
+    // intervals (window backfill makes re-identification fast).
+    use perfcloud::sim::{FaultKind, FaultRule, FaultScenario};
+    let mut cfg = ExperimentConfig::new(
+        ClusterSpec::small_scale(42),
+        Mitigation::PerfCloud(PerfCloudConfig::default()),
+    );
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(60)));
+    cfg.antagonists = fio_at(15);
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    cfg.faults = Some(
+        FaultScenario::named("crash").rule(
+            FaultRule::new("crash-once", FaultKind::CrashRestart)
+                .window(SimTime::from_secs(35), SimTime::from_secs(40)),
+        ),
+    );
+    let mut e = Experiment::build(cfg);
+    e.enable_decision_trace();
+    let r = e.run();
+    assert_eq!(r.outcomes.len(), 1, "job must still complete under the crash");
+
+    let lines: Vec<String> = e.decision_trace().expect("trace enabled").lines().to_vec();
+    let restart =
+        lines.iter().position(|l| l.contains("f=R")).expect("crash-restart step recorded");
+    assert!(
+        lines[..restart].iter().any(|l| l.contains("cio=10:")),
+        "antagonist was never throttled before the crash:\n{}",
+        lines.join("\n")
+    );
+    // The restart step reports a clean slate: every cap was released.
+    assert!(lines[restart].contains("cio=-"), "restart step must carry no caps");
+    // Re-detection within 8 intervals of the restart.
+    let horizon = &lines[restart + 1..lines.len().min(restart + 9)];
+    assert!(
+        horizon.iter().any(|l| l.contains("cio=10:")),
+        "no re-throttle within {} intervals after restart:\n{}",
+        horizon.len(),
+        lines.join("\n")
+    );
+}
+
+#[test]
 fn antagonist_keeps_most_throughput_when_victims_are_idle() {
     // PerfCloud with no high-priority job running: the antagonist is never
     // throttled, so its throughput matches the default run's.

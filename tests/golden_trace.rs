@@ -1,0 +1,72 @@
+//! Golden-trace regression suite.
+//!
+//! Every scenario in `perfcloud_bench::golden` — the fault-free references,
+//! the chaos scenarios, and the mini Fig. 12(b) sweep — renders a canonical
+//! artifact that must match the checked-in file under `tests/golden/` byte
+//! for byte. On mismatch the failure message pinpoints the first diverging
+//! decision. After an intentional behaviour change, regenerate with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! The artifacts are seeded with a fixed literal and tick-deterministic, so
+//! they must also be independent of sweep parallelism: the second test
+//! renders scenarios under explicit 1-, 4- and 7-thread pools and requires
+//! byte-identical output (the CI chaos job additionally runs this whole
+//! suite under `PERFCLOUD_THREADS=1` and `=4`).
+
+use perfcloud_bench::golden::{self, GoldenStatus};
+use perfcloud_bench::sweep;
+
+#[test]
+fn golden_traces_match() {
+    let scenarios = golden::scenarios();
+    // Scenarios are independent pure functions; render them through the
+    // sweep runner (honours PERFCLOUD_THREADS) to keep wall time down.
+    let outputs: Vec<String> = sweep::run(scenarios.len(), |i| (scenarios[i].build)());
+    let mut failures = Vec::new();
+    let mut regenerated = Vec::new();
+    for (sc, out) in scenarios.iter().zip(&outputs) {
+        match golden::check(sc.name, out) {
+            GoldenStatus::Match => {}
+            GoldenStatus::Regenerated => regenerated.push(sc.name),
+            GoldenStatus::Mismatch { diff } => failures.push(diff),
+        }
+    }
+    if !regenerated.is_empty() {
+        eprintln!("BLESS=1: regenerated {} golden files: {:?}", regenerated.len(), regenerated);
+    }
+    assert!(failures.is_empty(), "\n\n{}\n", failures.join("\n\n"));
+}
+
+#[test]
+fn traces_are_independent_of_sweep_thread_count() {
+    // A representative slice of cheap scenarios, re-rendered under three
+    // explicit pool sizes. Any dependence of a decision trace on thread
+    // scheduling shows up as a byte diff here.
+    let scenarios = golden::scenarios();
+    let slice: Vec<_> = scenarios
+        .iter()
+        .filter(|s| {
+            matches!(s.name, "baseline" | "chaos_drop" | "chaos_nan_iowait" | "chaos_crash")
+        })
+        .collect();
+    assert_eq!(slice.len(), 4);
+    let render = |threads: usize| -> Vec<String> {
+        sweep::run_with_threads(slice.len(), threads, |i| (slice[i].build)())
+    };
+    let one = render(1);
+    for threads in [4, 7] {
+        let other = render(threads);
+        for (i, sc) in slice.iter().enumerate() {
+            assert_eq!(
+                one[i],
+                other[i],
+                "scenario '{}' diverged between 1 and {threads} sweep threads:\n{}",
+                sc.name,
+                golden::first_divergence(sc.name, &one[i], &other[i])
+            );
+        }
+    }
+}
