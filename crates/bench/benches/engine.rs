@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perfcloud_host::{PhysicalServer, ServerConfig, ServerId, VmConfig, VmId};
-use perfcloud_sim::{RngFactory, SimDuration, SimTime, Simulation};
+use perfcloud_sim::wheel::{Entry, TimerWheel};
+use perfcloud_sim::{EventId, RngFactory, SimDuration, SimTime, Simulation};
 use perfcloud_workloads::{FioRandRead, Stream};
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 
 fn bench_event_calendar(c: &mut Criterion) {
@@ -55,6 +57,57 @@ fn bench_cancel_churn(c: &mut Criterion) {
     g.finish();
 }
 
+/// Raw calendar pop/reinsert churn at a fixed pending count: the
+/// hierarchical timer wheel against the binary heap it replaced, both on
+/// the engine's 24-byte `(time, seq, id)` entry. Mirrors the
+/// `engine_bench` binary's comparison points (10k/100k/1M) at criterion's
+/// statistical rigor; 1M is left to the binary to keep `cargo bench` quick.
+fn bench_wheel_vs_heap(c: &mut Criterion) {
+    fn entry(t: u64, seq: u64) -> Entry {
+        Entry { time: SimTime::from_micros(t), seq, id: EventId::from_raw(0) }
+    }
+    let mut xs = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        xs ^= xs << 13;
+        xs ^= xs >> 7;
+        xs ^= xs << 17;
+        xs
+    };
+    let mut g = c.benchmark_group("calendar_churn");
+    for pending in [10_000usize, 100_000] {
+        let horizon = pending as u64 * 16;
+        g.bench_with_input(BenchmarkId::new("wheel", pending), &pending, |b, &pending| {
+            let mut w = TimerWheel::new();
+            let mut seq = 0u64;
+            for _ in 0..pending {
+                w.insert(entry(next() % horizon, seq));
+                seq += 1;
+            }
+            b.iter(|| {
+                let e = w.pop().expect("pending count is constant");
+                w.insert(entry(e.time.as_micros() + 1 + next() % horizon, seq));
+                seq += 1;
+                black_box(e.seq)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("heap", pending), &pending, |b, &pending| {
+            let mut h = BinaryHeap::new();
+            let mut seq = 0u64;
+            for _ in 0..pending {
+                h.push(entry(next() % horizon, seq));
+                seq += 1;
+            }
+            b.iter(|| {
+                let e = h.pop().expect("pending count is constant");
+                h.push(entry(e.time.as_micros() + 1 + next() % horizon, seq));
+                seq += 1;
+                black_box(e.seq)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn server_with_vms(n: u32) -> PhysicalServer {
     let mut s = PhysicalServer::new(
         ServerId(0),
@@ -84,5 +137,11 @@ fn bench_server_tick(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_calendar, bench_cancel_churn, bench_server_tick);
+criterion_group!(
+    benches,
+    bench_event_calendar,
+    bench_cancel_churn,
+    bench_wheel_vs_heap,
+    bench_server_tick
+);
 criterion_main!(benches);

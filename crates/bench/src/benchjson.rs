@@ -17,12 +17,17 @@ pub struct BenchRecord {
     /// Simulation events fired during the run, when the measurement drove
     /// a [`perfcloud_sim::Simulation`] directly.
     pub events_fired: Option<u64>,
+    /// Additional named measurements appended verbatim as JSON number
+    /// fields (e.g. the wheel-vs-heap comparison points of the engine
+    /// micro-bench). Keys must be unique and distinct from the fixed
+    /// fields.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
     /// Creates a wall-time-only record.
     pub fn wall(name: impl Into<String>, wall_seconds: f64) -> Self {
-        BenchRecord { name: name.into(), wall_seconds, events_fired: None }
+        BenchRecord { name: name.into(), wall_seconds, events_fired: None, extras: Vec::new() }
     }
 
     /// Events per wall-clock second, when events were counted.
@@ -48,8 +53,24 @@ impl BenchRecord {
         if let Some(eps) = self.events_per_sec() {
             s.push_str(&format!(",\"events_per_sec\":{}", json_number(eps)));
         }
+        for (key, value) in &self.extras {
+            s.push_str(&format!(",{}:{}", json_string(key), json_number(*value)));
+        }
         s.push('}');
         s
+    }
+
+    /// Reads one numeric field out of a previously written record, e.g.
+    /// the committed `BENCH_engine.json` baseline's `events_per_sec`.
+    /// Minimal by design (the writer above emits flat objects with no
+    /// nested structure): returns `None` when the file or field is absent.
+    pub fn read_field(path: impl AsRef<std::path::Path>, field: &str) -> Option<f64> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let needle = format!("{}:", json_string(field));
+        let at = text.find(&needle)? + needle.len();
+        let rest = &text[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
     }
 
     /// The output path: `$BENCH_JSON_DIR/BENCH_<name>.json` (or the current
@@ -108,12 +129,40 @@ mod tests {
 
     #[test]
     fn throughput_record() {
-        let r =
-            BenchRecord { name: "engine".into(), wall_seconds: 2.0, events_fired: Some(1_000_000) };
+        let r = BenchRecord {
+            name: "engine".into(),
+            wall_seconds: 2.0,
+            events_fired: Some(1_000_000),
+            extras: Vec::new(),
+        };
         assert_eq!(r.events_per_sec(), Some(500_000.0));
         let j = r.to_json();
         assert!(j.contains("\"events_fired\":1000000"), "{j}");
         assert!(j.contains("\"events_per_sec\":500000"), "{j}");
+    }
+
+    #[test]
+    fn extras_append_as_number_fields() {
+        let mut r = BenchRecord::wall("engine", 1.0);
+        r.extras.push(("wheel_eps_10k".into(), 2.5e6));
+        let j = r.to_json();
+        assert!(j.ends_with(",\"wheel_eps_10k\":2500000}"), "{j}");
+    }
+
+    #[test]
+    fn read_field_round_trips() {
+        let r = BenchRecord {
+            name: "readback".into(),
+            wall_seconds: 0.5,
+            events_fired: Some(100),
+            extras: vec![("speedup_1m".into(), 3.25)],
+        };
+        let path = std::env::temp_dir().join("perfcloud_benchjson_readback.json");
+        std::fs::write(&path, format!("{}\n", r.to_json())).unwrap();
+        assert_eq!(BenchRecord::read_field(&path, "events_per_sec"), Some(200.0));
+        assert_eq!(BenchRecord::read_field(&path, "speedup_1m"), Some(3.25));
+        assert_eq!(BenchRecord::read_field(&path, "missing"), None);
+        assert_eq!(BenchRecord::read_field("/no/such/file.json", "events_per_sec"), None);
     }
 
     #[test]

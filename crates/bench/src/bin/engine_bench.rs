@@ -1,0 +1,92 @@
+//! Engine micro-benchmark runner with a CI regression gate.
+//!
+//! `cargo run --release -p perfcloud-bench --bin engine_bench -- \
+//!     [--baseline BENCH_engine.json] [--max-drop 0.15] [--no-comparison]`
+//!
+//! Runs the canonical engine probe (and, unless `--no-comparison`, the
+//! wheel-vs-heap churn points at 10k/100k/1M pending entries plus the
+//! batched-sampling shape), writes a fresh `BENCH_engine.json`, and — when
+//! `--baseline` names a previously committed record — exits non-zero if
+//! the fresh `events_per_sec` fell more than `--max-drop` (fraction,
+//! default 0.15) below the baseline's. The baseline is read *before* the
+//! fresh record is written, so gating against the committed file in the
+//! repo root works even when `BENCH_JSON_DIR` is unset.
+
+use perfcloud_bench::benchjson::BenchRecord;
+use perfcloud_bench::enginebench;
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut max_drop = 0.15f64;
+    let mut comparison = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--max-drop" => {
+                max_drop = args
+                    .next()
+                    .expect("--max-drop needs a fraction")
+                    .parse()
+                    .expect("--max-drop must be a number")
+            }
+            "--no-comparison" => comparison = false,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: engine_bench [--baseline FILE] [--max-drop FRAC] [--no-comparison]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline_eps =
+        baseline.as_deref().and_then(|p| BenchRecord::read_field(p, "events_per_sec"));
+    if let Some(path) = &baseline {
+        match baseline_eps {
+            Some(eps) => {
+                println!("baseline {path}: {eps:.0} events/sec (gate: -{:.0}%)", max_drop * 100.0)
+            }
+            None => eprintln!("warning: no events_per_sec in baseline {path}; gate disabled"),
+        }
+    }
+
+    let record =
+        if comparison { enginebench::probe_with_comparison() } else { enginebench::probe() };
+
+    println!(
+        "engine probe: {} events in {:.3}s ({:.0} events/sec)",
+        record.events_fired.unwrap_or(0),
+        record.wall_seconds,
+        record.events_per_sec().unwrap_or(0.0),
+    );
+    for (key, value) in &record.extras {
+        if key.starts_with("speedup_") || key.ends_with("_speedup") {
+            println!("  {key}: {value:.2}x");
+        } else {
+            println!("  {key}: {value:.0}");
+        }
+    }
+
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_engine.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let (Some(base), Some(fresh)) = (baseline_eps, record.events_per_sec()) {
+        let floor = base * (1.0 - max_drop);
+        if fresh < floor {
+            eprintln!(
+                "REGRESSION: events_per_sec {fresh:.0} is below the gate floor {floor:.0} \
+                 (baseline {base:.0}, max drop {:.0}%)",
+                max_drop * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("gate passed: {fresh:.0} >= {floor:.0}");
+    }
+}

@@ -17,8 +17,7 @@
 //! `BENCH_engine.json` with raw simulator throughput (events/sec).
 
 use perfcloud_bench::benchjson::BenchRecord;
-use perfcloud_bench::sweep;
-use perfcloud_sim::{SimDuration, SimTime, Simulation};
+use perfcloud_bench::{enginebench, sweep};
 use std::path::Path;
 use std::process::Command;
 use std::time::Instant;
@@ -43,26 +42,6 @@ fn record(bin: &str, wall_seconds: f64) {
     if let Err(e) = BenchRecord::wall(bin, wall_seconds).write() {
         eprintln!("warning: could not write BENCH_{bin}.json: {e}");
     }
-}
-
-/// Raw simulator throughput: periodic tickers plus schedule/cancel churn,
-/// the hot-path pattern the cluster harness leans on. Reported as
-/// `BENCH_engine.json` so engine-level regressions show up even when the
-/// figure harnesses mask them behind model work.
-fn engine_probe() -> BenchRecord {
-    let mut sim = Simulation::new(0u64);
-    for k in 0..8u64 {
-        sim.schedule_periodic(SimTime::ZERO, SimDuration::from_micros(50 + 17 * k), |w, ctx| {
-            *w += 1;
-            let doomed = ctx.schedule_in(SimDuration::from_secs(1.0), |w, _| *w += 1);
-            ctx.cancel(doomed);
-            true
-        });
-    }
-    let start = Instant::now();
-    sim.run_until(SimTime::from_secs(20));
-    let wall_seconds = start.elapsed().as_secs_f64();
-    BenchRecord { name: "engine".into(), wall_seconds, events_fired: Some(sim.events_fired()) }
 }
 
 fn main() {
@@ -122,7 +101,7 @@ fn main() {
         }
     }
 
-    let probe = engine_probe();
+    let probe = enginebench::probe_with_comparison();
     match probe.write() {
         Ok(path) => println!(
             "\nengine probe: {} events in {:.3}s ({:.0} events/sec) -> {}",

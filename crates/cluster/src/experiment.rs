@@ -14,7 +14,7 @@ use crate::antagonists::{AntagonistKind, AntagonistPlacement};
 use crate::topology::{ClusterSpec, Testbed};
 use crate::trace::DecisionTrace;
 use perfcloud_baselines::{Dolly, LatePolicy, StaticCapping};
-use perfcloud_core::{CloudManager, NodeFaults, NodeManager, PerfCloudConfig};
+use perfcloud_core::{CloudManager, NodeFaults, NodeManager, PerfCloudConfig, StepReport};
 use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, SpeculationPolicy};
 use perfcloud_frameworks::{JobOutcome, JobSpec};
 use perfcloud_host::{PhysicalServer, VmId};
@@ -147,6 +147,10 @@ pub struct Experiment {
     now: SimTime,
     max_sim_time: SimTime,
     trace: Option<DecisionTrace>,
+    /// Reused step-report buffer: one per experiment, refilled by every
+    /// node-manager step instead of allocating a report per (server,
+    /// interval).
+    report_buf: StepReport,
 }
 
 impl Experiment {
@@ -218,6 +222,7 @@ impl Experiment {
             now: SimTime::ZERO,
             max_sim_time: config.max_sim_time,
             trace: None,
+            report_buf: StepReport::default(),
         }
     }
 
@@ -288,12 +293,13 @@ impl Experiment {
         }
         self.scheduler.on_tick(now, &mut self.servers, &finished, self.policy.as_mut());
 
-        // Node managers at the sampling cadence.
+        // Node managers at the sampling cadence, all writing into the one
+        // reused report buffer.
         if now >= self.next_sample {
             for (i, nm) in self.node_managers.iter_mut().enumerate() {
-                let report = nm.step(now, &mut self.servers[i], &mut self.cloud);
+                nm.step_into(now, &mut self.servers[i], &mut self.cloud, &mut self.report_buf);
                 if let Some(trace) = self.trace.as_mut() {
-                    trace.record(now, i, &report);
+                    trace.record(now, i, &self.report_buf);
                 }
             }
             self.next_sample += self.sample_interval;

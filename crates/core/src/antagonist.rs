@@ -164,11 +164,18 @@ impl AntagonistIdentifier {
 
     /// The suspects whose correlation meets the threshold.
     pub fn identify(&self, suspects: &[VmId], resource: Resource) -> Vec<VmId> {
-        suspects
-            .iter()
-            .copied()
-            .filter(|&vm| self.correlation(vm, resource).is_some_and(|r| r >= self.corr_threshold))
-            .collect()
+        let mut out = Vec::new();
+        self.identify_into(suspects, resource, &mut out);
+        out
+    }
+
+    /// [`identify`](Self::identify) into a reused buffer: clears `out`, then
+    /// appends the qualifying suspects in suspect order.
+    pub fn identify_into(&self, suspects: &[VmId], resource: Resource, out: &mut Vec<VmId>) {
+        out.clear();
+        out.extend(suspects.iter().copied().filter(|&vm| {
+            self.correlation(vm, resource).is_some_and(|r| r >= self.corr_threshold)
+        }));
     }
 }
 

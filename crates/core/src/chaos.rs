@@ -120,20 +120,16 @@ impl NodeFaults {
         server: &PhysicalServer,
     ) {
         // Deliver what's due, oldest first (deterministic order), before the
-        // fresh poll — a late RPC arriving just ahead of the next one.
+        // fresh poll — a late RPC arriving just ahead of the next one. After
+        // the sort the due deliveries are a prefix, so they can be peeled off
+        // the front without draining into a scratch Vec.
         self.delayed.sort_by_key(|a| (a.0, a.1));
-        let mut pending = Vec::new();
-        for (due, vm, snap) in self.delayed.drain(..) {
-            if due <= now {
-                let _ = monitor.ingest(now, vm, snap);
-            } else {
-                pending.push((due, vm, snap));
-            }
+        while self.delayed.first().is_some_and(|&(due, _, _)| due <= now) {
+            let (_, vm, snap) = self.delayed.remove(0);
+            let _ = monitor.ingest(now, vm, snap);
         }
-        self.delayed = pending;
 
-        for vm in server.vm_ids() {
-            let Some(snap) = server.counters(vm) else { continue };
+        for (vm, snap) in server.snapshots() {
             if self.sample_fault(now, vm, FaultKindTag::Drop).is_some() {
                 continue;
             }

@@ -24,6 +24,48 @@ pub struct VmRecord {
     pub app: Option<AppId>,
 }
 
+/// One server's placement view, as a node manager consumes it each
+/// interval. Reused across intervals via [`CloudManager::placement_into`];
+/// cloning with [`Clone::clone_from`] also reuses the target's buffers.
+#[derive(Debug, Default, PartialEq)]
+pub struct Placement {
+    /// Distinct high-priority applications on the server, ascending. The
+    /// first is the controlled one; more than one means colocation.
+    pub apps: Vec<AppId>,
+    /// Member VMs (on this server) of the controlled application, id order.
+    pub members: Vec<VmId>,
+    /// Low-priority VMs on the server (the antagonist suspects), id order.
+    pub suspects: Vec<VmId>,
+}
+
+impl Placement {
+    /// Empties the view, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.apps.clear();
+        self.members.clear();
+        self.suspects.clear();
+    }
+}
+
+impl Clone for Placement {
+    fn clone(&self) -> Self {
+        Placement {
+            apps: self.apps.clone(),
+            members: self.members.clone(),
+            suspects: self.suspects.clone(),
+        }
+    }
+
+    // The derived default would drop `self`'s buffers and allocate fresh
+    // ones; element-wise clone_from keeps existing capacity, which the node
+    // manager's placement cache relies on to stay allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.apps.clone_from(&source.apps);
+        self.members.clone_from(&source.members);
+        self.suspects.clone_from(&source.suspects);
+    }
+}
+
 /// The central VM registry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CloudManager {
@@ -90,6 +132,38 @@ impl CloudManager {
             .filter(|(_, r)| r.priority == Priority::Low)
             .map(|(v, _)| v)
             .collect()
+    }
+
+    /// Fills `out` with the placement view a node manager needs each
+    /// sampling interval, reusing its buffers. Equivalent to combining
+    /// [`apps_on`](Self::apps_on) (controlled app = the lowest app id, its
+    /// members in id order) with [`low_priority_on`](Self::low_priority_on),
+    /// without the per-interval allocations of the `Vec`-returning forms.
+    pub fn placement_into(&self, server: ServerId, out: &mut Placement) {
+        out.clear();
+        for (&vm, r) in &self.vms {
+            if r.server != server {
+                continue;
+            }
+            match r.priority {
+                Priority::High => {
+                    if let Some(app) = r.app {
+                        if !out.apps.contains(&app) {
+                            out.apps.push(app);
+                        }
+                    }
+                }
+                Priority::Low => out.suspects.push(vm),
+            }
+        }
+        out.apps.sort_unstable();
+        if let Some(&controlled) = out.apps.first() {
+            for (&vm, r) in &self.vms {
+                if r.server == server && r.priority == Priority::High && r.app == Some(controlled) {
+                    out.members.push(vm);
+                }
+            }
+        }
     }
 
     /// Called by a node manager that observed multiple high-priority

@@ -87,11 +87,12 @@ impl PerformanceMonitor {
         }
     }
 
-    /// Samples every VM on `server` at time `now`. The first sample of a VM
-    /// only establishes its baseline snapshot (no series point).
+    /// Samples every VM on `server` at time `now` — one batched pass over
+    /// the server's snapshots in boot order, allocation-free in steady
+    /// state. The first sample of a VM only establishes its baseline
+    /// snapshot (no series point).
     pub fn sample(&mut self, now: SimTime, server: &PhysicalServer) {
-        for vm in server.vm_ids() {
-            let Some(snap) = server.counters(vm) else { continue };
+        for (vm, snap) in server.snapshots() {
             self.ingest(now, vm, snap);
         }
     }

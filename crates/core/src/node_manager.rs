@@ -12,7 +12,7 @@
 
 use crate::antagonist::{AntagonistIdentifier, Resource};
 use crate::chaos::{ManagerFault, NodeFaults};
-use crate::cloud::{AppId, CloudManager};
+use crate::cloud::{AppId, CloudManager, Placement};
 use crate::config::PerfCloudConfig;
 use crate::cubic::{CubicController, CubicState};
 use crate::detector::{detect, ContentionSignal};
@@ -72,6 +72,26 @@ impl StepReport {
             placement_stale: false,
         }
     }
+
+    /// Resets to the idle state, keeping the list buffers' capacity, so one
+    /// report can be refilled every interval by
+    /// [`NodeManager::step_into`].
+    pub fn clear(&mut self) {
+        self.signal = None;
+        self.io_antagonists.clear();
+        self.cpu_antagonists.clear();
+        self.io_caps.clear();
+        self.cpu_caps.clear();
+        self.stalled = false;
+        self.restarted = false;
+        self.placement_stale = false;
+    }
+}
+
+impl Default for StepReport {
+    fn default() -> Self {
+        StepReport::idle()
+    }
 }
 
 /// The per-server PerfCloud agent.
@@ -86,17 +106,14 @@ pub struct NodeManager {
     cpu_cap_trace: BTreeMap<VmId, TimeSeries>,
     controlled_app: Option<AppId>,
     faults: Option<NodeFaults>,
-    /// Last placement view fetched from the cloud manager, for riding out
-    /// desynchronization.
-    placement_cache: Option<PlacementView>,
-}
-
-/// A cached cloud-manager placement view with its fetch time.
-#[derive(Debug)]
-struct PlacementView {
-    fetched: SimTime,
-    apps: Vec<(AppId, Vec<VmId>)>,
-    suspects: Vec<VmId>,
+    /// This interval's placement view (scratch, refilled every step).
+    placement: Placement,
+    /// Last placement view successfully fetched from the cloud manager, for
+    /// riding out desynchronization; `cache_fetched` is its fetch time.
+    placement_cache: Placement,
+    cache_fetched: Option<SimTime>,
+    /// Scratch for VMs leaving the controlled set in [`Self::control`].
+    departed: Vec<VmId>,
 }
 
 impl NodeManager {
@@ -114,7 +131,10 @@ impl NodeManager {
             cpu_cap_trace: BTreeMap::new(),
             controlled_app: None,
             faults: None,
-            placement_cache: None,
+            placement: Placement::default(),
+            placement_cache: Placement::default(),
+            cache_fetched: None,
+            departed: Vec::new(),
         }
     }
 
@@ -148,22 +168,44 @@ impl NodeManager {
     }
 
     /// One interval of Algorithm 1. Call every `config.sample_interval`.
+    ///
+    /// Convenience wrapper over [`Self::step_into`] that returns a fresh
+    /// report; hot loops should hold one report and use `step_into`, which
+    /// is allocation-free in steady state.
     pub fn step(
         &mut self,
         now: SimTime,
         server: &mut PhysicalServer,
         cloud: &mut CloudManager,
     ) -> StepReport {
+        let mut report = StepReport::idle();
+        self.step_into(now, server, cloud, &mut report);
+        report
+    }
+
+    /// One interval of Algorithm 1, writing what happened into `report`
+    /// (cleared first, buffers reused).
+    pub fn step_into(
+        &mut self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        cloud: &mut CloudManager,
+        report: &mut StepReport,
+    ) {
+        report.clear();
+
         // (0) Manager-level faults: a stalled agent does nothing at all this
         // interval; a crashed one loses its in-memory state and restarts.
         if let Some(faults) = self.faults.as_mut() {
             match faults.begin_interval(now, self.config.sample_interval) {
                 ManagerFault::Stalled => {
-                    return StepReport { stalled: true, ..StepReport::idle() };
+                    report.stalled = true;
+                    return;
                 }
                 ManagerFault::Crashed => {
                     self.crash_restart(server);
-                    return StepReport { restarted: true, ..StepReport::idle() };
+                    report.restarted = true;
+                    return;
                 }
                 ManagerFault::None => {}
             }
@@ -173,77 +215,102 @@ impl NodeManager {
         // when the update channel is desynchronized, ride the cached view up
         // to the bounded-staleness limit.
         let desynced = self.faults.as_ref().is_some_and(|f| f.placement_desynced(now));
-        let (apps, suspects, placement_stale) = if desynced {
+        if desynced {
             let limit = self.config.sample_interval.mul_f64(Self::MAX_PLACEMENT_STALENESS as f64);
-            match &self.placement_cache {
-                Some(view) if now.saturating_since(view.fetched) <= limit => {
-                    (view.apps.clone(), view.suspects.clone(), true)
-                }
-                _ => {
-                    // The cached view is too old to act on safely. Keep the
-                    // metric windows warm but make no control decisions.
-                    self.sample(now, server);
-                    return StepReport { placement_stale: true, ..StepReport::idle() };
-                }
+            let fresh_enough =
+                self.cache_fetched.is_some_and(|fetched| now.saturating_since(fetched) <= limit);
+            if !fresh_enough {
+                // The cached view is too old to act on safely. Keep the
+                // metric windows warm but make no control decisions.
+                self.sample(now, server);
+                report.placement_stale = true;
+                return;
             }
+            self.placement.clone_from(&self.placement_cache);
+            report.placement_stale = true;
         } else {
-            let apps = cloud.apps_on(server.id);
-            let suspects = cloud.low_priority_on(server.id);
-            self.placement_cache = Some(PlacementView {
-                fetched: now,
-                apps: apps.clone(),
-                suspects: suspects.clone(),
-            });
-            (apps, suspects, false)
-        };
+            cloud.placement_into(server.id, &mut self.placement);
+            self.placement_cache.clone_from(&self.placement);
+            self.cache_fetched = Some(now);
+        }
 
         // (2) Sample all VMs (through the fault filter, when attached).
         self.sample(now, server);
 
+        // Decide on the placement view with the scratch moved out of `self`,
+        // so the decision path can borrow the manager mutably; moving a
+        // `Placement` swaps pointers, it does not copy or allocate.
+        let placement = std::mem::take(&mut self.placement);
+        self.decide(now, server, cloud, &placement, report);
+        self.placement = placement;
+    }
+
+    /// Steps (3)–(5) of Algorithm 1 on an already-fetched placement view.
+    fn decide(
+        &mut self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        cloud: &mut CloudManager,
+        placement: &Placement,
+        report: &mut StepReport,
+    ) {
         // Multiple high-priority applications colocated → notify (the
         // paper's hook for migration-based resolution); control the first.
-        if apps.len() > 1 {
-            cloud.notify_colocation(server.id, apps.iter().map(|(a, _)| *a).collect());
+        if placement.apps.len() > 1 {
+            cloud.notify_colocation(server.id, placement.apps.clone());
         }
-        let Some((app, app_vms)) = apps.into_iter().next() else {
+        let Some(&app) = placement.apps.first() else {
             // Nothing to protect on this server; release any leftover caps.
             self.release_all(server, now);
-            return StepReport { placement_stale, ..StepReport::idle() };
+            return;
         };
         if self.controlled_app != Some(app) {
             self.controlled_app = Some(app);
         }
 
         // (3) Deviations across the application's VMs.
-        let signal = detect(&self.monitor, &app_vms, self.config.h_io, self.config.h_cpi);
+        let signal = detect(&self.monitor, &placement.members, self.config.h_io, self.config.h_cpi);
         self.identifier.observe(
             now,
             signal.io_deviation,
             signal.cpi_deviation,
             &self.monitor,
-            &suspects,
+            &placement.suspects,
         );
 
         // (4) Identify antagonists.
-        let io_ants = self.identifier.identify(&suspects, Resource::Io);
-        let cpu_ants = self.identifier.identify(&suspects, Resource::Cpu);
+        self.identifier.identify_into(
+            &placement.suspects,
+            Resource::Io,
+            &mut report.io_antagonists,
+        );
+        self.identifier.identify_into(
+            &placement.suspects,
+            Resource::Cpu,
+            &mut report.cpu_antagonists,
+        );
 
         // (5) Control modules.
-        let io_caps =
-            self.control(Resource::Io, signal.io_contended, &io_ants, &suspects, server, now);
-        let cpu_caps =
-            self.control(Resource::Cpu, signal.cpu_contended, &cpu_ants, &suspects, server, now);
+        self.control(
+            Resource::Io,
+            signal.io_contended,
+            &report.io_antagonists,
+            &placement.suspects,
+            server,
+            now,
+            &mut report.io_caps,
+        );
+        self.control(
+            Resource::Cpu,
+            signal.cpu_contended,
+            &report.cpu_antagonists,
+            &placement.suspects,
+            server,
+            now,
+            &mut report.cpu_caps,
+        );
 
-        StepReport {
-            signal: Some(signal),
-            io_antagonists: io_ants,
-            cpu_antagonists: cpu_ants,
-            io_caps,
-            cpu_caps,
-            stalled: false,
-            restarted: false,
-            placement_stale,
-        }
+        report.signal = Some(signal);
     }
 
     /// Samples all VMs, through the fault filter when one is attached.
@@ -267,7 +334,8 @@ impl NodeManager {
         self.io_controlled.clear();
         self.cpu_controlled.clear();
         self.controlled_app = None;
-        self.placement_cache = None;
+        self.placement_cache.clear();
+        self.cache_fetched = None;
         for vm in server.vm_ids() {
             if server.io_throttle(vm).is_some_and(|t| t.is_throttled()) {
                 server.set_io_throttle(vm, IoThrottle::unlimited());
@@ -278,6 +346,7 @@ impl NodeManager {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn control(
         &mut self,
         resource: Resource,
@@ -286,19 +355,22 @@ impl NodeManager {
         suspects: &[VmId],
         server: &mut PhysicalServer,
         now: SimTime,
-    ) -> Vec<(VmId, f64)> {
+        applied: &mut Vec<(VmId, f64)>,
+    ) {
+        applied.clear();
         // Drop control state for VMs that left the suspect set. One that is
         // still hosted here (deregistered or promoted in the cloud manager)
         // must have its cap released — nothing else will ever do it; one
         // that migrated keeps its caps, which travel with the hypervisor.
         {
+            let departed = &mut self.departed;
             let controlled = match resource {
                 Resource::Io => &mut self.io_controlled,
                 Resource::Cpu => &mut self.cpu_controlled,
             };
-            let departed: Vec<VmId> =
-                controlled.keys().filter(|vm| !suspects.contains(vm)).copied().collect();
-            for vm in departed {
+            departed.clear();
+            departed.extend(controlled.keys().filter(|vm| !suspects.contains(vm)).copied());
+            for &vm in departed.iter() {
                 controlled.remove(&vm);
                 if server.hosts(vm) {
                     match resource {
@@ -353,7 +425,6 @@ impl NodeManager {
             Resource::Io => &mut self.io_controlled,
             Resource::Cpu => &mut self.cpu_controlled,
         };
-        let mut applied = Vec::new();
         for (&vm, c) in controlled.iter_mut() {
             let cap = controller.step(&mut c.state, contended).min(ceiling);
             c.state.cap = cap;
@@ -376,12 +447,11 @@ impl NodeManager {
             Resource::Io => &mut self.io_cap_trace,
             Resource::Cpu => &mut self.cpu_cap_trace,
         };
-        for &(vm, cap) in &applied {
+        for &(vm, cap) in applied.iter() {
             let series = trace.entry(vm).or_default();
             series.push(now, Some(cap));
             series.retain_last(4096);
         }
-        applied
     }
 
     fn release_all(&mut self, server: &mut PhysicalServer, _now: SimTime) {

@@ -178,6 +178,13 @@ impl PhysicalServer {
         self.vm(vm).map(|v| CounterSnapshot { counters: v.counters })
     }
 
+    /// Counter snapshots of every hosted VM, in boot order — one hypervisor
+    /// read for the whole server, so a per-interval sampling pass needs no
+    /// [`vm_ids`](Self::vm_ids) id-list allocation.
+    pub fn snapshots(&self) -> impl Iterator<Item = (VmId, CounterSnapshot)> + '_ {
+        self.vms.iter().map(|v| (v.id, CounterSnapshot { counters: v.counters }))
+    }
+
     /// Applies (or clears, with `IoThrottle::unlimited()`) the blkio
     /// throttling policy on a VM.
     pub fn set_io_throttle(&mut self, vm: VmId, throttle: IoThrottle) {

@@ -1,27 +1,34 @@
 //! The event-calendar executor.
 //!
-//! [`Simulation<W>`] owns a world of type `W` and a priority queue of events.
+//! [`Simulation<W>`] owns a world of type `W` and a calendar of events.
 //! Each event is a `FnOnce(&mut W, &mut Scheduler<W>)` stored inline in the
-//! calendar entry (see [`crate::handler`]); handlers mutate the world and may
-//! schedule or cancel further events through the [`Scheduler`] context. Ties
-//! at equal timestamps fire in insertion order, which makes runs
+//! handler slot map (see [`crate::handler`]); handlers mutate the world and
+//! may schedule or cancel further events through the [`Scheduler`] context.
+//! Ties at equal timestamps fire in insertion order, which makes runs
 //! deterministic.
 //!
 //! # Hot-path design
 //!
-//! Steady-state stepping performs **no heap allocations**, and the binary
-//! heap stays cheap to sift:
+//! Steady-state stepping performs **no heap allocations**, and the calendar
+//! itself is a hierarchical timer wheel ([`crate::wheel`]) rather than a
+//! binary heap, so the dominant queue operations are O(1) bitmap scans and
+//! vector pushes instead of O(log n) sifts:
 //!
 //! * handlers live in a generation-stamped slot map ([`SlotMap`]), inline
 //!   up to [`crate::handler::INLINE_BYTES`] bytes of captures (a box is
 //!   the overflow path, not the norm). Slots are written once at schedule
-//!   time and read once at fire time; the **heap entries themselves are
-//!   24-byte plain data** `(time, seq, id)`, so every sift moves three
-//!   words instead of a whole closure;
+//!   time and read once at fire time; the **calendar entries themselves
+//!   are 24-byte plain data** `(time, seq, id)`, so moving one between
+//!   wheel slots moves three words instead of a whole closure;
 //! * cancellation bumps the slot's generation, so a popped entry whose
 //!   stamp no longer matches is recognized as cancelled in O(1) without a
 //!   hash-set lookup or per-cancel allocation, and slots (and their
 //!   handler storage) are recycled through a free list;
+//! * a periodic series ([`Simulation::schedule_periodic`]) keeps **one**
+//!   slot for its whole lifetime: the returned [`EventId`] stays valid
+//!   between fires, cancelling it stops the series — including from
+//!   inside its own handler mid-fire — and rescheduling reinstalls the
+//!   handler into the same slot without churning the free list;
 //! * the per-step scheduling context ([`Scheduler`]) writes **directly**
 //!   into the simulation's calendar and slot map (via raw pointers to
 //!   disjoint fields, confined to this module), so events scheduled from
@@ -30,13 +37,14 @@
 
 use crate::handler::RawHandler;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::wheel::{Entry, TimerWheel};
 
 /// Handle to a scheduled event; can be used to cancel it before it fires.
 ///
 /// Packs a slot index and a generation stamp; stale handles (events that
 /// already fired or were cancelled) are recognized and ignored in O(1).
+/// For a periodic series the handle stays live across fires and cancelling
+/// it stops the whole series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
@@ -50,6 +58,17 @@ impl EventId {
     fn generation(self) -> u32 {
         (self.0 >> 32) as u32
     }
+    /// Rehydrates a handle from [`EventId::raw`]. For benches and tests
+    /// that drive the raw [`crate::wheel`]; not part of the stable API.
+    #[doc(hidden)]
+    pub fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
+    /// Opaque bits of this handle. See [`EventId::from_raw`].
+    #[doc(hidden)]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
 }
 
 type Handler<W> = RawHandler<W, Scheduler<W>>;
@@ -60,15 +79,18 @@ type Handler<W> = RawHandler<W, Scheduler<W>>;
 /// slot keeps its storage, so steady-state churn never allocates.
 struct Slot<W> {
     generation: u32,
+    /// Periodic slots survive a fire with their generation intact: the
+    /// series' id stays valid until the series ends or is cancelled.
+    periodic: bool,
     handler: Option<Handler<W>>,
 }
 
 /// Generation-stamped slot map owning the scheduled handlers.
 ///
-/// Retiring a slot (fire or cancel) bumps the stamp — invalidating every
-/// outstanding handle to it — and returns the slot to the free list for
-/// reuse. Keeping handlers here (rather than in the heap entries) keeps
-/// the binary heap's elements small plain data.
+/// Retiring a slot (one-shot fire, series end, or cancel) bumps the stamp
+/// — invalidating every outstanding handle to it — and returns the slot to
+/// the free list for reuse. Keeping handlers here (rather than in the
+/// calendar entries) keeps the wheel's elements small plain data.
 struct SlotMap<W> {
     slots: Vec<Slot<W>>,
     free: Vec<u32>,
@@ -86,17 +108,44 @@ impl<W> SlotMap<W> {
         match self.free.pop() {
             Some(slot) => {
                 let s = &mut self.slots[slot as usize];
-                debug_assert!(s.handler.is_none());
+                debug_assert!(s.handler.is_none() && !s.periodic);
                 s.handler = Some(handler);
                 EventId::new(slot, s.generation)
             }
             None => {
                 let slot =
                     u32::try_from(self.slots.len()).expect("more than u32::MAX concurrent events");
-                self.slots.push(Slot { generation: 0, handler: Some(handler) });
+                self.slots.push(Slot { generation: 0, periodic: false, handler: Some(handler) });
                 EventId::new(slot, 0)
             }
         }
+    }
+
+    /// Claims a slot for a periodic series without installing a handler
+    /// yet, so the series' stable id exists before its first handler (which
+    /// captures the id) is built.
+    fn reserve_periodic(&mut self) -> EventId {
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.handler.is_none() && !s.periodic);
+                s.periodic = true;
+                EventId::new(slot, s.generation)
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.slots.len()).expect("more than u32::MAX concurrent events");
+                self.slots.push(Slot { generation: 0, periodic: true, handler: None });
+                EventId::new(slot, 0)
+            }
+        }
+    }
+
+    /// Installs the handler for the next fire of a live periodic slot.
+    fn install(&mut self, id: EventId, handler: Handler<W>) {
+        let s = &mut self.slots[id.slot()];
+        debug_assert!(s.generation == id.generation() && s.periodic && s.handler.is_none());
+        s.handler = Some(handler);
     }
 
     /// Whether `id` still refers to a live (scheduled, uncancelled) event.
@@ -104,52 +153,41 @@ impl<W> SlotMap<W> {
         self.slots.get(id.slot()).is_some_and(|s| s.generation == id.generation())
     }
 
-    /// Takes the handler out of a live slot, invalidating `id` and
-    /// recycling the slot. `None` for cancelled or already-fired handles.
-    fn take(&mut self, id: EventId) -> Option<Handler<W>> {
+    /// Takes the handler out of a live slot to fire it. One-shot slots are
+    /// invalidated and recycled; periodic slots keep their generation (the
+    /// series id stays valid) and only give up the stored handler. `None`
+    /// for cancelled or already-fired handles.
+    fn take_for_fire(&mut self, id: EventId) -> Option<Handler<W>> {
         let slot = id.slot();
         match self.slots.get_mut(slot) {
             Some(s) if s.generation == id.generation() => {
-                s.generation = s.generation.wrapping_add(1);
-                self.free.push(slot as u32);
+                if !s.periodic {
+                    s.generation = s.generation.wrapping_add(1);
+                    self.free.push(slot as u32);
+                }
                 s.handler.take()
             }
             _ => None,
         }
     }
 
-    /// Invalidates `id`, dropping its handler and recycling its slot.
-    /// Returns whether it was live (false for double-cancel or
-    /// already-fired handles).
+    /// Invalidates `id`, dropping any stored handler and recycling the
+    /// slot. For periodic slots this ends the series — mid-fire (when the
+    /// handler is out being invoked) the generation bump alone guarantees
+    /// the series' rescheduling step sees a dead id and stops. Returns
+    /// whether the handle was live.
     fn retire(&mut self, id: EventId) -> bool {
-        self.take(id).is_some()
-    }
-}
-
-/// A calendar entry: plain data, 24 bytes, cheap for the heap to sift.
-/// The handler it refers to lives in the [`SlotMap`] under `id`.
-#[derive(Clone, Copy)]
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    id: EventId,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        let slot = id.slot();
+        match self.slots.get_mut(slot) {
+            Some(s) if s.generation == id.generation() => {
+                s.generation = s.generation.wrapping_add(1);
+                s.periodic = false;
+                s.handler = None;
+                self.free.push(slot as u32);
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -157,13 +195,13 @@ impl Ord for Entry {
 ///
 /// Events scheduled from a handler land on the same calendar as events
 /// scheduled from outside via [`Simulation`] — the context writes straight
-/// into the simulation's queue and slot map through raw pointers to those
+/// into the simulation's wheel and slot map through raw pointers to those
 /// fields. The pointers are created in [`Simulation::step`] from fields
 /// disjoint from the world borrow handed to the handler, and the context
 /// only lives for the duration of one handler invocation.
 pub struct Scheduler<W> {
     now: SimTime,
-    queue: *mut BinaryHeap<Entry>,
+    queue: *mut TimerWheel,
     slots: *mut SlotMap<W>,
     next_seq: *mut u64,
 }
@@ -192,7 +230,7 @@ impl<W> Scheduler<W> {
         let id = slots.insert(RawHandler::new(handler));
         let seq = *next_seq;
         *next_seq += 1;
-        queue.push(Entry { time: at, seq, id });
+        queue.insert(Entry { time: at, seq, id });
         id
     }
 
@@ -206,18 +244,74 @@ impl<W> Scheduler<W> {
         self.schedule_at(at, handler)
     }
 
-    /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// Cancels a previously scheduled event (or periodic series). A no-op
+    /// for handles that already fired or were already cancelled.
     pub fn cancel(&mut self, id: EventId) {
         // SAFETY: as in `schedule_at`.
         unsafe { (*self.slots).retire(id) };
+    }
+
+    /// Whether a periodic series' slot is still live. Used by the series'
+    /// own rescheduling step to detect mid-fire cancellation.
+    fn series_live(&self, id: EventId) -> bool {
+        // SAFETY: as in `schedule_at`.
+        unsafe { (*self.slots).is_live(id) }
+    }
+
+    /// Reinstalls the next tick of a periodic series into its stable slot
+    /// and pushes the matching calendar entry.
+    fn reinstall_periodic(
+        &mut self,
+        id: EventId,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        debug_assert!(at >= self.now);
+        // SAFETY: as in `schedule_at`.
+        let (queue, slots, next_seq) =
+            unsafe { (&mut *self.queue, &mut *self.slots, &mut *self.next_seq) };
+        slots.install(id, RawHandler::new(handler));
+        let seq = *next_seq;
+        *next_seq += 1;
+        queue.insert(Entry { time: at, seq, id });
+    }
+
+    /// Ends a periodic series that chose to stop, retiring its slot.
+    fn finish_periodic(&mut self, id: EventId) {
+        // SAFETY: as in `schedule_at`.
+        unsafe { (*self.slots).retire(id) };
+    }
+}
+
+/// One fire of a periodic series: runs the user's `FnMut`, then — if the
+/// series is still live (the handler may have cancelled itself mid-fire)
+/// — either reinstalls the next tick into the same slot or retires it.
+/// Checking liveness *after* the user callback is what makes mid-fire
+/// self-cancellation exact: a cancelled series never leaves a stale
+/// calendar entry pointing at a reinstalled handler.
+fn periodic_tick<W>(
+    id: EventId,
+    mut f: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + 'static,
+    period: SimDuration,
+) -> impl FnOnce(&mut W, &mut Scheduler<W>) + 'static {
+    move |world, ctx| {
+        let again = f(world, ctx);
+        if !ctx.series_live(id) {
+            return;
+        }
+        if again {
+            let next = ctx.now() + period;
+            ctx.reinstall_periodic(id, next, periodic_tick(id, f, period));
+        } else {
+            ctx.finish_periodic(id);
+        }
     }
 }
 
 /// A discrete-event simulation over a world `W`.
 pub struct Simulation<W> {
     world: W,
-    queue: BinaryHeap<Entry>,
+    queue: TimerWheel,
     slots: SlotMap<W>,
     now: SimTime,
     next_seq: u64,
@@ -229,7 +323,7 @@ impl<W> Simulation<W> {
     pub fn new(world: W) -> Self {
         Simulation {
             world,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             slots: SlotMap::default(),
             now: SimTime::ZERO,
             next_seq: 0,
@@ -279,7 +373,7 @@ impl<W> Simulation<W> {
         let id = self.slots.insert(RawHandler::new(handler));
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Entry { time: at, seq, id });
+        self.queue.insert(Entry { time: at, seq, id });
         id
     }
 
@@ -294,29 +388,30 @@ impl<W> Simulation<W> {
     }
 
     /// Schedules `handler` to run every `period`, starting at `start`,
-    /// for as long as it returns `true`. Returning `false` stops the series.
+    /// for as long as it returns `true`. Returning `false` stops the
+    /// series. The returned id identifies the *series*: it stays valid
+    /// between fires, and [`Simulation::cancel`] (or a handler calling
+    /// [`Scheduler::cancel`] — including the series' own handler, mid-fire)
+    /// stops it without leaving a stale calendar entry behind.
     pub fn schedule_periodic(
         &mut self,
         start: SimTime,
         period: SimDuration,
         handler: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + 'static,
-    ) {
+    ) -> EventId {
         assert!(!period.is_zero(), "periodic event with zero period would never advance time");
-        fn tick<W>(
-            mut f: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + 'static,
-            period: SimDuration,
-        ) -> impl FnOnce(&mut W, &mut Scheduler<W>) + 'static {
-            move |world, ctx| {
-                if f(world, ctx) {
-                    let next = ctx.now() + period;
-                    ctx.schedule_at(next, tick(f, period));
-                }
-            }
-        }
-        self.schedule_at(start, tick(handler, period));
+        debug_assert!(start >= self.now, "scheduled event in the past: {start} < {}", self.now);
+        let start = start.max(self.now);
+        let id = self.slots.reserve_periodic();
+        self.slots.install(id, RawHandler::new(periodic_tick(id, handler, period)));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.insert(Entry { time: start, seq, id });
+        id
     }
 
-    /// Cancels a scheduled event. No-op if it already fired.
+    /// Cancels a scheduled event or periodic series. No-op if it already
+    /// fired (one-shot) or ended (periodic).
     pub fn cancel(&mut self, id: EventId) {
         self.slots.retire(id);
     }
@@ -327,7 +422,7 @@ impl<W> Simulation<W> {
         while let Some(entry) = self.queue.pop() {
             // A stale stamp means the event was cancelled; its slot was
             // already recycled when the cancel happened.
-            let Some(handler) = self.slots.take(entry.id) else {
+            let Some(handler) = self.slots.take_for_fire(entry.id) else {
                 continue;
             };
             debug_assert!(entry.time >= self.now);
@@ -354,23 +449,24 @@ impl<W> Simulation<W> {
     /// `deadline`. Events exactly at `deadline` do fire; the clock is then
     /// advanced to `deadline` even if the last event fired earlier.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            // Peek past cancelled entries without firing anything late.
-            let next_time = loop {
-                match self.queue.peek() {
-                    None => break None,
-                    Some(e) if !self.slots.is_live(e.id) => {
-                        self.queue.pop();
-                    }
-                    Some(e) => break Some(e.time),
-                }
+        // `pop_at_most` never advances the wheel's cursor past `deadline`,
+        // so cancelled entries beyond it stay parked instead of being
+        // drained early. Popped-but-cancelled entries at or before the
+        // deadline are skipped here exactly as in `step`.
+        while let Some(entry) = self.queue.pop_at_most(deadline) {
+            let Some(handler) = self.slots.take_for_fire(entry.id) else {
+                continue;
             };
-            match next_time {
-                Some(t) if t <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            let mut ctx = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                slots: &mut self.slots,
+                next_seq: &mut self.next_seq,
+            };
+            handler.invoke(&mut self.world, &mut ctx);
+            self.fired += 1;
         }
         if self.now < deadline {
             self.now = deadline;
@@ -500,6 +596,90 @@ mod tests {
     }
 
     #[test]
+    fn periodic_series_is_cancellable_between_fires() {
+        let mut sim = Simulation::new(0u64);
+        let id =
+            sim.schedule_periodic(SimTime::from_secs(1), SimDuration::from_secs(1.0), |w, _| {
+                *w += 1;
+                true
+            });
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(*sim.world(), 3);
+        sim.cancel(id);
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(*sim.world(), 3, "cancelled series must not fire again");
+        assert_eq!(sim.events_pending(), 0, "stale series entry must drain");
+    }
+
+    #[test]
+    fn periodic_handler_cancelling_itself_leaves_no_stale_entry() {
+        // The satellite regression: a handler that cancels its own series
+        // mid-fire must win over the `true` it returns — the series must
+        // not be rescheduled from a freed slot, and no stale calendar
+        // entry may linger.
+        struct W {
+            count: u32,
+            me: Option<EventId>,
+        }
+        let mut sim = Simulation::new(W { count: 0, me: None });
+        let id =
+            sim.schedule_periodic(SimTime::from_secs(1), SimDuration::from_secs(1.0), |w, ctx| {
+                w.count += 1;
+                if w.count == 3 {
+                    ctx.cancel(w.me.unwrap());
+                }
+                true // overridden by the mid-fire cancel above
+            });
+        sim.world_mut().me = Some(id);
+        sim.run(); // terminates only if the series really stopped
+        assert_eq!(sim.world().count, 3);
+        assert_eq!(sim.events_pending(), 0);
+        // The handle is dead: cancelling again is a no-op and cannot kill
+        // an unrelated event that recycled the slot.
+        sim.cancel(id);
+        let other = sim.schedule_at(SimTime::from_secs(10), |w, _| w.count += 10);
+        sim.cancel(id);
+        assert_ne!(id, other);
+        sim.run();
+        assert_eq!(sim.world().count, 13);
+    }
+
+    #[test]
+    fn periodic_cancelled_by_other_handler_mid_series() {
+        let mut sim = Simulation::new(0u64);
+        let series =
+            sim.schedule_periodic(SimTime::from_secs(1), SimDuration::from_secs(1.0), |w, _| {
+                *w += 1;
+                true
+            });
+        sim.schedule_at(SimTime::from_secs(4) + SimDuration::from_micros(1), move |_, ctx| {
+            ctx.cancel(series);
+        });
+        sim.run();
+        assert_eq!(*sim.world(), 4);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn finished_periodic_series_id_is_dead() {
+        let mut sim = Simulation::new(0u64);
+        let id =
+            sim.schedule_periodic(SimTime::from_secs(1), SimDuration::from_secs(1.0), |w, _| {
+                *w += 1;
+                *w < 2
+            });
+        sim.run();
+        assert_eq!(*sim.world(), 2);
+        // Slot was retired when the series returned false; the stale id
+        // must not affect whatever reuses it.
+        let next = sim.schedule_at(SimTime::from_secs(10), |w, _| *w += 100);
+        sim.cancel(id);
+        assert_ne!(id, next);
+        sim.run();
+        assert_eq!(*sim.world(), 102);
+    }
+
+    #[test]
     fn run_while_predicate_stops() {
         let mut sim = Simulation::new(0u64);
         for _ in 0..100 {
@@ -559,6 +739,21 @@ mod tests {
         let mut sim = Simulation::new(());
         let witness = Rc::clone(&token);
         sim.schedule_at(SimTime::from_secs(1), move |_, _| drop(witness));
+        assert_eq!(Rc::strong_count(&token), 2);
+        drop(sim);
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn dropping_a_simulation_drops_periodic_handlers() {
+        use std::rc::Rc;
+        let token = Rc::new(());
+        let mut sim = Simulation::new(());
+        let witness = Rc::clone(&token);
+        sim.schedule_periodic(SimTime::from_secs(1), SimDuration::from_secs(1.0), move |_, _| {
+            let _hold = &witness;
+            true
+        });
         assert_eq!(Rc::strong_count(&token), 2);
         drop(sim);
         assert_eq!(Rc::strong_count(&token), 1);

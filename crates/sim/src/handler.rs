@@ -17,10 +17,13 @@
 use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 
 /// Capacity of the inline buffer, in bytes. Sized to the largest capture
-/// actually scheduled by this workspace (a few ids and small copies);
-/// keeping it tight keeps slot-map writes cheap. Oversized captures still
-/// work via the boxed fallback.
-pub const INLINE_BYTES: usize = 32;
+/// actually scheduled by this workspace: a periodic series' tick wrapper
+/// carries the series id (8 bytes) and period (8 bytes) on top of the
+/// user's `FnMut` captures, and it is re-created every period, so boxing
+/// it would allocate on the steady-state hot path. Keeping the cap tight
+/// keeps slot-map writes cheap; oversized captures still work via the
+/// boxed fallback.
+pub const INLINE_BYTES: usize = 40;
 
 const WORDS: usize = INLINE_BYTES / 8;
 

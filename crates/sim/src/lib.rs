@@ -4,9 +4,11 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution virtual clock
 //!   with exact integer arithmetic, so runs are reproducible bit-for-bit.
-//! * [`Simulation`] — a classic event-calendar executor generic over a world
-//!   type `W`. Events are boxed closures fired in `(time, insertion order)`
-//!   order; handlers may schedule or cancel further events.
+//! * [`Simulation`] — an event-calendar executor generic over a world type
+//!   `W`, backed by a deterministic hierarchical timer wheel
+//!   ([`wheel::TimerWheel`]). Events are inline-stored closures fired in
+//!   exact `(time, insertion order)` order; handlers may schedule or cancel
+//!   further events.
 //! * [`RngFactory`] — seedable, *named* random-number streams
 //!   (ChaCha8-based). Every stochastic component draws from its own stream,
 //!   so adding a component never perturbs the draws seen by another.
@@ -36,6 +38,7 @@ pub mod faults;
 pub mod handler;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use engine::{EventId, Scheduler, Simulation};
 pub use faults::{FaultInjector, FaultKind, FaultRule, FaultScenario, FaultTarget, MetricClass};

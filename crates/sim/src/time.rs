@@ -3,6 +3,12 @@
 //! All simulation time is integer microseconds. Integer arithmetic keeps the
 //! event calendar total-ordered and runs reproducible across platforms;
 //! floating-point seconds are available at the edges for human-facing I/O.
+//!
+//! The microsecond is also the tick of the calendar's hierarchical timer
+//! wheel ([`crate::wheel`]): two instants fall into the same level-0 wheel
+//! slot iff they are the same `SimTime`, which is what lets the wheel
+//! reproduce exact `(time, insertion-order)` firing without any rounding
+//! or epsilon comparisons.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};

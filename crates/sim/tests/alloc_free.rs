@@ -7,22 +7,39 @@
 
 use perfcloud_sim::{SimDuration, SimTime, Simulation};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// Only count allocations made by the test's own thread while the measured
+// window is open: the libtest harness's main thread lazily initializes its
+// result-channel machinery at an arbitrary point and must not pollute the
+// count. Const-initialized, so reading the flag never itself allocates.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counted(on: bool) {
+    COUNTING.with(|c| c.set(on));
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if COUNTING.with(|c| c.get()) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if COUNTING.with(|c| c.get()) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -53,7 +70,9 @@ fn steady_state_stepping_is_allocation_free() {
     sim.run_until(SimTime::from_secs(5));
 
     let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    counted(true);
     sim.run_until(SimTime::from_secs(120));
+    counted(false);
     let after = ALLOC_CALLS.load(Ordering::Relaxed);
 
     assert!(*sim.world() > 0);

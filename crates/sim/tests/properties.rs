@@ -72,6 +72,74 @@ proptest! {
         // or off by at most one microsecond of rounding.
         prop_assert!(diff <= 1, "diff {diff} for {us}");
     }
+
+    /// Random schedules with duplicate timestamps, cancellations and
+    /// reschedules: the timer-wheel calendar fires surviving events in
+    /// exactly the order a reference `(time, seq)` binary heap pops them.
+    #[test]
+    fn cancel_and_reschedule_order_matches_reference_heap(
+        ops in proptest::collection::vec((0u64..2_000, 0u8..8), 1..200),
+    ) {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        // Reference model: every schedule call as (time, seq, payload),
+        // payload u32::MAX marking a cancellation tombstone. The engine
+        // burns one seq per schedule call whether or not it is later
+        // cancelled, so the model counts them identically.
+        let mut model: Vec<(u64, u64, u32)> = Vec::new();
+        let mut pending: Vec<(perfcloud_sim::EventId, usize)> = Vec::new();
+        let mut seq = 0u64;
+        let schedule =
+            |sim: &mut Simulation<Vec<u32>>,
+             model: &mut Vec<(u64, u64, u32)>,
+             pending: &mut Vec<(perfcloud_sim::EventId, usize)>,
+             seq: &mut u64,
+             t: u64| {
+                let payload = model.len() as u32;
+                let id = sim.schedule_at(SimTime::from_micros(t), move |w: &mut Vec<u32>, _| {
+                    w.push(payload)
+                });
+                model.push((t, *seq, payload));
+                pending.push((id, model.len() - 1));
+                *seq += 1;
+            };
+        for &(t, action) in &ops {
+            match action {
+                // Cancel one pending event (picked by the time draw).
+                0 if !pending.is_empty() => {
+                    let (id, k) = pending.swap_remove(t as usize % pending.len());
+                    sim.cancel(id);
+                    model[k].2 = u32::MAX;
+                }
+                // Reschedule: cancel, then schedule again at a fresh time
+                // (which burns a fresh seq, i.e. goes to the FIFO tail of
+                // its new timestamp).
+                1 if !pending.is_empty() => {
+                    let (id, k) = pending.swap_remove((t / 3) as usize % pending.len());
+                    sim.cancel(id);
+                    model[k].2 = u32::MAX;
+                    schedule(&mut sim, &mut model, &mut pending, &mut seq, t);
+                }
+                // Duplicate the previous op's timestamp half the time, to
+                // stress same-slot FIFO ordering.
+                2 if !model.is_empty() => {
+                    let dup = model[model.len() - 1].0;
+                    schedule(&mut sim, &mut model, &mut pending, &mut seq, dup);
+                }
+                _ => schedule(&mut sim, &mut model, &mut pending, &mut seq, t),
+            }
+        }
+        // Reference pop order: a min-heap on (time, seq), tombstones skipped.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>> =
+            model.iter().copied().map(std::cmp::Reverse).collect();
+        let mut expected = Vec::new();
+        while let Some(std::cmp::Reverse((_, _, payload))) = heap.pop() {
+            if payload != u32::MAX {
+                expected.push(payload);
+            }
+        }
+        sim.run();
+        prop_assert_eq!(sim.into_world(), expected);
+    }
 }
 
 /// Deterministic replay: the same schedule produces identical traces.
