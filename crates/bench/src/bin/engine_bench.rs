@@ -1,28 +1,35 @@
 //! Engine micro-benchmark runner with a CI regression gate.
 //!
 //! `cargo run --release -p perfcloud-bench --bin engine_bench -- \
-//!     [--baseline BENCH_engine.json] [--max-drop 0.15] [--no-comparison]`
+//!     [--baseline BENCH_engine.json] [--ctrl-baseline BENCH_ctrl.json] \
+//!     [--max-drop 0.15] [--no-comparison]`
 //!
 //! Runs the canonical engine probe (and, unless `--no-comparison`, the
 //! wheel-vs-heap churn points at 10k/100k/1M pending entries plus the
-//! batched-sampling shape), writes a fresh `BENCH_engine.json`, and — when
-//! `--baseline` names a previously committed record — exits non-zero if
-//! the fresh `events_per_sec` fell more than `--max-drop` (fraction,
-//! default 0.15) below the baseline's. The baseline is read *before* the
-//! fresh record is written, so gating against the committed file in the
+//! batched-sampling shape) and the control-plane message-path probe,
+//! writes fresh `BENCH_engine.json` and `BENCH_ctrl.json` records, and —
+//! when `--baseline` / `--ctrl-baseline` name previously committed records
+//! — exits non-zero if the fresh `events_per_sec` (engine) or
+//! `msgs_per_sec` (control plane) fell more than `--max-drop` (fraction,
+//! default 0.15) below the baseline's. Baselines are read *before* the
+//! fresh records are written, so gating against the committed files in the
 //! repo root works even when `BENCH_JSON_DIR` is unset.
 
 use perfcloud_bench::benchjson::BenchRecord;
-use perfcloud_bench::enginebench;
+use perfcloud_bench::{ctrlbench, enginebench};
 
 fn main() {
     let mut baseline: Option<String> = None;
+    let mut ctrl_baseline: Option<String> = None;
     let mut max_drop = 0.15f64;
     let mut comparison = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--ctrl-baseline" => {
+                ctrl_baseline = Some(args.next().expect("--ctrl-baseline needs a path"))
+            }
             "--max-drop" => {
                 max_drop = args
                     .next()
@@ -34,7 +41,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: engine_bench [--baseline FILE] [--max-drop FRAC] [--no-comparison]"
+                    "usage: engine_bench [--baseline FILE] [--ctrl-baseline FILE] \
+                     [--max-drop FRAC] [--no-comparison]"
                 );
                 std::process::exit(2);
             }
@@ -49,6 +57,17 @@ fn main() {
                 println!("baseline {path}: {eps:.0} events/sec (gate: -{:.0}%)", max_drop * 100.0)
             }
             None => eprintln!("warning: no events_per_sec in baseline {path}; gate disabled"),
+        }
+    }
+    let ctrl_baseline_mps =
+        ctrl_baseline.as_deref().and_then(|p| BenchRecord::read_field(p, "msgs_per_sec"));
+    if let Some(path) = &ctrl_baseline {
+        match ctrl_baseline_mps {
+            Some(mps) => println!(
+                "ctrl baseline {path}: {mps:.0} msgs/sec (gate: -{:.0}%)",
+                max_drop * 100.0
+            ),
+            None => eprintln!("warning: no msgs_per_sec in baseline {path}; gate disabled"),
         }
     }
 
@@ -77,6 +96,23 @@ fn main() {
         }
     }
 
+    let ctrl = ctrlbench::probe();
+    let ctrl_mps = extra(&ctrl, "msgs_per_sec");
+    println!(
+        "ctrl probe: {:.0} messages delivered in {:.3}s ({:.0} msgs/sec)",
+        extra(&ctrl, "messages_delivered").unwrap_or(0.0),
+        ctrl.wall_seconds,
+        ctrl_mps.unwrap_or(0.0),
+    );
+    match ctrl.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_ctrl.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut failed = false;
     if let (Some(base), Some(fresh)) = (baseline_eps, record.events_per_sec()) {
         let floor = base * (1.0 - max_drop);
         if fresh < floor {
@@ -85,8 +121,29 @@ fn main() {
                  (baseline {base:.0}, max drop {:.0}%)",
                 max_drop * 100.0
             );
-            std::process::exit(1);
+            failed = true;
+        } else {
+            println!("engine gate passed: {fresh:.0} >= {floor:.0}");
         }
-        println!("gate passed: {fresh:.0} >= {floor:.0}");
     }
+    if let (Some(base), Some(fresh)) = (ctrl_baseline_mps, ctrl_mps) {
+        let floor = base * (1.0 - max_drop);
+        if fresh < floor {
+            eprintln!(
+                "REGRESSION: msgs_per_sec {fresh:.0} is below the gate floor {floor:.0} \
+                 (baseline {base:.0}, max drop {:.0}%)",
+                max_drop * 100.0
+            );
+            failed = true;
+        } else {
+            println!("ctrl gate passed: {fresh:.0} >= {floor:.0}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn extra(record: &BenchRecord, key: &str) -> Option<f64> {
+    record.extras.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
 }

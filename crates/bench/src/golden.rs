@@ -21,8 +21,11 @@ use perfcloud_cluster::{
     AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
 };
 use perfcloud_core::PerfCloudConfig;
+use perfcloud_ctrl::{ControlPlaneSpec, LinkSpec, NodeId, Partition};
 use perfcloud_frameworks::Benchmark;
-use perfcloud_sim::{FaultKind, FaultRule, FaultScenario, MetricClass, SimTime};
+use perfcloud_sim::{
+    FaultKind, FaultRule, FaultScenario, MessageClass, MetricClass, SimDuration, SimTime,
+};
 use perfcloud_stats::BoxplotSummary;
 use rand::Rng;
 use std::fmt::Write as _;
@@ -57,6 +60,9 @@ pub fn scenarios() -> Vec<GoldenScenario> {
         GoldenScenario { name: "chaos_crash", build: chaos_crash },
         GoldenScenario { name: "chaos_desync", build: chaos_desync },
         GoldenScenario { name: "chaos_kitchen_sink", build: chaos_kitchen_sink },
+        GoldenScenario { name: "ctrl_coordinator_crash", build: ctrl_coordinator_crash },
+        GoldenScenario { name: "ctrl_partition_heal", build: ctrl_partition_heal },
+        GoldenScenario { name: "ctrl_lossy_placement", build: ctrl_lossy_placement },
         GoldenScenario { name: "fig12b_mini", build: fig12b_mini },
     ]
 }
@@ -68,12 +74,24 @@ pub fn scenarios() -> Vec<GoldenScenario> {
 /// `faults` injected into the node manager. Returns the run's canonical
 /// artifact: two summary headers plus the full decision trace.
 fn chaos_run(faults: Option<FaultScenario>, mitigation: Mitigation) -> String {
+    chaos_run_with_control(faults, mitigation, ControlPlaneSpec::default())
+}
+
+/// [`chaos_run`] with an explicit control-plane deployment — used by the
+/// `ctrl_*` scenarios to run replicated cloud managers over a lossy or
+/// partitioned network while the same job/antagonist testbed plays out.
+fn chaos_run_with_control(
+    faults: Option<FaultScenario>,
+    mitigation: Mitigation,
+    control: ControlPlaneSpec,
+) -> String {
     let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(GOLDEN_SEED), mitigation);
     cfg.jobs.push((JOB_START, Benchmark::Terasort.job(20)));
     cfg.antagonists
         .push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(ANTAGONIST_ONSET));
     cfg.max_sim_time = SimTime::from_secs(7_200);
     cfg.faults = faults;
+    cfg.control = control;
     let mut e = Experiment::build(cfg);
     e.enable_decision_trace();
     let r = e.run();
@@ -214,6 +232,88 @@ fn chaos_kitchen_sink() -> String {
                 .window(secs(100), secs(105)),
         );
     chaos_run(Some(s), perfcloud())
+}
+
+/// Three cloud-manager replicas on a high-latency (600 ms) link; the
+/// coordinator m0 dies mid-contention and heals 30 s later still believing
+/// it leads. The trace must show the Bully handover (m1 wins a contested
+/// round — the RTT forces a generous election timeout), placement epochs
+/// jumping to m1's term within the staleness budget, and the healed m0's
+/// stale republish being rejected by epoch and stepped down.
+fn ctrl_coordinator_crash() -> String {
+    // The heal lands just before the t=35 sampling instant AND just after
+    // the new coordinator's in-flight heartbeat died against the still-down
+    // replica, so the healed m0 still believes it leads when the publish
+    // fires — the epoch-regression window the node managers must reject.
+    let s = FaultScenario::named("ctrl-coordinator-crash").rule(
+        FaultRule::new("down-m0", FaultKind::DownReplica)
+            .on_server(0)
+            .window(secs(12), SimTime::from_secs_f64(34.9)),
+    );
+    let control = ControlPlaneSpec {
+        managers: 3,
+        link: LinkSpec { latency: SimDuration::from_millis(600), ..LinkSpec::default() },
+        // The election timeout must exceed the answer round-trip (1.2 s),
+        // or a worse candidate wins its round before the Answer lands.
+        election_timeout: SimDuration::from_millis(1_500),
+        trace_events: true,
+        ..ControlPlaneSpec::default()
+    };
+    chaos_run_with_control(Some(s), perfcloud(), control)
+}
+
+/// Three replicas with the coordinator m0 partitioned away from everyone
+/// else for 30 s. The majority side elects m1 and keeps placement flowing;
+/// the isolated m0 publishes into the void (visible as fully-cut publish
+/// events). At heal both sides publish into the same interval: epoch
+/// ordering rejects the stale coordinator's update and its own heartbeat
+/// draws the step-down correction.
+fn ctrl_partition_heal() -> String {
+    let control = ControlPlaneSpec {
+        managers: 3,
+        link: LinkSpec { latency: SimDuration::from_millis(10), ..LinkSpec::default() },
+        // Heals just before the t=30 sampling instant, so both the isolated
+        // stale coordinator and the elected one publish into the same
+        // interval and epoch ordering has to arbitrate.
+        partitions: vec![Partition {
+            name: "m0-isolated".into(),
+            side_a: vec![NodeId::manager(0)],
+            side_b: vec![NodeId::manager(1), NodeId::manager(2), NodeId::server(0)],
+            from: secs(12),
+            until: SimTime::from_secs_f64(29.9),
+        }],
+        trace_events: true,
+        ..ControlPlaneSpec::default()
+    };
+    chaos_run_with_control(None, perfcloud(), control)
+}
+
+/// A single manager on a lossy link: placement updates are dropped at 35%
+/// and occasionally delayed past the next publish, so stale epochs arrive
+/// after fresher ones and must be rejected while the node manager rides
+/// its cached view within the staleness budget.
+fn ctrl_lossy_placement() -> String {
+    // The delay exceeds the 5 s publish cadence, so a lagged epoch arrives
+    // after its successor was applied and must be rejected as a regression.
+    let s = FaultScenario::named("ctrl-lossy-placement")
+        .rule(
+            FaultRule::new("drop-placement", FaultKind::DropMessage)
+                .on_message(MessageClass::Placement)
+                .window(secs(10), secs(200))
+                .with_probability(0.45),
+        )
+        .rule(
+            FaultRule::new("lag-placement", FaultKind::DelayMessage { micros: 6_000_000 })
+                .on_message(MessageClass::Placement)
+                .window(secs(10), secs(200))
+                .with_probability(0.2),
+        );
+    let control = ControlPlaneSpec {
+        link: LinkSpec { latency: SimDuration::from_millis(10), ..LinkSpec::default() },
+        trace_events: true,
+        ..ControlPlaneSpec::default()
+    };
+    chaos_run_with_control(Some(s), perfcloud(), control)
 }
 
 /// A down-scaled Fig. 12(b): the Spark logistic-regression job under

@@ -8,6 +8,7 @@
 //! everything in sequence; `--fast` shrinks the two expensive sweeps.
 
 pub mod benchjson;
+pub mod ctrlbench;
 pub mod enginebench;
 pub mod golden;
 pub mod report;

@@ -15,9 +15,10 @@ use crate::topology::{ClusterSpec, Testbed};
 use crate::trace::DecisionTrace;
 use perfcloud_baselines::{Dolly, LatePolicy, StaticCapping};
 use perfcloud_core::{CloudManager, NodeFaults, NodeManager, PerfCloudConfig, StepReport};
+use perfcloud_ctrl::{ControlPlane, ControlPlaneSpec};
 use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, SpeculationPolicy};
 use perfcloud_frameworks::{JobOutcome, JobSpec};
-use perfcloud_host::{PhysicalServer, VmId};
+use perfcloud_host::{PhysicalServer, ServerId, VmId};
 use perfcloud_sim::{FaultScenario, SimDuration, SimTime};
 
 /// The mitigation strategy of one run.
@@ -69,6 +70,10 @@ pub struct ExperimentConfig {
     /// chaos seed is derived from the testbed's master seed, so a run is
     /// replayable from `(cluster seed, scenario)` alone.
     pub faults: Option<FaultScenario>,
+    /// Control-plane deployment: replica count, link model, election timing.
+    /// The default is a single manager on a zero-latency loopback, which
+    /// reproduces the direct-fetch behavior byte-for-byte.
+    pub control: ControlPlaneSpec,
 }
 
 impl ExperimentConfig {
@@ -81,6 +86,7 @@ impl ExperimentConfig {
             jobs: Vec::new(),
             max_sim_time: SimTime::from_secs(3_600),
             faults: None,
+            control: ControlPlaneSpec::default(),
         }
     }
 }
@@ -133,6 +139,9 @@ pub struct Experiment {
     pub scheduler: FrameworkScheduler,
     /// One node manager per server (monitoring-only for non-PerfCloud).
     pub node_managers: Vec<NodeManager>,
+    /// The message-passing control plane carrying placement sync,
+    /// heartbeats, and elections between managers and servers.
+    pub plane: ControlPlane,
     policy: Box<dyn SpeculationPolicy>,
     dolly: Option<Dolly>,
     mitigation_name: String,
@@ -190,12 +199,21 @@ impl Experiment {
 
         let mut node_managers: Vec<NodeManager> =
             (0..tb.servers.len()).map(|_| NodeManager::new(pc_config.clone())).collect();
+        let chaos_seed = tb.rng.child("chaos").master_seed();
+        let scenario = config.faults.clone().unwrap_or_default();
         if let Some(scenario) = &config.faults {
-            let chaos_seed = tb.rng.child("chaos").master_seed();
             for (i, nm) in node_managers.iter_mut().enumerate() {
                 nm.attach_faults(NodeFaults::new(chaos_seed, scenario.clone(), i as u32));
             }
         }
+        let server_ids: Vec<ServerId> = (0..tb.servers.len()).map(|i| ServerId(i as u32)).collect();
+        let plane = ControlPlane::new(
+            config.control,
+            chaos_seed,
+            scenario,
+            server_ids,
+            pc_config.sample_interval,
+        );
 
         let mut jobs = config.jobs;
         jobs.sort_by_key(|(t, _)| *t);
@@ -208,6 +226,7 @@ impl Experiment {
             cloud: tb.cloud,
             scheduler,
             node_managers,
+            plane,
             policy,
             dolly,
             mitigation_name,
@@ -293,16 +312,42 @@ impl Experiment {
         }
         self.scheduler.on_tick(now, &mut self.servers, &finished, self.policy.as_mut());
 
+        // Control plane first: at the sampling cadence the live coordinator
+        // publishes fresh placement views, and every tick delivers whatever
+        // messages are due (on the default zero-latency loopback a publish
+        // lands within the same instant, reproducing the old direct fetch).
+        let sampling = now >= self.next_sample;
+        if sampling {
+            self.plane.begin_interval(now, &self.cloud);
+        }
+        self.plane.tick(now, &mut self.cloud, &mut self.node_managers);
+
         // Node managers at the sampling cadence, all writing into the one
         // reused report buffer.
-        if now >= self.next_sample {
+        if sampling {
             for (i, nm) in self.node_managers.iter_mut().enumerate() {
-                nm.step_into(now, &mut self.servers[i], &mut self.cloud, &mut self.report_buf);
+                let stalled = self.plane.stalled(i, now);
+                nm.step_synced(now, &mut self.servers[i], stalled, &mut self.report_buf);
+                if self.report_buf.restarted {
+                    // The stalled process died with its freeze.
+                    self.plane.clear_stall(i);
+                }
+                while let Some(apps) = nm.take_colocation_notice() {
+                    self.plane.send_colocation(now, i, apps);
+                }
                 if let Some(trace) = self.trace.as_mut() {
                     trace.record(now, i, &self.report_buf);
                 }
             }
             self.next_sample += self.sample_interval;
+        }
+
+        if let Some(trace) = self.trace.as_mut() {
+            for (at, text) in self.plane.drain_events() {
+                trace.record_ctrl(at, &text);
+            }
+        } else {
+            self.plane.drain_events();
         }
     }
 

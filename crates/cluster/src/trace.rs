@@ -72,6 +72,14 @@ impl DecisionTrace {
         self.lines.push(line);
     }
 
+    /// Appends one control-plane event (election, publish summary, epoch
+    /// reject, replica outage) at the simulated time it happened.
+    pub fn record_ctrl(&mut self, at: SimTime, text: &str) {
+        let mut line = String::with_capacity(24 + text.len());
+        let _ = write!(line, "t={} ctrl {text}", at.as_secs_f64());
+        self.lines.push(line);
+    }
+
     /// The recorded lines, in order.
     pub fn lines(&self) -> &[String] {
         &self.lines

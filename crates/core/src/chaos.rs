@@ -1,13 +1,20 @@
 //! Fault-injection integration for the per-server agent.
 //!
 //! [`NodeFaults`] sits between a [`NodeManager`](crate::NodeManager) and the
-//! hypervisor/cloud-manager interfaces and applies a
+//! hypervisor interface and applies a
 //! [`FaultScenario`](perfcloud_sim::FaultScenario) to everything the agent
-//! observes: sample deliveries can be dropped, delayed, or duplicated;
-//! individual metric values corrupted (NaN, spike, stuck-at); the agent
-//! itself stalled or crash-restarted; and its placement view desynchronized
-//! from the cloud manager. All decisions come from the stateless
-//! [`FaultInjector`], so runs are bit-reproducible from `(seed, scenario)`.
+//! observes locally: sample deliveries can be dropped, delayed, or
+//! duplicated; individual metric values corrupted (NaN, spike, stuck-at);
+//! and the agent itself crash-restarted. All decisions come from the
+//! stateless [`FaultInjector`], so runs are bit-reproducible from
+//! `(seed, scenario)`.
+//!
+//! Manager stalls and placement desynchronization are *control-plane*
+//! conditions, not local ones, and live in `perfcloud-ctrl`: a stall is the
+//! plane refusing to step the agent (`StallManager` windows), and desync is
+//! the placement link dropping updates (`DesyncPlacement` windows) — one
+//! code path for control-plane failure injection instead of the former
+//! direct-mutation duplicate here.
 
 use crate::monitor::{IngestOutcome, PerformanceMonitor, VmMetricKind};
 use perfcloud_host::{CounterSnapshot, PhysicalServer, VmId};
@@ -20,23 +27,18 @@ use std::collections::BTreeMap;
 pub enum ManagerFault {
     /// The manager runs normally this interval.
     None,
-    /// The manager misses this interval (no sampling, no decisions), state
-    /// intact.
-    Stalled,
     /// The manager crashed: its in-memory state is gone and it restarts from
     /// scratch this interval.
     Crashed,
 }
 
 /// Per-server fault state: a bound injector plus the small amount of mutable
-/// bookkeeping faults need (delayed deliveries in flight, stall/desync
-/// deadlines, stuck-sensor memory).
+/// bookkeeping faults need (delayed deliveries in flight, stuck-sensor
+/// memory).
 #[derive(Debug)]
 pub struct NodeFaults {
     injector: FaultInjector,
     server: u32,
-    stalled_until: Option<SimTime>,
-    desynced_until: Option<SimTime>,
     /// Delayed sample deliveries in flight: (due, vm, snapshot).
     delayed: Vec<(SimTime, VmId, CounterSnapshot)>,
     /// Last good value per (vm, metric) — what a stuck sensor replays.
@@ -49,8 +51,6 @@ impl NodeFaults {
         NodeFaults {
             injector: FaultInjector::new(seed, scenario),
             server,
-            stalled_until: None,
-            desynced_until: None,
             delayed: Vec::new(),
             stuck: BTreeMap::new(),
         }
@@ -61,51 +61,18 @@ impl NodeFaults {
         &self.injector
     }
 
-    /// Evaluates manager-level faults at the start of a control interval.
-    /// Crash wins over stall; a crash also loses the in-flight delayed
-    /// deliveries (they were RPCs to a process that no longer exists).
-    pub fn begin_interval(&mut self, now: SimTime, interval: SimDuration) -> ManagerFault {
-        let mut crashed = false;
-        let mut stall: Option<SimTime> = None;
-        let mut desync: Option<SimTime> = None;
-        for rule in &self.injector.scenario().rules {
-            if !self.injector.fires(rule, now, self.server, None) {
-                continue;
-            }
-            match rule.kind {
-                FaultKind::CrashRestart => crashed = true,
-                FaultKind::StallManager { intervals } => {
-                    let until = now.saturating_add(interval.mul_f64(intervals as f64));
-                    stall = Some(stall.map_or(until, |s| s.max(until)));
-                }
-                FaultKind::DesyncPlacement { intervals } => {
-                    let until = now.saturating_add(interval.mul_f64(intervals as f64));
-                    desync = Some(desync.map_or(until, |d| d.max(until)));
-                }
-                _ => {}
-            }
-        }
+    /// Evaluates process-level faults at the start of a control interval.
+    /// A crash loses the in-flight delayed deliveries (they were RPCs to a
+    /// process that no longer exists).
+    pub fn begin_interval(&mut self, now: SimTime) -> ManagerFault {
+        let crashed = self.injector.scenario().rules.iter().any(|r| {
+            r.kind == FaultKind::CrashRestart && self.injector.fires(r, now, self.server, None)
+        });
         if crashed {
-            self.stalled_until = None;
             self.delayed.clear();
             return ManagerFault::Crashed;
         }
-        if let Some(until) = stall {
-            self.stalled_until = Some(self.stalled_until.map_or(until, |s| s.max(until)));
-        }
-        if let Some(until) = desync {
-            self.desynced_until = Some(self.desynced_until.map_or(until, |d| d.max(until)));
-        }
-        if self.stalled_until.is_some_and(|until| now < until) {
-            ManagerFault::Stalled
-        } else {
-            ManagerFault::None
-        }
-    }
-
-    /// Whether the manager's placement view is desynchronized at `now`.
-    pub fn placement_desynced(&self, now: SimTime) -> bool {
-        self.desynced_until.is_some_and(|until| now < until)
+        ManagerFault::None
     }
 
     /// Samples every VM on `server` through the fault filter, in place of
@@ -361,7 +328,9 @@ mod tests {
     }
 
     #[test]
-    fn stall_and_crash_semantics() {
+    fn crash_semantics() {
+        // Stall windows live in the control plane now: locally a stall rule
+        // is inert, while the crash window still fires exactly once.
         let scenario = FaultScenario::named("mgr")
             .rule(
                 FaultRule::new("stall", FaultKind::StallManager { intervals: 2 })
@@ -372,28 +341,25 @@ mod tests {
                     .window(SimTime::from_secs(30), SimTime::from_secs(31)),
             );
         let mut faults = NodeFaults::new(1, scenario, 0);
-        let f = |faults: &mut NodeFaults, secs: u64| {
-            faults.begin_interval(SimTime::from_secs(secs), INTERVAL)
-        };
+        let f =
+            |faults: &mut NodeFaults, secs: u64| faults.begin_interval(SimTime::from_secs(secs));
         assert_eq!(f(&mut faults, 5), ManagerFault::None);
-        assert_eq!(f(&mut faults, 10), ManagerFault::Stalled);
-        assert_eq!(f(&mut faults, 15), ManagerFault::Stalled);
-        assert_eq!(f(&mut faults, 20), ManagerFault::None);
+        assert_eq!(f(&mut faults, 10), ManagerFault::None);
         assert_eq!(f(&mut faults, 25), ManagerFault::None);
         assert_eq!(f(&mut faults, 30), ManagerFault::Crashed);
         assert_eq!(f(&mut faults, 35), ManagerFault::None);
     }
 
     #[test]
-    fn desync_window_tracks_intervals() {
-        let scenario = FaultScenario::named("desync").rule(
-            FaultRule::new("d", FaultKind::DesyncPlacement { intervals: 3 })
-                .window(SimTime::from_secs(10), SimTime::from_secs(11)),
+    fn crash_discards_inflight_delayed_deliveries() {
+        let scenario = FaultScenario::named("crash-loses-rpcs").rule(
+            FaultRule::new("crash", FaultKind::CrashRestart)
+                .window(SimTime::from_secs(30), SimTime::from_secs(31)),
         );
         let mut faults = NodeFaults::new(1, scenario, 0);
-        assert_eq!(faults.begin_interval(SimTime::from_secs(10), INTERVAL), ManagerFault::None);
-        assert!(faults.placement_desynced(SimTime::from_secs(10)));
-        assert!(faults.placement_desynced(SimTime::from_secs(20)));
-        assert!(!faults.placement_desynced(SimTime::from_secs(25)));
+        let snap = CounterSnapshot { counters: perfcloud_host::VmCounters::default() };
+        faults.delayed.push((SimTime::from_secs(35), VmId(0), snap));
+        assert_eq!(faults.begin_interval(SimTime::from_secs(30)), ManagerFault::Crashed);
+        assert!(faults.delayed.is_empty(), "crash must drop in-flight deliveries");
     }
 }

@@ -24,6 +24,36 @@ pub struct VmRecord {
     pub app: Option<AppId>,
 }
 
+/// Version stamp on a published placement view.
+///
+/// `term` is the publishing coordinator's election term (unique per
+/// coordinator incarnation: it encodes both the Bully round and the winner's
+/// replica id), and `seq` its per-term publish counter. Epochs order
+/// lexicographically, so any update from a newer coordinator supersedes every
+/// update from an older one regardless of sequence numbers. A node manager
+/// must never apply an update whose epoch is below its last-applied one —
+/// that is the epoch-regression window a restarting coordinator (volatile
+/// `seq` reset to zero) would otherwise open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlacementEpoch {
+    /// Publishing coordinator's election term (round and owner packed).
+    pub term: u64,
+    /// Per-term publish sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl PlacementEpoch {
+    /// The epoch below every published one.
+    pub const ZERO: PlacementEpoch = PlacementEpoch { term: 0, seq: 0 };
+}
+
+impl std::fmt::Display for PlacementEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Terms pack (round, owner); render both halves for readable traces.
+        write!(f, "{}/{}.{}", self.term >> 32, self.term & 0xffff_ffff, self.seq)
+    }
+}
+
 /// One server's placement view, as a node manager consumes it each
 /// interval. Reused across intervals via [`CloudManager::placement_into`];
 /// cloning with [`Clone::clone_from`] also reuses the target's buffers.

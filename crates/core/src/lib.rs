@@ -32,9 +32,9 @@ pub mod node_manager;
 
 pub use antagonist::AntagonistIdentifier;
 pub use chaos::{ManagerFault, NodeFaults};
-pub use cloud::{AppId, CloudManager, Placement, VmRecord};
+pub use cloud::{AppId, CloudManager, Placement, PlacementEpoch, VmRecord};
 pub use config::PerfCloudConfig;
 pub use cubic::{CubicController, CubicState};
 pub use detector::{deviation_across_vms, ContentionSignal};
 pub use monitor::{IngestOutcome, PerformanceMonitor, VmMetricKind};
-pub use node_manager::{NodeManager, StepReport};
+pub use node_manager::{NodeManager, PlacementApplyOutcome, StepReport};

@@ -12,7 +12,7 @@
 
 use crate::antagonist::{AntagonistIdentifier, Resource};
 use crate::chaos::{ManagerFault, NodeFaults};
-use crate::cloud::{AppId, CloudManager, Placement};
+use crate::cloud::{AppId, CloudManager, Placement, PlacementEpoch};
 use crate::config::PerfCloudConfig;
 use crate::cubic::{CubicController, CubicState};
 use crate::detector::{detect, ContentionSignal};
@@ -94,6 +94,17 @@ impl Default for StepReport {
     }
 }
 
+/// What [`NodeManager::apply_placement`] did with an incoming update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementApplyOutcome {
+    /// The update was at or above the last-applied epoch and was cached.
+    Applied,
+    /// The update's epoch was below the last-applied one (a restarted or
+    /// superseded coordinator): ignored, and — deliberately — the staleness
+    /// clock was *not* reset, so the bounded-staleness guard keeps counting.
+    RejectedStaleEpoch,
+}
+
 /// The per-server PerfCloud agent.
 pub struct NodeManager {
     config: PerfCloudConfig,
@@ -112,6 +123,16 @@ pub struct NodeManager {
     /// riding out desynchronization; `cache_fetched` is its fetch time.
     placement_cache: Placement,
     cache_fetched: Option<SimTime>,
+    /// Epoch of the last applied [`Self::apply_placement`] update; updates
+    /// below it are rejected (epoch-regression protection).
+    last_epoch: Option<PlacementEpoch>,
+    /// Set by [`Self::apply_placement`], consumed by [`Self::step_synced`]:
+    /// whether an update arrived since the previous step.
+    placement_fresh: bool,
+    /// Colocation notices waiting to be shipped to the cloud manager (a
+    /// direct call on the in-process path, a `Colocation` message on the
+    /// control-plane path).
+    colocation_outbox: Vec<Vec<AppId>>,
     /// Scratch for VMs leaving the controlled set in [`Self::control`].
     departed: Vec<VmId>,
 }
@@ -134,6 +155,9 @@ impl NodeManager {
             placement: Placement::default(),
             placement_cache: Placement::default(),
             cache_fetched: None,
+            last_epoch: None,
+            placement_fresh: false,
+            colocation_outbox: Vec::new(),
             departed: Vec::new(),
         }
     }
@@ -167,6 +191,42 @@ impl NodeManager {
         self.cpu_cap_trace.get(&vm)
     }
 
+    /// Epoch of the last applied placement update, if any arrived via
+    /// [`Self::apply_placement`].
+    pub fn last_epoch(&self) -> Option<PlacementEpoch> {
+        self.last_epoch
+    }
+
+    /// Delivers a `PlacementUpdate` message: caches `view` as the current
+    /// placement unless its `epoch` is below the last-applied one.
+    ///
+    /// On rejection nothing changes — in particular `cache_fetched` keeps its
+    /// old timestamp, so a stale coordinator cannot silently reset the
+    /// bounded-staleness clock with outdated views (the epoch-regression
+    /// window of a restarted cloud manager whose volatile publish counter
+    /// started over).
+    pub fn apply_placement(
+        &mut self,
+        now: SimTime,
+        epoch: PlacementEpoch,
+        view: &Placement,
+    ) -> PlacementApplyOutcome {
+        if self.last_epoch.is_some_and(|last| epoch < last) {
+            return PlacementApplyOutcome::RejectedStaleEpoch;
+        }
+        self.last_epoch = Some(epoch);
+        self.placement_cache.clone_from(view);
+        self.cache_fetched = Some(now);
+        self.placement_fresh = true;
+        PlacementApplyOutcome::Applied
+    }
+
+    /// Pops one pending colocation notice (multiple high-priority apps seen
+    /// on this server), for shipping to the cloud manager as a message.
+    pub fn take_colocation_notice(&mut self) -> Option<Vec<AppId>> {
+        self.colocation_outbox.pop()
+    }
+
     /// One interval of Algorithm 1. Call every `config.sample_interval`.
     ///
     /// Convenience wrapper over [`Self::step_into`] that returns a fresh
@@ -185,6 +245,12 @@ impl NodeManager {
 
     /// One interval of Algorithm 1, writing what happened into `report`
     /// (cleared first, buffers reused).
+    ///
+    /// This is the in-process path: placement comes from a direct call into
+    /// the cloud-manager registry and colocation notices are delivered
+    /// synchronously. Cluster experiments instead run the message path —
+    /// [`Self::apply_placement`] plus [`Self::step_synced`] — where the same
+    /// information flows through the control plane.
     pub fn step_into(
         &mut self,
         now: SimTime,
@@ -194,28 +260,75 @@ impl NodeManager {
     ) {
         report.clear();
 
-        // (0) Manager-level faults: a stalled agent does nothing at all this
-        // interval; a crashed one loses its in-memory state and restarts.
+        // (0) Manager-level faults: a crashed agent loses its in-memory
+        // state and restarts. (Stalls and placement desync are control-plane
+        // conditions; on this direct path they cannot occur.)
         if let Some(faults) = self.faults.as_mut() {
-            match faults.begin_interval(now, self.config.sample_interval) {
-                ManagerFault::Stalled => {
-                    report.stalled = true;
-                    return;
-                }
-                ManagerFault::Crashed => {
-                    self.crash_restart(server);
-                    report.restarted = true;
-                    return;
-                }
-                ManagerFault::None => {}
+            if faults.begin_interval(now) == ManagerFault::Crashed {
+                self.crash_restart(server);
+                report.restarted = true;
+                return;
             }
         }
 
-        // (1) Fetch placement and priorities from the cloud manager — or,
-        // when the update channel is desynchronized, ride the cached view up
-        // to the bounded-staleness limit.
-        let desynced = self.faults.as_ref().is_some_and(|f| f.placement_desynced(now));
-        if desynced {
+        // (1) Fetch placement and priorities from the cloud manager.
+        cloud.placement_into(server.id, &mut self.placement);
+        self.placement_cache.clone_from(&self.placement);
+        self.cache_fetched = Some(now);
+
+        // (2) Sample all VMs (through the fault filter, when attached).
+        self.sample(now, server);
+
+        // Decide on the placement view with the scratch moved out of `self`,
+        // so the decision path can borrow the manager mutably; moving a
+        // `Placement` swaps pointers, it does not copy or allocate.
+        let placement = std::mem::take(&mut self.placement);
+        self.decide(now, server, &placement, report);
+        self.placement = placement;
+
+        // Synchronous delivery of anything the decision wanted to tell the
+        // cloud manager (a message send on the control-plane path).
+        for apps in self.colocation_outbox.drain(..) {
+            cloud.notify_colocation(server.id, apps);
+        }
+    }
+
+    /// One interval of Algorithm 1 on the message path: placement arrives
+    /// beforehand via [`Self::apply_placement`], stalls are imposed by the
+    /// control plane (`stalled`), and colocation notices are left in the
+    /// outbox for the caller to ship.
+    ///
+    /// If no update arrived since the previous step, the manager rides its
+    /// cached view up to [`Self::MAX_PLACEMENT_STALENESS`] intervals, then
+    /// keeps the metric windows warm but stops making control decisions —
+    /// exactly the bounded-staleness behavior the direct path had under
+    /// placement desync.
+    pub fn step_synced(
+        &mut self,
+        now: SimTime,
+        server: &mut PhysicalServer,
+        stalled: bool,
+        report: &mut StepReport,
+    ) {
+        report.clear();
+
+        // (0) A crash beats a stall, as on the direct path: the process dies
+        // and restarts with clean state.
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.begin_interval(now) == ManagerFault::Crashed {
+                self.crash_restart(server);
+                report.restarted = true;
+                return;
+            }
+        }
+        if stalled {
+            report.stalled = true;
+            return;
+        }
+
+        // (1) Use the placement update that arrived this interval — or ride
+        // the cached view up to the bounded-staleness limit.
+        if !std::mem::take(&mut self.placement_fresh) {
             let limit = self.config.sample_interval.mul_f64(Self::MAX_PLACEMENT_STALENESS as f64);
             let fresh_enough =
                 self.cache_fetched.is_some_and(|fetched| now.saturating_since(fetched) <= limit);
@@ -226,22 +339,15 @@ impl NodeManager {
                 report.placement_stale = true;
                 return;
             }
-            self.placement.clone_from(&self.placement_cache);
             report.placement_stale = true;
-        } else {
-            cloud.placement_into(server.id, &mut self.placement);
-            self.placement_cache.clone_from(&self.placement);
-            self.cache_fetched = Some(now);
         }
+        self.placement.clone_from(&self.placement_cache);
 
         // (2) Sample all VMs (through the fault filter, when attached).
         self.sample(now, server);
 
-        // Decide on the placement view with the scratch moved out of `self`,
-        // so the decision path can borrow the manager mutably; moving a
-        // `Placement` swaps pointers, it does not copy or allocate.
         let placement = std::mem::take(&mut self.placement);
-        self.decide(now, server, cloud, &placement, report);
+        self.decide(now, server, &placement, report);
         self.placement = placement;
     }
 
@@ -250,14 +356,14 @@ impl NodeManager {
         &mut self,
         now: SimTime,
         server: &mut PhysicalServer,
-        cloud: &mut CloudManager,
         placement: &Placement,
         report: &mut StepReport,
     ) {
-        // Multiple high-priority applications colocated → notify (the
-        // paper's hook for migration-based resolution); control the first.
+        // Multiple high-priority applications colocated → queue a notice for
+        // the cloud manager (the paper's hook for migration-based
+        // resolution); control the first.
         if placement.apps.len() > 1 {
-            cloud.notify_colocation(server.id, placement.apps.clone());
+            self.colocation_outbox.push(placement.apps.clone());
         }
         let Some(&app) = placement.apps.first() else {
             // Nothing to protect on this server; release any leftover caps.
@@ -336,6 +442,9 @@ impl NodeManager {
         self.controlled_app = None;
         self.placement_cache.clear();
         self.cache_fetched = None;
+        self.last_epoch = None;
+        self.placement_fresh = false;
+        self.colocation_outbox.clear();
         for vm in server.vm_ids() {
             if server.io_throttle(vm).is_some_and(|t| t.is_throttled()) {
                 server.set_io_throttle(vm, IoThrottle::unlimited());
@@ -680,6 +789,111 @@ mod tests {
             reports.iter().any(|r| r.io_caps.iter().any(|&(vm, _)| vm == VmId(10))),
             "no re-throttle within 8 intervals of the restart"
         );
+    }
+
+    #[test]
+    fn epoch_regression_is_ignored_and_does_not_reset_staleness() {
+        use crate::cloud::PlacementEpoch;
+        use crate::node_manager::PlacementApplyOutcome;
+        let mut tb = testbed((10.0, 1.0));
+        let interval = SimDuration::from_secs(5.0);
+        let mut view = Placement::default();
+        tb.cloud.placement_into(ServerId(0), &mut view);
+
+        // A current coordinator publishes at epoch (term 2, seq 5).
+        let fresh = PlacementEpoch { term: 2, seq: 5 };
+        let t0 = SimTime::from_secs(5);
+        assert_eq!(tb.nm.apply_placement(t0, fresh, &view), PlacementApplyOutcome::Applied);
+        assert_eq!(tb.nm.last_epoch(), Some(fresh));
+
+        // A restarted coordinator (same term, volatile seq back at 1) keeps
+        // republishing stale epochs: every one must be rejected, the applied
+        // epoch must not move, and the staleness clock must keep running.
+        let mut report = StepReport::default();
+        let mut now = t0;
+        let mut stale_intervals = 0;
+        for k in 0..(NodeManager::MAX_PLACEMENT_STALENESS as u64 + 2) {
+            now += interval;
+            let seq = k % 4 + 1; // always below the applied seq of 5
+            let outcome = tb.nm.apply_placement(now, PlacementEpoch { term: 2, seq }, &view);
+            assert_eq!(outcome, PlacementApplyOutcome::RejectedStaleEpoch, "seq {seq}");
+            assert_eq!(tb.nm.last_epoch(), Some(fresh), "epoch must never regress");
+            for _ in 0..50 {
+                tb.server.tick(DT);
+            }
+            tb.nm.step_synced(now, &mut tb.server, false, &mut report);
+            if report.placement_stale {
+                stale_intervals += 1;
+            }
+        }
+        // Had a rejection reset the clock, the stale counter would have been
+        // wiped each interval and the bounded-staleness guard never tripped.
+        assert!(
+            stale_intervals > NodeManager::MAX_PLACEMENT_STALENESS,
+            "rejected updates must not reset the staleness clock \
+             (saw {stale_intervals} stale intervals)"
+        );
+        // Once the restarted coordinator's seq catches up, it is accepted.
+        let caught_up = PlacementEpoch { term: 2, seq: 6 };
+        assert_eq!(tb.nm.apply_placement(now, caught_up, &view), PlacementApplyOutcome::Applied);
+        assert_eq!(tb.nm.last_epoch(), Some(caught_up));
+        // A newer term always supersedes, whatever its seq.
+        let new_term = PlacementEpoch { term: 3, seq: 1 };
+        assert_eq!(tb.nm.apply_placement(now, new_term, &view), PlacementApplyOutcome::Applied);
+    }
+
+    #[test]
+    fn step_synced_matches_direct_path_and_bounds_staleness() {
+        // Two identical testbeds: one stepped through the direct in-process
+        // path, one through the message path with an update applied each
+        // interval. Their decisions must be identical.
+        let mut direct = testbed((10.0, 1.0));
+        let mut synced = testbed((10.0, 1.0));
+        let mut view = Placement::default();
+        let mut ra = StepReport::default();
+        let mut rb = StepReport::default();
+        let interval = SimDuration::from_secs(5.0);
+        let mut now = SimTime::ZERO;
+        for k in 0..12u64 {
+            if k == 3 {
+                direct.start_antagonist();
+                synced.start_antagonist();
+            }
+            for _ in 0..50 {
+                direct.server.tick(DT);
+                synced.server.tick(DT);
+            }
+            now += interval;
+            direct.nm.step_into(now, &mut direct.server, &mut direct.cloud, &mut ra);
+            synced.cloud.placement_into(ServerId(0), &mut view);
+            let epoch = crate::cloud::PlacementEpoch { term: 1, seq: k + 1 };
+            synced.nm.apply_placement(now, epoch, &view);
+            synced.nm.step_synced(now, &mut synced.server, false, &mut rb);
+            assert_eq!(ra, rb, "direct and message paths diverged at interval {k}");
+        }
+        // Cut off updates: the synced manager rides its cache (stale but
+        // deciding) for MAX_PLACEMENT_STALENESS intervals, then stops
+        // deciding entirely.
+        let mut decided_while_stale = 0;
+        let mut refused = 0;
+        for _ in 0..(NodeManager::MAX_PLACEMENT_STALENESS + 4) {
+            for _ in 0..50 {
+                synced.server.tick(DT);
+            }
+            now += interval;
+            synced.nm.step_synced(now, &mut synced.server, false, &mut rb);
+            assert!(rb.placement_stale);
+            if rb.signal.is_some() {
+                decided_while_stale += 1;
+            } else {
+                refused += 1;
+            }
+        }
+        assert_eq!(decided_while_stale, NodeManager::MAX_PLACEMENT_STALENESS);
+        assert!(refused >= 4, "past the limit the manager must refuse to decide");
+        // A stalled interval does nothing at all.
+        synced.nm.step_synced(now + interval, &mut synced.server, true, &mut rb);
+        assert!(rb.stalled && rb.signal.is_none());
     }
 
     #[test]

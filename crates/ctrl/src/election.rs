@@ -1,0 +1,392 @@
+//! Heartbeat failure detection and modified-Bully election.
+//!
+//! Each cloud-manager [`Replica`] is a small deterministic state machine in
+//! the CloudP2P mold: the coordinator broadcasts [`Payload::Heartbeat`]s
+//! every interval; a follower that hears nothing from its leader for
+//! `heartbeat_timeout` intervals opens a new election round with
+//! [`Payload::Election`]; any *better* replica — lower `(priority, id)`,
+//! priorities being load-derived in CloudP2P — suppresses the candidate with
+//! [`Payload::Answer`] and runs its own election; a candidate unanswered
+//! within `election_timeout` wins and broadcasts [`Payload::Coordinator`].
+//!
+//! A term is `(round, owner)`: rounds are monotone, and including the owner
+//! makes every term unique to the single replica that announced it — two
+//! candidates racing the same round produce *different* terms, and whichever
+//! is observed to be higher wins on contact. That is the "at most one
+//! coordinator per term" safety property, by construction; liveness (a
+//! coordinator within a bounded number of heartbeat intervals after heal)
+//! comes from the failure detector re-opening rounds until one closes.
+//!
+//! Durability model: a replica's `term` and coordinator role survive a
+//! restart (they live in the durable registry next to the VM records), but
+//! its per-term publish counter `seq` is volatile — a healed coordinator
+//! restarts publishing at `seq = 1`, which is exactly the epoch-regression
+//! window node managers guard against and acks repair.
+
+use crate::proto::{NodeId, Payload, Term};
+use perfcloud_sim::{SimDuration, SimTime};
+
+/// Failure-detector and election timing knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectionConfig {
+    /// Coordinator heartbeat period.
+    pub heartbeat_interval: SimDuration,
+    /// Heartbeat intervals of silence before a follower suspects the leader.
+    pub heartbeat_timeout: u32,
+    /// How long a candidate waits for an [`Payload::Answer`] before winning.
+    pub election_timeout: SimDuration,
+}
+
+impl Default for ElectionConfig {
+    fn default() -> Self {
+        ElectionConfig {
+            heartbeat_interval: SimDuration::from_secs(1.0),
+            heartbeat_timeout: 3,
+            election_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// A replica's current election role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Following the coordinator of the highest term seen.
+    Follower,
+    /// Opened `round` and waiting until `deadline` for an answer.
+    Candidate {
+        /// The round this candidacy opened.
+        round: u32,
+        /// When the candidacy wins if unanswered.
+        deadline: SimTime,
+    },
+    /// Leading the term in [`Replica::term`].
+    Coordinator,
+}
+
+/// One cloud-manager replica's control state.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    /// Replica id (also its [`NodeId::manager`] address).
+    pub id: u32,
+    /// Load-based election priority; lower wins, id breaks ties.
+    pub priority: u64,
+    /// Current role.
+    pub role: Role,
+    /// Highest coordinator term seen (None only before bootstrap).
+    pub term: Option<Term>,
+    /// Volatile per-term publish counter (placement epochs).
+    pub seq: u64,
+    peers: Vec<u32>,
+    cfg: ElectionConfig,
+    max_round: u32,
+    last_contact: SimTime,
+    next_heartbeat: SimTime,
+}
+
+impl Replica {
+    /// Creates replica `id` of `n` with the cluster's agreed bootstrap term
+    /// (the initial coordinator is part of deployment configuration, as in
+    /// CloudP2P's seeded ring).
+    pub fn new(id: u32, priority: u64, n: u32, cfg: ElectionConfig, bootstrap: Term) -> Self {
+        Replica {
+            id,
+            priority,
+            role: if bootstrap.owner == id { Role::Coordinator } else { Role::Follower },
+            term: Some(bootstrap),
+            seq: 0,
+            peers: (0..n).filter(|&k| k != id).collect(),
+            cfg,
+            max_round: bootstrap.round,
+            last_contact: SimTime::ZERO,
+            next_heartbeat: SimTime::ZERO,
+        }
+    }
+
+    /// Whether this replica outranks `(priority, id)` in the Bully order.
+    fn outranks(&self, priority: u64, id: u32) -> bool {
+        (self.priority, self.id) < (priority, id)
+    }
+
+    /// Follower silence budget before suspecting the leader; staggered by id
+    /// so healed clusters don't open identical rounds on the same tick.
+    fn failover_timeout(&self) -> SimDuration {
+        let base = self.cfg.heartbeat_interval.mul_f64(self.cfg.heartbeat_timeout as f64);
+        SimDuration::from_micros(base.as_micros() + self.id as u64 * 50_000)
+    }
+
+    fn broadcast(&self, payload: Payload, out: &mut Vec<(NodeId, Payload)>) {
+        for &peer in &self.peers {
+            out.push((NodeId::manager(peer), payload.clone()));
+        }
+    }
+
+    fn start_election(&mut self, now: SimTime, out: &mut Vec<(NodeId, Payload)>) {
+        let round = self.max_round + 1;
+        self.max_round = round;
+        self.role =
+            Role::Candidate { round, deadline: now.saturating_add(self.cfg.election_timeout) };
+        self.broadcast(Payload::Election { round, priority: self.priority }, out);
+    }
+
+    fn become_coordinator(&mut self, now: SimTime, term: Term, out: &mut Vec<(NodeId, Payload)>) {
+        debug_assert_eq!(term.owner, self.id, "a replica only announces terms it owns");
+        self.role = Role::Coordinator;
+        self.term = Some(term);
+        self.seq = 0;
+        self.last_contact = now;
+        self.next_heartbeat = now.saturating_add(self.cfg.heartbeat_interval);
+        self.broadcast(Payload::Coordinator { term }, out);
+    }
+
+    /// Advances timers: coordinator heartbeats, candidate win-on-silence,
+    /// follower failure detection. Safe to call repeatedly at the same `now`.
+    pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<(NodeId, Payload)>) {
+        match self.role {
+            Role::Coordinator => {
+                while self.next_heartbeat <= now {
+                    let term = self.term.expect("coordinator always has a term");
+                    self.broadcast(Payload::Heartbeat { term }, out);
+                    self.next_heartbeat =
+                        self.next_heartbeat.saturating_add(self.cfg.heartbeat_interval);
+                }
+            }
+            Role::Candidate { round, deadline } => {
+                if now >= deadline {
+                    // No better replica answered: the round closes on us.
+                    self.become_coordinator(now, Term { round, owner: self.id }, out);
+                }
+            }
+            Role::Follower => {
+                if now.saturating_since(self.last_contact) > self.failover_timeout() {
+                    self.start_election(now, out);
+                }
+            }
+        }
+    }
+
+    /// Handles one incoming election-protocol message.
+    pub fn on_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        payload: &Payload,
+        out: &mut Vec<(NodeId, Payload)>,
+    ) {
+        match *payload {
+            Payload::Heartbeat { term } | Payload::Coordinator { term } => {
+                self.observe_term(now, term, true, out);
+            }
+            Payload::Election { round, priority } => {
+                self.max_round = self.max_round.max(round);
+                if self.outranks(priority, from.0) {
+                    out.push((from, Payload::Answer { round }));
+                    match self.role {
+                        Role::Coordinator => {
+                            // Alive and still leading: the suspicion is
+                            // false, re-assert the current term.
+                            let term = self.term.expect("coordinator always has a term");
+                            out.push((from, Payload::Coordinator { term }));
+                        }
+                        Role::Candidate { round: mine, .. } if mine >= round => {}
+                        _ => self.start_election(now, out),
+                    }
+                }
+                // A worse replica stays silent; silence is how the candidate
+                // wins.
+            }
+            Payload::Answer { round } => {
+                if let Role::Candidate { round: mine, .. } = self.role {
+                    if round == mine {
+                        // Outranked: stand down and wait for the better
+                        // replica's Coordinator announcement; the failure
+                        // detector re-opens if it never comes.
+                        self.role = Role::Follower;
+                        self.last_contact = now;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Folds an observed coordinator term into local state. `contact` marks
+    /// a genuine liveness signal from that coordinator (heartbeat or
+    /// announcement), as opposed to hearsay like an epoch seen in an ack.
+    pub fn observe_term(
+        &mut self,
+        now: SimTime,
+        term: Term,
+        contact: bool,
+        out: &mut Vec<(NodeId, Payload)>,
+    ) {
+        self.max_round = self.max_round.max(term.round);
+        let known = self.term;
+        if known.is_some_and(|my| term < my) {
+            if self.role == Role::Coordinator && term.owner != self.id {
+                // A stale coordinator is still broadcasting (a healed
+                // partition): point it at the current term so it steps down.
+                let mine = self.term.expect("coordinator always has a term");
+                out.push((NodeId::manager(term.owner), Payload::Coordinator { term: mine }));
+            }
+            return;
+        }
+        let newer = known.is_none_or(|my| term > my);
+        self.term = Some(term);
+        if contact {
+            self.last_contact = now;
+        }
+        if term.owner != self.id && newer {
+            match self.role {
+                // Superseded: step down.
+                Role::Coordinator => self.role = Role::Follower,
+                Role::Candidate { round, .. } if term.round >= round => self.role = Role::Follower,
+                _ => {}
+            }
+        }
+    }
+
+    /// Restart after an outage: the publish counter is volatile and resets;
+    /// term and coordinator role are durable; a half-open candidacy is not.
+    pub fn on_restart(&mut self, now: SimTime) {
+        self.seq = 0;
+        if matches!(self.role, Role::Candidate { .. }) {
+            self.role = Role::Follower;
+        }
+        self.last_contact = now;
+        self.next_heartbeat = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ElectionConfig {
+        ElectionConfig::default()
+    }
+
+    fn boot() -> Term {
+        Term { round: 1, owner: 0 }
+    }
+
+    #[test]
+    fn bootstrap_roles_follow_the_agreed_term() {
+        let r0 = Replica::new(0, 0, 3, cfg(), boot());
+        let r1 = Replica::new(1, 1, 3, cfg(), boot());
+        assert_eq!(r0.role, Role::Coordinator);
+        assert_eq!(r1.role, Role::Follower);
+    }
+
+    #[test]
+    fn coordinator_heartbeats_every_interval() {
+        let mut r0 = Replica::new(0, 0, 3, cfg(), boot());
+        let mut out = Vec::new();
+        r0.on_tick(SimTime::from_secs(3), &mut out);
+        // Heartbeats at t=0,1,2,3 to each of 2 peers.
+        let hbs = out.iter().filter(|(_, p)| matches!(p, Payload::Heartbeat { .. })).count();
+        assert_eq!(hbs, 8);
+        out.clear();
+        // Same-instant re-tick is idempotent.
+        r0.on_tick(SimTime::from_secs(3), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn silent_leader_triggers_election_and_silence_wins_it() {
+        let mut r1 = Replica::new(1, 1, 3, cfg(), boot());
+        let mut out = Vec::new();
+        // Nothing heard since t=0; timeout is 3 s (+ stagger).
+        r1.on_tick(SimTime::from_secs(2), &mut out);
+        assert!(out.is_empty(), "within budget: no suspicion");
+        r1.on_tick(SimTime::from_secs(4), &mut out);
+        assert!(matches!(r1.role, Role::Candidate { round: 2, .. }));
+        assert!(out.iter().any(|(_, p)| matches!(p, Payload::Election { round: 2, .. })));
+        out.clear();
+        // Unanswered past the election timeout: r1 wins round 2.
+        r1.on_tick(SimTime::from_secs(5), &mut out);
+        assert_eq!(r1.role, Role::Coordinator);
+        assert_eq!(r1.term, Some(Term { round: 2, owner: 1 }));
+        assert_eq!(r1.seq, 0, "a new term starts a fresh publish counter");
+        assert!(out
+            .iter()
+            .any(|(_, p)| matches!(p, Payload::Coordinator { term } if term.owner == 1)));
+    }
+
+    #[test]
+    fn better_replica_answers_and_runs_its_own_election() {
+        let mut r1 = Replica::new(1, 1, 3, cfg(), boot());
+        let now = SimTime::from_secs(10);
+        let mut out = Vec::new();
+        r1.on_message(
+            now,
+            NodeId::manager(2),
+            &Payload::Election { round: 2, priority: 2 },
+            &mut out,
+        );
+        assert!(out
+            .iter()
+            .any(|(to, p)| *to == NodeId::manager(2) && matches!(p, Payload::Answer { round: 2 })));
+        assert!(matches!(r1.role, Role::Candidate { round: 3, .. }));
+        // The answered candidate stands down on receipt.
+        let mut r2 = Replica::new(2, 2, 3, cfg(), boot());
+        let mut out2 = Vec::new();
+        r2.on_tick(SimTime::from_secs(10), &mut out2); // opens round 2
+        assert!(matches!(r2.role, Role::Candidate { .. }));
+        r2.on_message(now, NodeId::manager(1), &Payload::Answer { round: 2 }, &mut out2);
+        assert_eq!(r2.role, Role::Follower);
+    }
+
+    #[test]
+    fn worse_candidate_is_ignored_by_even_worse_replicas() {
+        let mut r2 = Replica::new(2, 2, 3, cfg(), boot());
+        let mut out = Vec::new();
+        r2.on_message(
+            SimTime::from_secs(10),
+            NodeId::manager(1),
+            &Payload::Election { round: 2, priority: 1 },
+            &mut out,
+        );
+        assert!(out.is_empty(), "a worse replica must stay silent");
+    }
+
+    #[test]
+    fn higher_term_steps_a_coordinator_down_and_stale_one_is_corrected() {
+        let mut r0 = Replica::new(0, 0, 3, cfg(), boot());
+        let mut out = Vec::new();
+        let newer = Term { round: 2, owner: 1 };
+        r0.on_message(
+            SimTime::from_secs(9),
+            NodeId::manager(1),
+            &Payload::Heartbeat { term: newer },
+            &mut out,
+        );
+        assert_eq!(r0.role, Role::Follower, "superseded coordinator must step down");
+        assert_eq!(r0.term, Some(newer));
+        // Conversely, the newer coordinator re-asserts against a stale one.
+        let mut r1 = Replica::new(1, 1, 3, cfg(), boot());
+        r1.become_coordinator(SimTime::from_secs(8), newer, &mut Vec::new());
+        out.clear();
+        r1.on_message(
+            SimTime::from_secs(9),
+            NodeId::manager(0),
+            &Payload::Heartbeat { term: boot() },
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|(to, p)| *to == NodeId::manager(0)
+                && matches!(p, Payload::Coordinator { term } if *term == newer)),
+            "stale heartbeat must be answered with the current term"
+        );
+        assert_eq!(r1.role, Role::Coordinator);
+    }
+
+    #[test]
+    fn restart_keeps_term_but_loses_the_publish_counter() {
+        let mut r0 = Replica::new(0, 0, 3, cfg(), boot());
+        r0.seq = 41;
+        r0.on_restart(SimTime::from_secs(50));
+        assert_eq!(r0.role, Role::Coordinator, "coordinator role is durable");
+        assert_eq!(r0.term, Some(boot()), "term is durable");
+        assert_eq!(r0.seq, 0, "publish counter is volatile");
+    }
+}

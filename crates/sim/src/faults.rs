@@ -11,8 +11,10 @@
 //! The kinds model the degraded-telemetry conditions a production PerfCloud
 //! deployment faces: lossy/late/duplicated monitor samples, corrupted metric
 //! streams (NaN, spikes, stuck-at sensors), node-manager stalls and
-//! crash-restarts (losing in-memory rolling windows), and stale placement
-//! views from the cloud manager.
+//! crash-restarts (losing in-memory rolling windows), stale placement views
+//! from the cloud manager, and — for the message-passing control plane —
+//! per-message drop/duplicate/delay link faults and cloud-manager replica
+//! outages.
 
 use crate::rng::fnv1a64;
 use crate::time::SimTime;
@@ -24,6 +26,19 @@ pub enum MetricClass {
     BlkioIowait,
     /// The cycles-per-instruction stream feeding the CPU contention detector.
     Cpi,
+}
+
+/// Which class of control-plane message a link fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MessageClass {
+    /// Placement-view updates from the cloud manager to node managers.
+    Placement,
+    /// Liveness heartbeats between cloud-manager replicas.
+    Heartbeat,
+    /// Bully election traffic (`Election`/`Answer`/`Coordinator`).
+    Election,
+    /// Acknowledgements and other node-manager-to-cloud replies.
+    Ack,
 }
 
 /// What a firing fault rule does.
@@ -65,6 +80,20 @@ pub enum FaultKind {
         /// Number of control intervals without placement updates.
         intervals: u32,
     },
+    /// A control-plane message is lost in flight.
+    DropMessage,
+    /// A control-plane message is delivered twice (retransmit storm).
+    DuplicateMessage,
+    /// A control-plane message is delivered `micros` late on top of the
+    /// link's base latency and jitter.
+    DelayMessage {
+        /// Extra in-flight delay, in microseconds.
+        micros: u64,
+    },
+    /// The targeted cloud-manager replica is down (crashed or unreachable)
+    /// while the rule fires: it sends nothing, and anything addressed to it
+    /// is dropped. On heal it restarts with volatile state lost.
+    DownReplica,
 }
 
 impl FaultKind {
@@ -93,6 +122,19 @@ impl FaultKind {
                 | FaultKind::DesyncPlacement { .. }
         )
     }
+
+    /// True for faults acting on individual in-flight control-plane messages.
+    pub fn is_link_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::DropMessage | FaultKind::DuplicateMessage | FaultKind::DelayMessage { .. }
+        )
+    }
+
+    /// True for faults taking a whole cloud-manager replica offline.
+    pub fn is_replica_fault(&self) -> bool {
+        matches!(self, FaultKind::DownReplica)
+    }
 }
 
 /// Restricts which `(server, vm, metric)` coordinates a rule applies to.
@@ -105,6 +147,8 @@ pub struct FaultTarget {
     pub vm: Option<u32>,
     /// Only this metric stream, if set (metric faults only).
     pub metric: Option<MetricClass>,
+    /// Only this message class, if set (link faults only).
+    pub message: Option<MessageClass>,
 }
 
 impl FaultTarget {
@@ -126,6 +170,11 @@ impl FaultTarget {
     /// Whether this target applies to the given metric stream.
     pub fn matches_metric(&self, metric: MetricClass) -> bool {
         self.metric.map(|m| m == metric).unwrap_or(true)
+    }
+
+    /// Whether this target applies to the given message class.
+    pub fn matches_message(&self, message: MessageClass) -> bool {
+        self.message.map(|m| m == message).unwrap_or(true)
     }
 }
 
@@ -183,6 +232,12 @@ impl FaultRule {
     /// Restricts the rule to one metric stream.
     pub fn on_metric(mut self, metric: MetricClass) -> Self {
         self.target.metric = Some(metric);
+        self
+    }
+
+    /// Restricts the rule to one control-plane message class.
+    pub fn on_message(mut self, message: MessageClass) -> Self {
+        self.target.message = Some(message);
         self
     }
 
@@ -247,6 +302,32 @@ impl FaultInjector {
     /// Whether `rule` fires at `(now, server, vm)`. Pure: the same arguments
     /// always give the same answer, independent of call order or thread.
     pub fn fires(&self, rule: &FaultRule, now: SimTime, server: u32, vm: Option<u32>) -> bool {
+        self.fires_inner(rule, now, server, vm, None)
+    }
+
+    /// Like [`fires`](Self::fires), with an extra salt for per-message
+    /// decisions: several messages can share a `(time, src, dst)` coordinate
+    /// (a broadcast plus its acks within one tick), so link faults mix in a
+    /// monotone per-message key to keep each in-flight copy independent.
+    pub fn fires_keyed(
+        &self,
+        rule: &FaultRule,
+        now: SimTime,
+        server: u32,
+        vm: Option<u32>,
+        key: u64,
+    ) -> bool {
+        self.fires_inner(rule, now, server, vm, Some(key))
+    }
+
+    fn fires_inner(
+        &self,
+        rule: &FaultRule,
+        now: SimTime,
+        server: u32,
+        vm: Option<u32>,
+        key: Option<u64>,
+    ) -> bool {
         if now < rule.from || now >= rule.until {
             return false;
         }
@@ -260,7 +341,7 @@ impl FaultInjector {
             return false;
         }
         let mut bytes =
-            Vec::with_capacity(8 + self.scenario.name.len() + rule.name.len() + 2 + 8 + 4 + 5);
+            Vec::with_capacity(8 + self.scenario.name.len() + rule.name.len() + 2 + 8 + 4 + 14);
         bytes.extend_from_slice(&self.seed.to_le_bytes());
         bytes.extend_from_slice(self.scenario.name.as_bytes());
         bytes.push(0xFE);
@@ -274,6 +355,12 @@ impl FaultInjector {
                 bytes.extend_from_slice(&v.to_le_bytes());
             }
             None => bytes.push(0),
+        }
+        // Appended (never interleaved), so unkeyed hashes are byte-for-byte
+        // the PR-2 layout and every pre-existing scenario replays unchanged.
+        if let Some(k) = key {
+            bytes.push(0xFD);
+            bytes.extend_from_slice(&k.to_le_bytes());
         }
         let h = fnv1a64(&bytes);
         // Top 53 bits -> uniform in [0, 1); same mapping rand uses for f64.
@@ -405,5 +492,44 @@ mod tests {
         assert!(FaultKind::StallManager { intervals: 1 }.is_manager_fault());
         assert!(FaultKind::CrashRestart.is_manager_fault());
         assert!(FaultKind::DesyncPlacement { intervals: 3 }.is_manager_fault());
+        assert!(FaultKind::DropMessage.is_link_fault());
+        assert!(FaultKind::DuplicateMessage.is_link_fault());
+        assert!(FaultKind::DelayMessage { micros: 500 }.is_link_fault());
+        assert!(!FaultKind::DownReplica.is_link_fault());
+        assert!(FaultKind::DownReplica.is_replica_fault());
+        assert!(!FaultKind::DropSample.is_link_fault());
+    }
+
+    #[test]
+    fn message_class_filter_applies() {
+        let rule = FaultRule::new("m", FaultKind::DropMessage).on_message(MessageClass::Placement);
+        assert!(rule.target.matches_message(MessageClass::Placement));
+        assert!(!rule.target.matches_message(MessageClass::Heartbeat));
+        let any = FaultRule::new("a", FaultKind::DropMessage);
+        assert!(any.target.matches_message(MessageClass::Election));
+    }
+
+    #[test]
+    fn keyed_firing_is_independent_per_key_and_preserves_unkeyed_hashes() {
+        let scen = FaultScenario::named("k")
+            .rule(FaultRule::new("drop", FaultKind::DropMessage).with_probability(0.5));
+        let inj = FaultInjector::new(42, scen);
+        let rule = inj.scenario().rules[0].clone();
+        // Different keys at the same coordinate must decorrelate.
+        let a: Vec<bool> =
+            (0..256u64).map(|t| inj.fires_keyed(&rule, secs(t), 0, None, 1)).collect();
+        let b: Vec<bool> =
+            (0..256u64).map(|t| inj.fires_keyed(&rule, secs(t), 0, None, 2)).collect();
+        assert_ne!(a, b, "keys should diverge");
+        // Keyed rate still tracks the probability.
+        let n = 10_000u64;
+        let hits = (0..n).filter(|&k| inj.fires_keyed(&rule, secs(1), 0, None, k)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.02, "keyed rate {rate} too far from 0.5");
+        // And probability-1 rules fire for every key (window-only semantics).
+        let scen1 = FaultScenario::named("k1").rule(FaultRule::new("w", FaultKind::DownReplica));
+        let inj1 = FaultInjector::new(7, scen1);
+        let w = inj1.scenario().rules[0].clone();
+        assert!(inj1.fires_keyed(&w, secs(3), 2, None, 99));
     }
 }

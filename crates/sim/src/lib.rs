@@ -41,6 +41,8 @@ pub mod time;
 pub mod wheel;
 
 pub use engine::{EventId, Scheduler, Simulation};
-pub use faults::{FaultInjector, FaultKind, FaultRule, FaultScenario, FaultTarget, MetricClass};
+pub use faults::{
+    FaultInjector, FaultKind, FaultRule, FaultScenario, FaultTarget, MessageClass, MetricClass,
+};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};

@@ -92,12 +92,14 @@ const NIL: u32 = u32::MAX;
 
 /// One slab node: an entry plus the next link of whatever slot list (or
 /// the free list) it is currently on.
+#[derive(Debug)]
 struct Node {
     entry: Entry,
     next: u32,
 }
 
 /// Hierarchical timer wheel with exact `(time, seq)` pop order.
+#[derive(Debug)]
 pub struct TimerWheel {
     /// Cursor: the wheel's notion of "current tick". Only ever advances,
     /// and only to the base of a slot that is about to fire (or to the

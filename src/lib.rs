@@ -18,6 +18,10 @@
 //! * [`core`] — **the paper's contribution**: performance monitor,
 //!   interference detector, antagonist identifier, CUBIC-inspired resource
 //!   controller, node manager and cloud manager.
+//! * [`ctrl`] — deterministic message-passing control plane: simulated
+//!   network links with loss/duplication/reorder, heartbeat failure
+//!   detection and Bully election for cloud-manager failover, epoch-stamped
+//!   placement synchronization.
 //! * [`baselines`] — LATE speculative execution, Dolly job cloning, static
 //!   capping and the unmanaged default.
 //! * [`cluster`] — multi-server experiment assembly, workload mixes and the
@@ -31,6 +35,7 @@
 pub use perfcloud_baselines as baselines;
 pub use perfcloud_cluster as cluster;
 pub use perfcloud_core as core;
+pub use perfcloud_ctrl as ctrl;
 pub use perfcloud_frameworks as frameworks;
 pub use perfcloud_host as host;
 pub use perfcloud_sim as sim;

@@ -49,10 +49,18 @@ fn traces_are_independent_of_sweep_thread_count() {
     let slice: Vec<_> = scenarios
         .iter()
         .filter(|s| {
-            matches!(s.name, "baseline" | "chaos_drop" | "chaos_nan_iowait" | "chaos_crash")
+            matches!(
+                s.name,
+                "baseline"
+                    | "chaos_drop"
+                    | "chaos_nan_iowait"
+                    | "chaos_crash"
+                    | "ctrl_partition_heal"
+                    | "ctrl_lossy_placement"
+            )
         })
         .collect();
-    assert_eq!(slice.len(), 4);
+    assert_eq!(slice.len(), 6);
     let render = |threads: usize| -> Vec<String> {
         sweep::run_with_threads(slice.len(), threads, |i| (slice[i].build)())
     };
