@@ -2,7 +2,14 @@
 //!
 //! `cargo run --release -p perfcloud-bench --bin engine_bench -- \
 //!     [--baseline BENCH_engine.json] [--ctrl-baseline BENCH_ctrl.json] \
-//!     [--max-drop 0.15] [--no-comparison]`
+//!     [--max-drop 0.15] [--no-comparison] [--obs-gate FRAC] \
+//!     [--trace-out PATH]`
+//!
+//! `--obs-gate FRAC` additionally re-runs the engine probe with the flight
+//! recorder attached and fails if the recorder costs more than `FRAC`
+//! (fraction, e.g. 0.10) of the disabled-mode `events_per_sec` — the CI
+//! guard that keeps observability effectively free. `--trace-out PATH`
+//! writes the observed probe's engine events as Chrome-trace JSON.
 //!
 //! Runs the canonical engine probe (and, unless `--no-comparison`, the
 //! wheel-vs-heap churn points at 10k/100k/1M pending entries plus the
@@ -23,6 +30,8 @@ fn main() {
     let mut ctrl_baseline: Option<String> = None;
     let mut max_drop = 0.15f64;
     let mut comparison = true;
+    let mut obs_gate: Option<f64> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,11 +47,20 @@ fn main() {
                     .expect("--max-drop must be a number")
             }
             "--no-comparison" => comparison = false,
+            "--obs-gate" => {
+                obs_gate = Some(
+                    args.next()
+                        .expect("--obs-gate needs a fraction")
+                        .parse()
+                        .expect("--obs-gate must be a number"),
+                )
+            }
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: engine_bench [--baseline FILE] [--ctrl-baseline FILE] \
-                     [--max-drop FRAC] [--no-comparison]"
+                     [--max-drop FRAC] [--no-comparison] [--obs-gate FRAC] [--trace-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -96,6 +114,27 @@ fn main() {
         }
     }
 
+    let mut observed_eps: Option<f64> = None;
+    if obs_gate.is_some() || trace_out.is_some() {
+        let (obs_record, trace) = enginebench::probe_observed();
+        println!(
+            "observed probe: {} events in {:.3}s ({:.0} events/sec, flight recorder on)",
+            obs_record.events_fired.unwrap_or(0),
+            obs_record.wall_seconds,
+            obs_record.events_per_sec().unwrap_or(0.0),
+        );
+        observed_eps = obs_record.events_per_sec();
+        if let Some(path) = &trace_out {
+            match std::fs::write(path, &trace) {
+                Ok(()) => println!("wrote {path} ({} bytes of Chrome-trace JSON)", trace.len()),
+                Err(e) => {
+                    eprintln!("error: could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     let ctrl = ctrlbench::probe();
     let ctrl_mps = extra(&ctrl, "msgs_per_sec");
     println!(
@@ -124,6 +163,26 @@ fn main() {
             failed = true;
         } else {
             println!("engine gate passed: {fresh:.0} >= {floor:.0}");
+        }
+    }
+    if let (Some(gate), Some(disabled), Some(enabled)) =
+        (obs_gate, record.events_per_sec(), observed_eps)
+    {
+        let overhead = 1.0 - enabled / disabled;
+        if overhead > gate {
+            eprintln!(
+                "REGRESSION: flight-recorder overhead {:.1}% exceeds the {:.0}% gate \
+                 (disabled {disabled:.0} events/sec, enabled {enabled:.0})",
+                overhead * 100.0,
+                gate * 100.0
+            );
+            failed = true;
+        } else {
+            println!(
+                "obs gate passed: {:.1}% recorder overhead <= {:.0}%",
+                overhead.max(0.0) * 100.0,
+                gate * 100.0
+            );
         }
     }
     if let (Some(base), Some(fresh)) = (ctrl_baseline_mps, ctrl_mps) {

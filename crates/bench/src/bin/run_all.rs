@@ -12,12 +12,21 @@
 //! the full suite finishes in a few minutes; without it the defaults match
 //! the per-binary defaults.
 //!
+//! `--trace-out PATH` switches to trace-export mode instead of running the
+//! figure suite: it replays one golden scenario (default
+//! `ctrl_coordinator_crash`, override with `--trace-scenario NAME`) with
+//! flight recorders attached and writes the merged Chrome-trace-event JSON
+//! to PATH — open it in [Perfetto](https://ui.perfetto.dev). The scenario
+//! run is single-seeded and tick-deterministic, so the trace bytes are
+//! identical regardless of `PERFCLOUD_THREADS`.
+//!
 //! Every harness run also emits a machine-readable `BENCH_<bin>.json`
 //! record (wall seconds), and a final in-process engine probe emits
 //! `BENCH_engine.json` with raw simulator throughput (events/sec).
 
 use perfcloud_bench::benchjson::BenchRecord;
-use perfcloud_bench::{enginebench, sweep};
+use perfcloud_bench::{enginebench, golden, sweep};
+use perfcloud_obs::chrome_trace;
 use std::path::Path;
 use std::process::Command;
 use std::time::Instant;
@@ -44,8 +53,62 @@ fn record(bin: &str, wall_seconds: f64) {
     }
 }
 
+/// Replays one golden scenario with recorders attached and writes its
+/// Chrome trace. Exits the process (0 on success).
+fn export_trace(scenario: &str, path: &str) -> ! {
+    let Some(sc) = golden::scenarios().into_iter().find(|s| s.name == scenario) else {
+        eprintln!("unknown scenario: {scenario}");
+        eprintln!("known scenarios:");
+        for s in golden::scenarios() {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(2);
+    };
+    let artifact = (sc.build)();
+    let sources = golden::take_flight_sources();
+    if sources.is_empty() {
+        eprintln!("scenario {scenario} recorded no flight events (sweep-internal scenario?)");
+        std::process::exit(1);
+    }
+    let json = chrome_trace(&sources);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    let events = sources.iter().map(|s| s.records.len()).sum::<usize>();
+    println!(
+        "wrote {path}: {events} events on {} tracks ({} bytes) from scenario {scenario} \
+         ({} artifact lines)",
+        sources.len(),
+        json.len(),
+        artifact.lines().count()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let mut fast = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_scenario = String::from("ctrl_coordinator_crash");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            "--trace-scenario" => {
+                trace_scenario = args.next().expect("--trace-scenario needs a name")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: run_all [--fast] [--trace-out PATH [--trace-scenario NAME]]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &trace_out {
+        export_trace(&trace_scenario, path);
+    }
+
     let light: Vec<(&str, Vec<&str>)> = vec![
         ("fig1", vec![]),
         ("fig2", vec![]),

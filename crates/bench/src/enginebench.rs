@@ -17,6 +17,7 @@
 //!   node-manager sampling path uses (`batched_sampling_speedup`).
 
 use crate::benchjson::BenchRecord;
+use perfcloud_obs::{chrome_trace, ExportSource};
 use perfcloud_sim::wheel::{Entry, TimerWheel};
 use perfcloud_sim::{EventId, SimDuration, SimTime, Simulation};
 use std::collections::BinaryHeap;
@@ -29,11 +30,35 @@ pub const COMPARISON_SIZES: [(usize, &str); 3] =
 /// Pop/push operations measured per comparison point.
 const CHURN_OPS: u64 = 2_000_000;
 
+/// Flight events the observed probe's recorder retains.
+pub const OBSERVED_FLIGHT_CAPACITY: usize = 8_192;
+
 /// Raw simulator throughput: periodic tickers plus schedule/cancel churn.
 /// Reported as `BENCH_engine.json` so engine-level regressions show up
-/// even when the figure harnesses mask them behind model work.
+/// even when the figure harnesses mask them behind model work. Alongside
+/// the gated `events_per_sec`, the record carries the calendar's own
+/// counters — peak pending depth, late-heap insertions, overflow
+/// promotions — which are pure functions of the workload and therefore
+/// stable across machines.
 pub fn probe() -> BenchRecord {
+    probe_run(false).0
+}
+
+/// The canonical probe with the engine flight recorder attached: same
+/// workload, same extras, so the `events_per_sec` delta against
+/// [`probe`] is exactly the recorder's overhead (gated in CI at ≤ 10%).
+/// Also returns the Chrome-trace JSON of the recorded engine events.
+pub fn probe_observed() -> (BenchRecord, String) {
+    let (mut record, trace) = probe_run(true);
+    record.name = "engine_observed".into();
+    (record, trace.expect("observed probe has a recorder"))
+}
+
+fn probe_run(observed: bool) -> (BenchRecord, Option<String>) {
     let mut sim = Simulation::new(0u64);
+    if observed {
+        sim.attach_flight(OBSERVED_FLIGHT_CAPACITY);
+    }
     for k in 0..8u64 {
         sim.schedule_periodic(SimTime::ZERO, SimDuration::from_micros(50 + 17 * k), |w, ctx| {
             *w += 1;
@@ -45,12 +70,22 @@ pub fn probe() -> BenchRecord {
     let start = Instant::now();
     sim.run_until(SimTime::from_secs(20));
     let wall_seconds = start.elapsed().as_secs_f64();
-    BenchRecord {
+    let ws = sim.wheel_stats();
+    let extras = vec![
+        ("queue_peak_depth".to_string(), ws.peak_len as f64),
+        ("late_promotions".to_string(), ws.late_insertions as f64),
+        ("overflow_promotions".to_string(), ws.overflow_insertions as f64),
+        ("overflow_migrations".to_string(), ws.overflow_migrations as f64),
+    ];
+    let trace =
+        sim.flight().map(|rec| chrome_trace(&[ExportSource::from_recorder(0, "engine", rec)]));
+    let record = BenchRecord {
         name: "engine".into(),
         wall_seconds,
         events_fired: Some(sim.events_fired()),
-        extras: Vec::new(),
-    }
+        extras,
+    };
+    (record, trace)
 }
 
 /// The canonical probe plus the wheel-vs-heap and batched-sampling extras.
@@ -181,6 +216,30 @@ mod tests {
         for (_, tag) in COMPARISON_SIZES {
             assert!(j.contains(&format!("\"speedup_{tag}\"")), "{j}");
         }
+    }
+
+    #[test]
+    fn engine_flight_export_is_deterministic() {
+        // A miniature of the observed probe: same recorder attachment and
+        // export path, small enough for a debug-mode test. The trace must
+        // be a pure function of the (deterministic) event schedule.
+        let run = || {
+            let mut sim = Simulation::new(0u64);
+            sim.attach_flight(64);
+            sim.schedule_periodic(SimTime::ZERO, SimDuration::from_millis(1), |w, _| {
+                *w += 1;
+                *w < 50
+            });
+            sim.run_until(SimTime::from_secs(1));
+            let rec = sim.flight().expect("recorder attached");
+            (sim.events_fired(), chrome_trace(&[ExportSource::from_recorder(0, "engine", rec)]))
+        };
+        let (a_events, a_trace) = run();
+        let (b_events, b_trace) = run();
+        assert_eq!(a_events, b_events);
+        assert_eq!(a_trace, b_trace);
+        assert!(a_trace.contains("\"engine\""), "{a_trace}");
+        assert!(a_trace.contains("fire pending="), "{a_trace}");
     }
 
     #[test]

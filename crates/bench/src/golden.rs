@@ -23,18 +23,52 @@ use perfcloud_cluster::{
 use perfcloud_core::PerfCloudConfig;
 use perfcloud_ctrl::{ControlPlaneSpec, LinkSpec, NodeId, Partition};
 use perfcloud_frameworks::Benchmark;
+use perfcloud_obs::{merged_dump, ExportSource};
 use perfcloud_sim::{
     FaultKind, FaultRule, FaultScenario, MessageClass, MetricClass, SimDuration, SimTime,
 };
 use perfcloud_stats::BoxplotSummary;
 use rand::Rng;
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The master seed baked into every golden scenario. Deliberately a
 /// literal — golden artifacts must not follow the `PERFCLOUD_SEED`
 /// override, or the suite would fail for anyone with the variable set.
 pub const GOLDEN_SEED: u64 = 42;
+
+/// Flight events each recorder retains during a golden run.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// Merged flight events a golden mismatch dumps for context.
+pub const FLIGHT_DUMP_EVENTS: usize = 48;
+
+/// Whether golden runs attach flight recorders (the default). The
+/// `golden_obs_off` suite clears this in its own process to prove the
+/// artifacts are byte-identical without observability; recording is pure
+/// observation, so the artifact bytes must not depend on this flag.
+pub static OBSERVE_GOLDENS: AtomicBool = AtomicBool::new(true);
+
+thread_local! {
+    /// Flight-recorder sources of the most recent golden run built on this
+    /// thread, consumed by [`check`] to annotate first-divergence reports
+    /// and by `run_all --trace-out` to export a full Perfetto trace.
+    static LAST_FLIGHT_SOURCES: RefCell<Vec<ExportSource>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes (and clears) the flight-recorder sources of the most recent
+/// golden run built on this thread. Empty when the run had no recorders.
+pub fn take_flight_sources() -> Vec<ExportSource> {
+    LAST_FLIGHT_SOURCES.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+/// Takes (and clears) this thread's flight sources, rendered as the
+/// newest [`FLIGHT_DUMP_EVENTS`] merged events — the mismatch context.
+pub fn take_flight_dump() -> String {
+    merged_dump(&take_flight_sources(), FLIGHT_DUMP_EVENTS)
+}
 
 /// One named golden scenario: `build()` renders the canonical artifact.
 pub struct GoldenScenario {
@@ -94,7 +128,11 @@ fn chaos_run_with_control(
     cfg.control = control;
     let mut e = Experiment::build(cfg);
     e.enable_decision_trace();
+    if OBSERVE_GOLDENS.load(Ordering::Relaxed) {
+        e.enable_observability(FLIGHT_CAPACITY);
+    }
     let r = e.run();
+    LAST_FLIGHT_SOURCES.with(|s| *s.borrow_mut() = e.flight_sources());
     let trace = e.decision_trace().expect("trace enabled");
     let mut out = String::new();
     let _ = writeln!(out, "# jct={}", r.sole_jct());
@@ -403,7 +441,24 @@ pub fn golden_dir() -> PathBuf {
 
 /// Diffs `actual` against `tests/golden/<name>.trace`. With `BLESS=1` the
 /// file is rewritten instead and [`GoldenStatus::Regenerated`] returned.
+///
+/// On mismatch, the report carries the flight-recorder dump of the run
+/// that produced `actual` (when one was recorded on this thread): the
+/// last [`FLIGHT_DUMP_EVENTS`] events on the diverging side, so a failure
+/// shows not just *which* decision changed but what the engine, agents,
+/// and control plane were doing around it.
 pub fn check(name: &str, actual: &str) -> GoldenStatus {
+    // Always consume this thread's dump so a scenario that records nothing
+    // cannot inherit a stale dump from a previous run on the same worker.
+    let dump = take_flight_dump();
+    check_with_dump(name, actual, &dump)
+}
+
+/// [`check`] with an explicitly captured flight dump — for callers that
+/// render scenarios on sweep worker threads, where the thread-local dump
+/// lives on the worker rather than the checking thread. Capture it inside
+/// the worker closure with [`take_flight_dump`] and pass it here.
+pub fn check_with_dump(name: &str, actual: &str, dump: &str) -> GoldenStatus {
     let dir = golden_dir();
     let path = dir.join(format!("{name}.trace"));
     let bless = std::env::var("BLESS").map(|v| v == "1").unwrap_or(false);
@@ -426,7 +481,14 @@ pub fn check(name: &str, actual: &str) -> GoldenStatus {
     if expected == actual {
         GoldenStatus::Match
     } else {
-        GoldenStatus::Mismatch { diff: first_divergence(name, &expected, actual) }
+        let mut diff = first_divergence(name, &expected, actual);
+        if !dump.is_empty() {
+            let _ = write!(
+                diff,
+                "\nlast {FLIGHT_DUMP_EVENTS} flight-recorder events of the diverging run:\n{dump}"
+            );
+        }
+        GoldenStatus::Mismatch { diff }
     }
 }
 

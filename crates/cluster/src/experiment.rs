@@ -14,11 +14,14 @@ use crate::antagonists::{AntagonistKind, AntagonistPlacement};
 use crate::topology::{ClusterSpec, Testbed};
 use crate::trace::DecisionTrace;
 use perfcloud_baselines::{Dolly, LatePolicy, StaticCapping};
-use perfcloud_core::{CloudManager, NodeFaults, NodeManager, PerfCloudConfig, StepReport};
+use perfcloud_core::{
+    CloudManager, IngestStats, NodeFaults, NodeManager, PerfCloudConfig, StepReport,
+};
 use perfcloud_ctrl::{ControlPlane, ControlPlaneSpec};
 use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, SpeculationPolicy};
 use perfcloud_frameworks::{JobOutcome, JobSpec};
 use perfcloud_host::{PhysicalServer, ServerId, VmId};
+use perfcloud_obs::{ExportSource, MetricsRegistry};
 use perfcloud_sim::{FaultScenario, SimDuration, SimTime};
 
 /// The mitigation strategy of one run.
@@ -119,6 +122,10 @@ pub struct ExperimentResult {
     pub duration: SimDuration,
     /// Final antagonist counters.
     pub antagonists: Vec<AntagonistStats>,
+    /// Monitor ingest tallies summed across all node managers — how many
+    /// samples were baselined, recorded, or rejected (stale / duplicate /
+    /// counter-regression) over the run.
+    pub ingest: IngestStats,
 }
 
 impl ExperimentResult {
@@ -249,6 +256,93 @@ impl Experiment {
     /// step from this point on.
     pub fn enable_decision_trace(&mut self) {
         self.trace = Some(DecisionTrace::new());
+    }
+
+    /// Attaches flight recorders everywhere: one per node manager, one on
+    /// the control plane, one on its network — each retaining the last
+    /// `capacity` events. Recording is pure observation; enabling it
+    /// changes no decision, trace, or result byte.
+    pub fn enable_observability(&mut self, capacity: usize) {
+        for nm in &mut self.node_managers {
+            nm.attach_flight(capacity);
+        }
+        self.plane.attach_flight(capacity);
+    }
+
+    /// Snapshots every attached flight recorder into export sources with
+    /// stable ranks: server `i` → rank `i`, the control plane → rank `n`,
+    /// its network → rank `n + 1`. Empty when observability is off.
+    pub fn flight_sources(&self) -> Vec<ExportSource> {
+        let mut out = Vec::new();
+        for (i, nm) in self.node_managers.iter().enumerate() {
+            if let Some(fl) = nm.flight() {
+                out.push(ExportSource::from_recorder(i as u32, &format!("server{i}"), fl));
+            }
+        }
+        let n = self.node_managers.len() as u32;
+        if let Some(fl) = self.plane.flight() {
+            out.push(ExportSource::from_recorder(n, "ctrl", fl));
+        }
+        if let Some(fl) = self.plane.net_flight() {
+            out.push(ExportSource::from_recorder(n + 1, "net", fl));
+        }
+        out
+    }
+
+    /// Chrome-trace-event JSON of every attached recorder (Perfetto-loadable).
+    pub fn chrome_trace(&self) -> String {
+        perfcloud_obs::chrome_trace(&self.flight_sources())
+    }
+
+    /// JSONL trace of every attached recorder.
+    pub fn jsonl_trace(&self) -> String {
+        perfcloud_obs::jsonl(&self.flight_sources())
+    }
+
+    /// Decoded text of the newest `n` flight events across all recorders,
+    /// merged in deterministic order — the golden-failure dump.
+    pub fn flight_dump(&self, n: usize) -> String {
+        perfcloud_obs::merged_dump(&self.flight_sources(), n)
+    }
+
+    /// Monitor ingest tallies summed across all node managers.
+    pub fn ingest_stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for nm in &self.node_managers {
+            total.merge(&nm.monitor().ingest_stats());
+        }
+        total
+    }
+
+    /// Current observability counters as the flat `(name, value)` pairs the
+    /// `BENCH_*.json` records use: ingest outcomes plus control-plane
+    /// network delivery counters.
+    pub fn metrics_snapshot(&self) -> Vec<(String, f64)> {
+        let mut reg = MetricsRegistry::with_capacity(16);
+        let ingest = self.ingest_stats();
+        let pairs = [
+            ("ingest_baselines", ingest.baselines),
+            ("ingest_recorded", ingest.recorded),
+            ("ingest_stale", ingest.stale),
+            ("ingest_duplicates", ingest.duplicates),
+            ("ingest_regressions", ingest.regressions),
+            ("ingest_rejected", ingest.rejected()),
+        ];
+        for (name, value) in pairs {
+            let id = reg.counter(name);
+            reg.inc(id, value);
+        }
+        let net = self.plane.net_stats();
+        for (name, value) in [
+            ("net_sent", net.sent),
+            ("net_delivered", net.delivered),
+            ("net_dropped", net.dropped),
+            ("net_duplicated", net.duplicated),
+        ] {
+            let id = reg.counter(name);
+            reg.inc(id, value);
+        }
+        reg.snapshot()
     }
 
     /// The decision trace, if [`Self::enable_decision_trace`] was called.
@@ -405,6 +499,7 @@ impl Experiment {
             outcomes: self.scheduler.outcomes().to_vec(),
             duration: self.now.saturating_since(SimTime::ZERO),
             antagonists,
+            ingest: self.ingest_stats(),
         }
     }
 }
@@ -544,6 +639,51 @@ mod tests {
         assert_eq!(r.mitigation, "perfcloud+late");
         assert_eq!(r.outcomes.len(), 1);
         assert!(r.outcomes[0].jct > 0.0);
+    }
+
+    #[test]
+    fn observability_is_pure_and_exports_all_tracks() {
+        let build = || {
+            let mut cfg = ExperimentConfig::new(
+                ClusterSpec::small_scale(3),
+                Mitigation::PerfCloud(PerfCloudConfig::default()),
+            );
+            cfg.antagonists.push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0));
+            cfg.max_sim_time = SimTime::from_secs(60);
+            Experiment::build(cfg)
+        };
+        let mut plain = build();
+        plain.enable_decision_trace();
+        let r_plain = plain.run();
+        let mut observed = build();
+        observed.enable_decision_trace();
+        observed.enable_observability(4096);
+        let r_obs = observed.run();
+        // Pure observation: results and decision traces are identical.
+        assert_eq!(r_plain, r_obs);
+        assert_eq!(
+            plain.decision_trace().unwrap().canonical(),
+            observed.decision_trace().unwrap().canonical()
+        );
+        // Every track is present: 1 server + ctrl + net.
+        let sources = observed.flight_sources();
+        assert_eq!(sources.len(), 3);
+        assert!(plain.flight_sources().is_empty());
+        // Exports are deterministic and well-formed.
+        let json = observed.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(
+            json.contains("\"server0\"") && json.contains("\"ctrl\"") && json.contains("\"net\"")
+        );
+        assert_eq!(json, observed.chrome_trace());
+        assert!(!observed.jsonl_trace().is_empty());
+        assert!(!observed.flight_dump(32).is_empty());
+        // Metrics surface ingest and network tallies in BENCH flat form.
+        let snap = observed.metrics_snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert!(get("ingest_recorded") > 0.0);
+        assert!(get("net_sent") > 0.0);
+        assert_eq!(get("ingest_rejected"), 0.0, "no faults: nothing rejected");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Property: observability is pure observation.
+//!
+//! Attaching flight recorders to every node manager, the control plane and
+//! its network must not change a single decision — for *arbitrary* seeds
+//! and arbitrary fault schedules, not just the golden scenarios. Each case
+//! runs the same experiment twice, recorders off and on, and requires the
+//! [`ExperimentResult`] and the canonical decision-trace bytes to be
+//! identical. Any recorder hook that consumes randomness, perturbs
+//! iteration order, or mutates model state fails here immediately.
+
+use perfcloud_cluster::{
+    AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
+};
+use perfcloud_core::PerfCloudConfig;
+use perfcloud_frameworks::Benchmark;
+use perfcloud_sim::{FaultKind, FaultRule, FaultScenario, SimTime};
+use proptest::prelude::*;
+
+/// One fuzzed fault rule: (kind tag, window start, window length, firing
+/// probability). Times are in seconds, offset into the run.
+type RuleSpec = (u8, u16, u16, f64);
+
+fn decode_kind(tag: u8) -> FaultKind {
+    match tag % 8 {
+        0 => FaultKind::DropSample,
+        1 => FaultKind::DelaySample { intervals: 1 + u32::from(tag) % 3 },
+        2 => FaultKind::DuplicateSample,
+        3 => FaultKind::CorruptNaN,
+        4 => FaultKind::CorruptSpike { factor: 30.0 },
+        5 => FaultKind::CorruptStuckAt,
+        6 => FaultKind::StallManager { intervals: 2 },
+        _ => FaultKind::CrashRestart,
+    }
+}
+
+fn scenario(rules: &[RuleSpec]) -> Option<FaultScenario> {
+    if rules.is_empty() {
+        return None;
+    }
+    let mut s = FaultScenario::named("obs-purity");
+    for (i, &(tag, start, len, prob)) in rules.iter().enumerate() {
+        let from = 10 + u64::from(start);
+        let until = from + 5 + u64::from(len);
+        s = s.rule(
+            FaultRule::new(format!("r{i}"), decode_kind(tag))
+                .window(SimTime::from_secs(from), SimTime::from_secs(until))
+                .with_probability(prob),
+        );
+    }
+    Some(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn recorders_never_change_decisions(
+        seed in 0u64..1_000_000,
+        rules in proptest::collection::vec((0u8..8, 0u16..120, 0u16..120, 0.05f64..0.9), 0..4),
+    ) {
+        let build = |observe: bool| {
+            let mut cfg = ExperimentConfig::new(
+                ClusterSpec::small_scale(seed),
+                Mitigation::PerfCloud(PerfCloudConfig::default()),
+            );
+            cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(8)));
+            cfg.antagonists.push(
+                AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
+                    .starting_at(SimTime::from_secs(15)),
+            );
+            cfg.max_sim_time = SimTime::from_secs(3_600);
+            cfg.faults = scenario(&rules);
+            let mut e = Experiment::build(cfg);
+            e.enable_decision_trace();
+            if observe {
+                e.enable_observability(1024);
+            }
+            e
+        };
+        let mut plain = build(false);
+        let r_plain = plain.run();
+        let mut observed = build(true);
+        let r_obs = observed.run();
+        prop_assert_eq!(&r_plain, &r_obs);
+        prop_assert_eq!(
+            plain.decision_trace().expect("trace enabled").canonical(),
+            observed.decision_trace().expect("trace enabled").canonical()
+        );
+        // And the export itself is a pure function of the run.
+        prop_assert_eq!(observed.chrome_trace(), observed.chrome_trace());
+    }
+}

@@ -18,9 +18,22 @@
 
 use crate::monitor::{IngestOutcome, PerformanceMonitor, VmMetricKind};
 use perfcloud_host::{CounterSnapshot, PhysicalServer, VmId};
+use perfcloud_obs::flight::{FaultClass, RejectReason};
+use perfcloud_obs::{FlightEvent, FlightRecorder};
 use perfcloud_sim::faults::{FaultInjector, FaultKind, FaultScenario, MetricClass};
 use perfcloud_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+
+/// Maps a rejection outcome to its flight-recorder reason, `None` for
+/// accepted deliveries.
+pub(crate) fn reject_reason(outcome: IngestOutcome) -> Option<RejectReason> {
+    match outcome {
+        IngestOutcome::Baseline | IngestOutcome::Recorded => None,
+        IngestOutcome::Stale => Some(RejectReason::Stale),
+        IngestOutcome::Duplicate => Some(RejectReason::Duplicate),
+        IngestOutcome::CounterRegression => Some(RejectReason::CounterRegression),
+    }
+}
 
 /// What a fault did to the node manager at an interval boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +98,9 @@ impl NodeFaults {
         interval: SimDuration,
         monitor: &mut PerformanceMonitor,
         server: &PhysicalServer,
+        mut flight: Option<&mut FlightRecorder>,
     ) {
+        let t = now.as_micros();
         // Deliver what's due, oldest first (deterministic order), before the
         // fresh poll — a late RPC arriving just ahead of the next one. After
         // the sort the due deliveries are a prefix, so they can be peeled off
@@ -93,11 +108,31 @@ impl NodeFaults {
         self.delayed.sort_by_key(|a| (a.0, a.1));
         while self.delayed.first().is_some_and(|&(due, _, _)| due <= now) {
             let (_, vm, snap) = self.delayed.remove(0);
-            let _ = monitor.ingest(now, vm, snap);
+            let outcome = monitor.ingest(now, vm, snap);
+            if let (Some(fl), Some(reason)) = (flight.as_deref_mut(), reject_reason(outcome)) {
+                fl.record(
+                    t,
+                    FlightEvent::IngestRejected {
+                        server: self.server,
+                        vm: u64::from(vm.0),
+                        reason,
+                    },
+                );
+            }
         }
 
         for (vm, snap) in server.snapshots() {
             if self.sample_fault(now, vm, FaultKindTag::Drop).is_some() {
+                if let Some(fl) = flight.as_deref_mut() {
+                    fl.record(
+                        t,
+                        FlightEvent::Fault {
+                            class: FaultClass::DropSample,
+                            server: self.server,
+                            vm: u64::from(vm.0),
+                        },
+                    );
+                }
                 continue;
             }
             if let Some(FaultKind::DelaySample { intervals }) =
@@ -105,15 +140,72 @@ impl NodeFaults {
             {
                 let due = now.saturating_add(interval.mul_f64(intervals as f64));
                 self.delayed.push((due, vm, snap));
+                if let Some(fl) = flight.as_deref_mut() {
+                    fl.record(
+                        t,
+                        FlightEvent::Fault {
+                            class: FaultClass::DelaySample,
+                            server: self.server,
+                            vm: u64::from(vm.0),
+                        },
+                    );
+                }
                 continue;
             }
-            let deliver = if self.sample_fault(now, vm, FaultKindTag::Duplicate).is_some() {
+            let duplicated = self.sample_fault(now, vm, FaultKindTag::Duplicate).is_some();
+            let deliver = if duplicated {
+                if let Some(fl) = flight.as_deref_mut() {
+                    fl.record(
+                        t,
+                        FlightEvent::Fault {
+                            class: FaultClass::DuplicateSample,
+                            server: self.server,
+                            vm: u64::from(vm.0),
+                        },
+                    );
+                }
                 monitor.previous_snapshot(vm).unwrap_or(snap)
             } else {
                 snap
             };
-            self.ingest_corrupted(now, vm, deliver, monitor);
+            if let Some(fl) = flight.as_deref_mut() {
+                if self.corruption_fires(now, vm) {
+                    fl.record(
+                        t,
+                        FlightEvent::Fault {
+                            class: FaultClass::CorruptSample,
+                            server: self.server,
+                            vm: u64::from(vm.0),
+                        },
+                    );
+                }
+            }
+            let outcome = self.ingest_corrupted(now, vm, deliver, monitor);
+            if let (Some(fl), Some(reason)) = (flight.as_deref_mut(), reject_reason(outcome)) {
+                fl.record(
+                    t,
+                    FlightEvent::IngestRejected {
+                        server: self.server,
+                        vm: u64::from(vm.0),
+                        reason,
+                    },
+                );
+            }
         }
+    }
+
+    /// Whether any metric-corruption rule fires for `vm` this instant.
+    /// Pure re-evaluation of the stateless injector: recording the event
+    /// cannot perturb the corruption decisions themselves.
+    fn corruption_fires(&self, now: SimTime, vm: VmId) -> bool {
+        self.injector.scenario().rules.iter().any(|r| {
+            matches!(
+                r.kind,
+                FaultKind::CorruptNaN | FaultKind::CorruptSpike { .. } | FaultKind::CorruptStuckAt
+            ) && (r.target.matches_metric(MetricClass::BlkioIowait)
+                || r.target.matches_metric(MetricClass::Cpi))
+                && self.injector.fires(r, now, self.server, Some(vm.0))
+        })
     }
 
     fn sample_fault(&self, now: SimTime, vm: VmId, tag: FaultKindTag) -> Option<FaultKind> {
@@ -221,13 +313,13 @@ mod tests {
         intervals: usize,
     ) {
         let mut now = SimTime::ZERO;
-        faults.sample(now, INTERVAL, monitor, server);
+        faults.sample(now, INTERVAL, monitor, server, None);
         for _ in 0..intervals {
             for _ in 0..50 {
                 server.tick(DT);
             }
             now = now.saturating_add(INTERVAL);
-            faults.sample(now, INTERVAL, monitor, server);
+            faults.sample(now, INTERVAL, monitor, server, None);
         }
     }
 

@@ -36,5 +36,5 @@ pub use cloud::{AppId, CloudManager, Placement, PlacementEpoch, VmRecord};
 pub use config::PerfCloudConfig;
 pub use cubic::{CubicController, CubicState};
 pub use detector::{deviation_across_vms, ContentionSignal};
-pub use monitor::{IngestOutcome, PerformanceMonitor, VmMetricKind};
+pub use monitor::{IngestOutcome, IngestStats, PerformanceMonitor, VmMetricKind};
 pub use node_manager::{NodeManager, PlacementApplyOutcome, StepReport};

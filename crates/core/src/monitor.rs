@@ -52,11 +52,48 @@ pub enum IngestOutcome {
     Baseline,
     /// Metrics were derived and recorded.
     Recorded,
-    /// Rejected: the snapshot is older than state already held (a delayed
-    /// delivery overtaken by fresher samples, or a counter regression).
+    /// Rejected: the snapshot's timestamp is older than state already held
+    /// (a delayed delivery overtaken by fresher samples).
     Stale,
     /// Rejected: a snapshot for this instant was already ingested.
     Duplicate,
+    /// Rejected: the cumulative counters ran backwards relative to the
+    /// held baseline (a late pre-baseline delivery, or a counter reset);
+    /// computing the delta would go negative.
+    CounterRegression,
+}
+
+/// Running totals of every [`IngestOutcome`] a monitor has produced.
+/// Previously the rejection outcomes were dropped silently; these counts
+/// feed the obs counters and experiment summaries.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Baseline-establishing first samples.
+    pub baselines: u64,
+    /// Samples that produced recorded metrics.
+    pub recorded: u64,
+    /// Timestamp-stale rejections.
+    pub stale: u64,
+    /// Duplicate-instant rejections.
+    pub duplicates: u64,
+    /// Counter-regression rejections.
+    pub regressions: u64,
+}
+
+impl IngestStats {
+    /// Total rejected deliveries.
+    pub fn rejected(&self) -> u64 {
+        self.stale + self.duplicates + self.regressions
+    }
+
+    /// Element-wise sum, for aggregating across node managers.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.baselines += other.baselines;
+        self.recorded += other.recorded;
+        self.stale += other.stale;
+        self.duplicates += other.duplicates;
+        self.regressions += other.regressions;
+    }
 }
 
 #[derive(Debug, Default)]
@@ -73,6 +110,7 @@ pub struct PerformanceMonitor {
     alpha: f64,
     retain: usize,
     vms: BTreeMap<VmId, VmMonitorState>,
+    stats: IngestStats,
 }
 
 impl PerformanceMonitor {
@@ -84,7 +122,13 @@ impl PerformanceMonitor {
             // Keep an ample multiple of the correlation window.
             retain: (config.corr_window * 8).max(64),
             vms: BTreeMap::new(),
+            stats: IngestStats::default(),
         }
+    }
+
+    /// Running outcome totals across every delivery this monitor has seen.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.stats
     }
 
     /// Samples every VM on `server` at time `now` — one batched pass over
@@ -112,6 +156,24 @@ impl PerformanceMonitor {
         now: SimTime,
         vm: VmId,
         snap: CounterSnapshot,
+        tweak: impl FnMut(VmMetricKind, Option<f64>) -> Option<f64>,
+    ) -> IngestOutcome {
+        let outcome = self.ingest_inner(now, vm, snap, tweak);
+        match outcome {
+            IngestOutcome::Baseline => self.stats.baselines += 1,
+            IngestOutcome::Recorded => self.stats.recorded += 1,
+            IngestOutcome::Stale => self.stats.stale += 1,
+            IngestOutcome::Duplicate => self.stats.duplicates += 1,
+            IngestOutcome::CounterRegression => self.stats.regressions += 1,
+        }
+        outcome
+    }
+
+    fn ingest_inner(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        snap: CounterSnapshot,
         mut tweak: impl FnMut(VmMetricKind, Option<f64>) -> Option<f64>,
     ) -> IngestOutcome {
         let interval_guess = 5.0; // replaced below by the actual delta time
@@ -129,7 +191,7 @@ impl PerformanceMonitor {
                 if snap.regressed_since(&prev) {
                     // A late delivery of a pre-baseline snapshot; computing
                     // its delta would go negative. Reject, keep state as-is.
-                    return IngestOutcome::Stale;
+                    return IngestOutcome::CounterRegression;
                 }
                 let delta = prev.delta_to(&snap);
                 // Interval length: derive from last series timestamp if any.
@@ -375,8 +437,12 @@ mod tests {
         assert_eq!(mon.ingest(t1, VmId(0), snap1), IngestOutcome::Duplicate);
         // A delivery from the past: rejected on timestamp alone.
         assert_eq!(mon.ingest(t0, VmId(0), snap1), IngestOutcome::Stale);
-        // A later-timestamped delivery of regressed counters: also stale.
-        assert_eq!(mon.ingest(SimTime::from_secs(15), VmId(0), snap0), IngestOutcome::Stale);
+        // A later-timestamped delivery of regressed counters: rejected as a
+        // counter regression (distinguished from timestamp staleness).
+        assert_eq!(
+            mon.ingest(SimTime::from_secs(15), VmId(0), snap0),
+            IngestOutcome::CounterRegression
+        );
         assert_eq!(mon.series(VmId(0), VmMetricKind::IoBps).unwrap().len(), 1);
         // The pipeline recovers with the next good delivery.
         for _ in 0..50 {
@@ -384,6 +450,15 @@ mod tests {
         }
         let snap2 = server.counters(VmId(0)).unwrap();
         assert_eq!(mon.ingest(SimTime::from_secs(20), VmId(0), snap2), IngestOutcome::Recorded);
+        // Every outcome above was tallied, including the rejections that
+        // used to vanish silently.
+        let stats = mon.ingest_stats();
+        assert_eq!(stats.baselines, 1);
+        assert_eq!(stats.recorded, 2);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.regressions, 1);
+        assert_eq!(stats.rejected(), 3);
     }
 
     #[test]

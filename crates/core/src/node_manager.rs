@@ -19,9 +19,19 @@ use crate::detector::{detect, ContentionSignal};
 use crate::monitor::{PerformanceMonitor, VmMetricKind};
 use perfcloud_host::throttle::{CpuCap, IoThrottle};
 use perfcloud_host::{PhysicalServer, VmId};
+use perfcloud_obs::{FlightEvent, FlightRecorder};
 use perfcloud_sim::SimTime;
 use perfcloud_stats::TimeSeries;
 use std::collections::BTreeMap;
+
+/// Maps the agent's resource dimension onto the obs crate's copy of it
+/// (obs is dependency-free and cannot use [`Resource`] directly).
+fn obs_resource(resource: Resource) -> perfcloud_obs::flight::Resource {
+    match resource {
+        Resource::Io => perfcloud_obs::flight::Resource::Io,
+        Resource::Cpu => perfcloud_obs::flight::Resource::Cpu,
+    }
+}
 
 /// Floors below which an observed usage is not worth capping at; avoids
 /// freezing a VM that happened to be momentarily idle when control began.
@@ -117,6 +127,13 @@ pub struct NodeManager {
     cpu_cap_trace: BTreeMap<VmId, TimeSeries>,
     controlled_app: Option<AppId>,
     faults: Option<NodeFaults>,
+    /// Optional flight recorder; all hooks are a single branch when absent
+    /// and record fixed-size `Copy` events when present (never allocating
+    /// either way). Pure observation: attaching one changes no decision.
+    flight: Option<FlightRecorder>,
+    /// Whether the previous decision interval saw contention, so the
+    /// recorder logs onset/clear *transitions* rather than every interval.
+    was_contended: bool,
     /// This interval's placement view (scratch, refilled every step).
     placement: Placement,
     /// Last placement view successfully fetched from the cloud manager, for
@@ -152,6 +169,8 @@ impl NodeManager {
             cpu_cap_trace: BTreeMap::new(),
             controlled_app: None,
             faults: None,
+            flight: None,
+            was_contended: false,
             placement: Placement::default(),
             placement_cache: Placement::default(),
             cache_fetched: None,
@@ -169,6 +188,20 @@ impl NodeManager {
     /// Attaches a fault scenario; every subsequent step goes through it.
     pub fn attach_faults(&mut self, faults: NodeFaults) {
         self.faults = Some(faults);
+    }
+
+    /// Attaches a flight recorder retaining the last `capacity` agent
+    /// events (detection onset/clear, antagonist identification, throttle
+    /// and release, cap updates, crash/restart, placement staleness, and
+    /// ingest rejections). All recorder storage is allocated here; the
+    /// record path stays allocation-free.
+    pub fn attach_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::with_capacity(capacity));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
     }
 
     /// The underlying monitor (read access for experiments).
@@ -265,7 +298,7 @@ impl NodeManager {
         // conditions; on this direct path they cannot occur.)
         if let Some(faults) = self.faults.as_mut() {
             if faults.begin_interval(now) == ManagerFault::Crashed {
-                self.crash_restart(server);
+                self.crash_restart(now, server);
                 report.restarted = true;
                 return;
             }
@@ -316,7 +349,7 @@ impl NodeManager {
         // and restarts with clean state.
         if let Some(faults) = self.faults.as_mut() {
             if faults.begin_interval(now) == ManagerFault::Crashed {
-                self.crash_restart(server);
+                self.crash_restart(now, server);
                 report.restarted = true;
                 return;
             }
@@ -332,6 +365,20 @@ impl NodeManager {
             let limit = self.config.sample_interval.mul_f64(Self::MAX_PLACEMENT_STALENESS as f64);
             let fresh_enough =
                 self.cache_fetched.is_some_and(|fetched| now.saturating_since(fetched) <= limit);
+            if let Some(fl) = self.flight.as_mut() {
+                let staleness = match self.cache_fetched {
+                    Some(fetched) => {
+                        (now.saturating_since(fetched).as_micros()
+                            / self.config.sample_interval.as_micros())
+                            as u32
+                    }
+                    None => u32::MAX,
+                };
+                fl.record(
+                    now.as_micros(),
+                    FlightEvent::PlacementStale { server: server.id.0, staleness },
+                );
+            }
             if !fresh_enough {
                 // The cached view is too old to act on safely. Keep the
                 // metric windows warm but make no control decisions.
@@ -396,6 +443,50 @@ impl NodeManager {
             &mut report.cpu_antagonists,
         );
 
+        // Flight: detection transitions and newly identified antagonists
+        // (ones not yet under control — enrollment records the throttle).
+        if let Some(fl) = self.flight.as_mut() {
+            let t = now.as_micros();
+            let contended = signal.io_contended || signal.cpu_contended;
+            if contended && !self.was_contended {
+                fl.record(
+                    t,
+                    FlightEvent::DetectOnset {
+                        server: server.id.0,
+                        io: signal.io_contended,
+                        cpu: signal.cpu_contended,
+                    },
+                );
+            } else if !contended && self.was_contended {
+                fl.record(t, FlightEvent::DetectClear { server: server.id.0 });
+            }
+            self.was_contended = contended;
+            for &vm in report.io_antagonists.iter() {
+                if !self.io_controlled.contains_key(&vm) {
+                    fl.record(
+                        t,
+                        FlightEvent::AntagonistIdentified {
+                            server: server.id.0,
+                            vm: u64::from(vm.0),
+                            resource: perfcloud_obs::flight::Resource::Io,
+                        },
+                    );
+                }
+            }
+            for &vm in report.cpu_antagonists.iter() {
+                if !self.cpu_controlled.contains_key(&vm) {
+                    fl.record(
+                        t,
+                        FlightEvent::AntagonistIdentified {
+                            server: server.id.0,
+                            vm: u64::from(vm.0),
+                            resource: perfcloud_obs::flight::Resource::Cpu,
+                        },
+                    );
+                }
+            }
+        }
+
         // (5) Control modules.
         self.control(
             Resource::Io,
@@ -422,9 +513,13 @@ impl NodeManager {
     /// Samples all VMs, through the fault filter when one is attached.
     fn sample(&mut self, now: SimTime, server: &PhysicalServer) {
         match self.faults.as_mut() {
-            Some(faults) => {
-                faults.sample(now, self.config.sample_interval, &mut self.monitor, server)
-            }
+            Some(faults) => faults.sample(
+                now,
+                self.config.sample_interval,
+                &mut self.monitor,
+                server,
+                self.flight.as_mut(),
+            ),
             None => self.monitor.sample(now, server),
         }
     }
@@ -434,7 +529,11 @@ impl NodeManager {
     /// process finds hypervisor caps it has no record of and releases them —
     /// clean-slate recovery; re-detection re-applies them within a bounded
     /// number of intervals (the windows re-warm from empty).
-    fn crash_restart(&mut self, server: &mut PhysicalServer) {
+    fn crash_restart(&mut self, now: SimTime, server: &mut PhysicalServer) {
+        if let Some(fl) = self.flight.as_mut() {
+            fl.record(now.as_micros(), FlightEvent::ManagerRestart { server: server.id.0 });
+        }
+        self.was_contended = false;
         self.monitor = PerformanceMonitor::new(&self.config);
         self.identifier = AntagonistIdentifier::new(&self.config);
         self.io_controlled.clear();
@@ -467,6 +566,8 @@ impl NodeManager {
         applied: &mut Vec<(VmId, f64)>,
     ) {
         applied.clear();
+        let sid = server.id.0;
+        let mut flight = self.flight.as_mut();
         // Drop control state for VMs that left the suspect set. One that is
         // still hosted here (deregistered or promoted in the cloud manager)
         // must have its cap released — nothing else will ever do it; one
@@ -485,6 +586,12 @@ impl NodeManager {
                     match resource {
                         Resource::Io => server.set_io_throttle(vm, IoThrottle::unlimited()),
                         Resource::Cpu => server.set_cpu_cap(vm, CpuCap::unlimited()),
+                    }
+                    if let Some(fl) = flight.as_deref_mut() {
+                        fl.record(
+                            now.as_micros(),
+                            FlightEvent::Release { server: sid, vm: u64::from(vm.0) },
+                        );
                     }
                 }
             }
@@ -519,6 +626,16 @@ impl NodeManager {
                     Resource::Io => self.io_controlled.insert(vm, c),
                     Resource::Cpu => self.cpu_controlled.insert(vm, c),
                 };
+                if let Some(fl) = flight.as_deref_mut() {
+                    fl.record(
+                        now.as_micros(),
+                        FlightEvent::Throttle {
+                            server: sid,
+                            vm: u64::from(vm.0),
+                            resource: obs_resource(resource),
+                        },
+                    );
+                }
             }
         }
 
@@ -549,6 +666,17 @@ impl NodeManager {
                 }
             }
             applied.push((vm, cap));
+            if let Some(fl) = flight.as_deref_mut() {
+                fl.record(
+                    now.as_micros(),
+                    FlightEvent::CapUpdate {
+                        server: sid,
+                        vm: u64::from(vm.0),
+                        resource: obs_resource(resource),
+                        level: cap,
+                    },
+                );
+            }
         }
 
         // Trace the applied caps for the Fig. 10 harness.
@@ -894,6 +1022,54 @@ mod tests {
         // A stalled interval does nothing at all.
         synced.nm.step_synced(now + interval, &mut synced.server, true, &mut rb);
         assert!(rb.stalled && rb.signal.is_none());
+    }
+
+    #[test]
+    fn flight_recorder_captures_agent_events_without_changing_decisions() {
+        let mut plain = testbed((10.0, 1.0));
+        let mut observed = testbed((10.0, 1.0));
+        observed.nm.attach_flight(512);
+        plain.run(3);
+        observed.run(3);
+        plain.start_antagonist();
+        observed.start_antagonist();
+        let ra = plain.run(10);
+        let rb = observed.run(10);
+        assert_eq!(ra, rb, "attaching a flight recorder must not change any decision");
+        let fl = observed.nm.flight().expect("recorder attached");
+        assert!(fl.total_recorded() > 0);
+        let has = |pred: fn(&FlightEvent) -> bool| fl.iter().any(|r| pred(&r.event));
+        assert!(has(|e| matches!(e, FlightEvent::DetectOnset { io: true, .. })));
+        assert!(has(|e| matches!(e, FlightEvent::AntagonistIdentified { vm: 10, .. })));
+        assert!(has(|e| matches!(e, FlightEvent::Throttle { vm: 10, .. })));
+        assert!(has(|e| matches!(e, FlightEvent::CapUpdate { vm: 10, .. })));
+        // Events come out time-ordered with contiguous sequence numbers.
+        let recs: Vec<_> = fl.iter().collect();
+        assert!(recs.windows(2).all(|w| w[0].t <= w[1].t && w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn flight_recorder_captures_crash_restart_and_release() {
+        let mut tb = testbed((10.0, 1.0));
+        tb.nm.attach_flight(256);
+        tb.run(3);
+        tb.start_antagonist();
+        tb.run(10);
+        let crash_at = tb.now + SimDuration::from_secs(5.0);
+        let scenario = perfcloud_sim::FaultScenario::named("crash-once").rule(
+            perfcloud_sim::FaultRule::new("crash", perfcloud_sim::FaultKind::CrashRestart)
+                .window(crash_at, crash_at + SimDuration::from_secs(1.0)),
+        );
+        tb.nm.attach_faults(crate::chaos::NodeFaults::new(1, scenario, 0));
+        tb.run(1);
+        let fl = tb.nm.flight().unwrap();
+        assert!(fl.iter().any(|r| matches!(r.event, FlightEvent::ManagerRestart { server: 0 })));
+        // Deregistering the antagonist must log the cap release.
+        tb.run(8);
+        tb.cloud.deregister(VmId(10));
+        tb.run(1);
+        let fl = tb.nm.flight().unwrap();
+        assert!(fl.iter().any(|r| matches!(r.event, FlightEvent::Release { vm: 10, .. })));
     }
 
     #[test]

@@ -52,8 +52,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_node_manager_step_is_allocation_free() {
+/// Drives the steady-state testbed and returns the allocation count over
+/// 50 measured `step_into` calls. With `observe` the node manager carries
+/// a flight recorder from the start — attached before warm-up, so its ring
+/// is the only pre-reserved buffer and the record path itself is measured.
+fn steady_state_allocs(observe: bool) -> u64 {
     const DT: SimDuration = SimDuration::from_micros(100_000);
     let mut server =
         PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(7), DT);
@@ -84,6 +87,9 @@ fn steady_state_node_manager_step_is_allocation_free() {
     let config =
         PerfCloudConfig { h_io: f64::INFINITY, h_cpi: f64::INFINITY, ..Default::default() };
     let mut nm = NodeManager::new(config);
+    if observe {
+        nm.attach_flight(1024);
+    }
     let mut report = StepReport::default();
     let mut now = SimTime::ZERO;
 
@@ -98,7 +104,6 @@ fn steady_state_node_manager_step_is_allocation_free() {
         nm.step_into(now, &mut server, &mut cloud, &mut report);
     }
 
-    let mut steps = 0u64;
     let mut total = 0u64;
     for _ in 0..50 {
         for _ in 0..50 {
@@ -110,13 +115,24 @@ fn steady_state_node_manager_step_is_allocation_free() {
         nm.step_into(now, &mut server, &mut cloud, &mut report);
         counted(false);
         total += ALLOC_CALLS.load(Ordering::Relaxed) - before;
-        steps += 1;
     }
 
     // The pipeline was genuinely live, not short-circuited.
     assert!(report.signal.is_some(), "detector must be producing signals in the measured window");
-    assert_eq!(
-        total, 0,
-        "{total} allocations across {steps} steady-state node-manager steps (expected 0)"
-    );
+    total
+}
+
+#[test]
+fn steady_state_node_manager_step_is_allocation_free() {
+    let total = steady_state_allocs(false);
+    assert_eq!(total, 0, "{total} allocations across 50 steady-state steps (expected 0)");
+}
+
+#[test]
+fn steady_state_step_with_flight_recorder_is_allocation_free() {
+    // The recorder's ring is reserved at attach time; recording into it —
+    // and every `flight.as_mut()` branch threaded through the sampling,
+    // detection and control paths — must not allocate either.
+    let total = steady_state_allocs(true);
+    assert_eq!(total, 0, "{total} allocations across 50 observed steady-state steps (expected 0)");
 }

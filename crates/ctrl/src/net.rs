@@ -16,6 +16,7 @@
 //! the old direct-call placement fetch.
 
 use crate::proto::{Message, NodeId};
+use perfcloud_obs::{FlightEvent, FlightRecorder};
 use perfcloud_sim::faults::{FaultInjector, FaultKind, FaultScenario};
 use perfcloud_sim::rng::fnv1a64;
 use perfcloud_sim::wheel::{Entry, TimerWheel};
@@ -107,6 +108,9 @@ pub struct SimNet {
     seq: u64,
     /// Delivery counters.
     pub stats: NetStats,
+    /// Optional flight recorder for per-message send/drop/delay events; a
+    /// single branch per send when absent, pure observation when present.
+    flight: Option<FlightRecorder>,
 }
 
 impl SimNet {
@@ -123,7 +127,19 @@ impl SimNet {
             free: Vec::new(),
             seq: 0,
             stats: NetStats::default(),
+            flight: None,
         }
+    }
+
+    /// Attaches a flight recorder retaining the last `capacity` network
+    /// events (message send/drop/delay).
+    pub fn attach_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::with_capacity(capacity));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
     }
 
     /// Adds a named partition window.
@@ -156,6 +172,12 @@ impl SimNet {
         if self.partitioned(msg.from, msg.to, now).is_some() {
             self.stats.dropped += 1;
             self.seq += 1;
+            if let Some(fl) = self.flight.as_mut() {
+                fl.record(
+                    now.as_micros(),
+                    FlightEvent::MsgDrop { from: msg.from.0, to: msg.to.0, partitioned: true },
+                );
+            }
             return SendOutcome::Dropped(DropReason::Partitioned);
         }
         let class = msg.payload.class();
@@ -175,6 +197,16 @@ impl SimNet {
                 FaultKind::DropMessage => {
                     self.stats.dropped += 1;
                     self.seq += 1;
+                    if let Some(fl) = self.flight.as_mut() {
+                        fl.record(
+                            now.as_micros(),
+                            FlightEvent::MsgDrop {
+                                from: msg.from.0,
+                                to: msg.to.0,
+                                partitioned: false,
+                            },
+                        );
+                    }
                     return SendOutcome::Dropped(DropReason::Faulted);
                 }
                 FaultKind::DuplicateMessage => copies += 1,
@@ -188,6 +220,22 @@ impl SimNet {
         let deliver_at =
             now.saturating_add(self.link.latency).saturating_add(jitter).saturating_add(extra);
         self.stats.duplicated += (copies - 1) as u64;
+        if let Some(fl) = self.flight.as_mut() {
+            if extra > SimDuration::ZERO {
+                fl.record(
+                    now.as_micros(),
+                    FlightEvent::MsgDelay {
+                        from: msg.from.0,
+                        to: msg.to.0,
+                        micros: extra.as_micros(),
+                    },
+                );
+            }
+            fl.record(
+                now.as_micros(),
+                FlightEvent::MsgSend { from: msg.from.0, to: msg.to.0, copies },
+            );
+        }
         for _ in 0..copies {
             let slot = match self.free.pop() {
                 Some(s) => {

@@ -33,6 +33,7 @@ use crate::net::{LinkSpec, NetStats, Partition, SimNet};
 use crate::proto::{Message, NodeId, Payload, Term};
 use perfcloud_core::{CloudManager, NodeManager, Placement, PlacementApplyOutcome, PlacementEpoch};
 use perfcloud_host::ServerId;
+use perfcloud_obs::{FlightEvent, FlightRecorder};
 use perfcloud_sim::faults::{FaultKind, FaultScenario};
 use perfcloud_sim::{FaultInjector, SimDuration, SimTime};
 
@@ -98,6 +99,9 @@ pub struct ControlPlane {
     events: Vec<(SimTime, String)>,
     inbox: Vec<(SimTime, Message)>,
     outbox: Vec<(NodeId, Payload)>,
+    /// Optional flight recorder for coordination events (elections,
+    /// epoch publish/reject, replica up/down). Pure observation.
+    flight: Option<FlightRecorder>,
 }
 
 impl ControlPlane {
@@ -144,7 +148,32 @@ impl ControlPlane {
             events: Vec::new(),
             inbox: Vec::new(),
             outbox: Vec::new(),
+            flight: None,
             spec,
+        }
+    }
+
+    /// Attaches flight recorders to the plane (coordination events) and its
+    /// network (per-message events), each retaining `capacity` events.
+    pub fn attach_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::with_capacity(capacity));
+        self.net.attach_flight(capacity);
+    }
+
+    /// The plane's coordination-event flight recorder, if attached.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// The network's per-message flight recorder, if attached.
+    pub fn net_flight(&self) -> Option<&FlightRecorder> {
+        self.net.flight()
+    }
+
+    #[inline]
+    fn flight_record(&mut self, now: SimTime, event: FlightEvent) {
+        if let Some(fl) = self.flight.as_mut() {
+            fl.record(now.as_micros(), event);
         }
     }
 
@@ -219,9 +248,11 @@ impl ControlPlane {
             self.down[k] = is_down;
             if is_down {
                 self.event(now, || format!("down m{k}"));
+                self.flight_record(now, FlightEvent::ReplicaDown { replica: k as u32 });
             } else {
                 self.replicas[k].on_restart(now);
                 self.event(now, || format!("up m{k}"));
+                self.flight_record(now, FlightEvent::ReplicaUp { replica: k as u32 });
             }
         }
     }
@@ -289,6 +320,10 @@ impl ControlPlane {
             if cut > 0 {
                 self.event(now, || format!("pub m{k} e={term}:{} ok={sent} cut={cut}", epoch.seq));
             }
+            self.flight_record(
+                now,
+                FlightEvent::EpochPublished { replica: k as u32, term: epoch.term, seq: epoch.seq },
+            );
         }
     }
 
@@ -345,14 +380,26 @@ impl ControlPlane {
         match after.0 {
             Role::Candidate { round, .. } if !matches!(before.0, Role::Candidate { .. }) => {
                 self.event(now, || format!("elect m{k} r={round}"));
+                self.flight_record(
+                    now,
+                    FlightEvent::Election { replica: k as u32, round: round as u64 },
+                );
             }
             Role::Coordinator if before.0 != Role::Coordinator => {
                 let term = after.1.expect("coordinator always has a term");
                 self.event(now, || format!("coord m{k} t={term}"));
+                self.flight_record(
+                    now,
+                    FlightEvent::Coordinator { replica: k as u32, term: term.as_u64() },
+                );
             }
             Role::Follower if before.0 == Role::Coordinator => {
                 let term = after.1.expect("a stepped-down coordinator knows the newer term");
                 self.event(now, || format!("stepdown m{k} t={term}"));
+                self.flight_record(
+                    now,
+                    FlightEvent::Stepdown { replica: k as u32, term: term.as_u64() },
+                );
             }
             _ => {}
         }
@@ -379,6 +426,11 @@ impl ControlPlane {
                 if outcome == PlacementApplyOutcome::RejectedStaleEpoch {
                     let have = nms[i].last_epoch().expect("rejection implies an applied epoch");
                     self.event(now, || format!("reject s{i} e={epoch} have={have}"));
+                    let (term, seq) = (epoch.term, epoch.seq);
+                    self.flight_record(
+                        now,
+                        FlightEvent::EpochRejected { server: i as u32, term, seq },
+                    );
                 }
                 // Ack with the endpoint's authoritative epoch either way:
                 // that is what resynchronizes a healed coordinator.
@@ -601,5 +653,53 @@ mod tests {
         // its freeze.
         p.clear_stall(0);
         assert!(!p.stalled(0, SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn flight_recorder_captures_failover_without_changing_it() {
+        let scenario = || {
+            FaultScenario::named("m0-outage").rule(
+                FaultRule::new("down-m0", FaultKind::DownReplica)
+                    .on_server(0)
+                    .window(SimTime::from_secs(10), SimTime::from_secs(40)),
+            )
+        };
+        let spec = ControlPlaneSpec { managers: 3, ..ControlPlaneSpec::default() };
+        let run = |observe: bool| {
+            let mut cloud = cloud_with_vm();
+            let mut nms = agents(1);
+            let mut p = plane(spec.clone(), scenario(), 1);
+            if observe {
+                p.attach_flight(1024);
+            }
+            let mut t = SimTime::ZERO;
+            while t <= SimTime::from_secs(60) {
+                if t.as_micros().is_multiple_of(SAMPLE.as_micros()) {
+                    p.begin_interval(t, &cloud);
+                }
+                p.tick(t, &mut cloud, &mut nms);
+                t = t.saturating_add(TICK);
+            }
+            (p, nms[0].last_epoch())
+        };
+        let (plain, epoch_plain) = run(false);
+        let (observed, epoch_obs) = run(true);
+        // Pure observation: identical outcome with the recorder on.
+        assert_eq!(epoch_plain, epoch_obs);
+        assert_eq!(plain.net_stats(), observed.net_stats());
+        assert_eq!(plain.coordinators(), observed.coordinators());
+        // The recorder tells the whole failover story.
+        let fl = observed.flight().expect("plane recorder attached");
+        let saw = |pred: fn(&FlightEvent) -> bool| fl.iter().any(|r| pred(&r.event));
+        assert!(saw(|e| matches!(e, FlightEvent::ReplicaDown { replica: 0 })));
+        assert!(saw(|e| matches!(e, FlightEvent::ReplicaUp { replica: 0 })));
+        assert!(saw(|e| matches!(e, FlightEvent::Election { replica: 1, .. })));
+        assert!(saw(|e| matches!(e, FlightEvent::Coordinator { replica: 1, .. })));
+        assert!(saw(|e| matches!(e, FlightEvent::EpochPublished { replica: 1, .. })));
+        let net = observed.net_flight().expect("net recorder attached");
+        assert!(net.iter().any(|r| matches!(r.event, FlightEvent::MsgSend { .. })));
+        // Messages to the downed replica are dropped at dispatch, not on the
+        // link, so drops here only appear under partitions/faults — none.
+        assert!(net.total_recorded() > 0);
     }
 }

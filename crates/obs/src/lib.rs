@@ -1,0 +1,32 @@
+//! Deterministic observability for the PerfCloud testbed.
+//!
+//! Three pieces, all dependency-free so every crate in the workspace —
+//! including the bottom-of-stack simulation engine — can use them:
+//!
+//! - [`metrics`]: a fixed-capacity registry of counters, gauges and
+//!   log-linear histograms. All record-path arithmetic is u64 integer
+//!   math; after construction no path allocates. Snapshots render to the
+//!   same flat `(name, value)` pairs the `BENCH_*.json` records use.
+//! - [`flight`]: a bounded ring buffer of typed, `Copy`, sim-time-stamped
+//!   events — a flight recorder. Every component that makes decisions
+//!   (engine, node manager, control plane, chaos injector) can carry one;
+//!   when something diverges, the last N events explain *why*, in
+//!   deterministic `(time, seq)` order.
+//! - [`export`]: merges any number of recorders into Chrome-trace-event
+//!   JSON (loadable in Perfetto, one track per source) or JSONL. Output
+//!   depends only on the recorded events, never on wall-clock time or
+//!   thread scheduling, so trace files are byte-identical across runs.
+//!
+//! Time is represented as raw `u64` microseconds (the simulator's native
+//! tick); this crate deliberately does not depend on `perfcloud-sim`, so
+//! the engine itself can be instrumented.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod flight;
+pub mod metrics;
+
+pub use export::{chrome_trace, jsonl, merged_dump, ExportSource};
+pub use flight::{FlightEvent, FlightRecorder, Record, Resource};
+pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};

@@ -37,7 +37,8 @@
 
 use crate::handler::RawHandler;
 use crate::time::{SimDuration, SimTime};
-use crate::wheel::{Entry, TimerWheel};
+use crate::wheel::{Entry, TimerWheel, WheelStats};
+use perfcloud_obs::{FlightEvent, FlightRecorder};
 
 /// Handle to a scheduled event; can be used to cancel it before it fires.
 ///
@@ -308,6 +309,24 @@ fn periodic_tick<W>(
     }
 }
 
+/// Flight-recorder state attached to a simulation: the recorder plus the
+/// last wheel-stats snapshot, so each fire only reports *new* late/
+/// overflow promotions and high-water marks. Boxed so the disabled case
+/// costs one pointer-null branch per fire.
+struct FlightObs {
+    recorder: FlightRecorder,
+    last: WheelStats,
+    fires: u64,
+}
+
+/// Every how many fires the recorder samples a [`FlightEvent::Fire`]
+/// pending-depth event. Queue-anomaly events (high-water marks, late and
+/// overflow promotions) are always recorded exactly; only the steady
+/// "engine is ticking" pulse is decimated, keeping recorder overhead on
+/// the hot fire path well under the CI gate. Deterministic: a pure
+/// function of the fire count, never of wall time.
+const FIRE_SAMPLE_EVERY: u64 = 64;
+
 /// A discrete-event simulation over a world `W`.
 pub struct Simulation<W> {
     world: W,
@@ -316,6 +335,7 @@ pub struct Simulation<W> {
     now: SimTime,
     next_seq: u64,
     fired: u64,
+    flight: Option<Box<FlightObs>>,
 }
 
 impl<W> Simulation<W> {
@@ -328,6 +348,54 @@ impl<W> Simulation<W> {
             now: SimTime::ZERO,
             next_seq: 0,
             fired: 0,
+            flight: None,
+        }
+    }
+
+    /// Attaches a flight recorder retaining the last `capacity` engine
+    /// events (fires, queue high-water marks, late/overflow promotions).
+    /// All recorder storage is allocated here; recording never allocates.
+    pub fn attach_flight(&mut self, capacity: usize) {
+        self.flight = Some(Box::new(FlightObs {
+            recorder: FlightRecorder::with_capacity(capacity),
+            last: self.queue.stats(),
+            fires: 0,
+        }));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref().map(|o| &o.recorder)
+    }
+
+    /// Snapshot of the calendar's always-on queue counters (peak pending
+    /// depth, late/overflow promotions).
+    pub fn wheel_stats(&self) -> WheelStats {
+        self.queue.stats()
+    }
+
+    /// Records one fire (and any newly crossed wheel thresholds) into the
+    /// attached recorder. One `Option` branch when disabled.
+    #[inline]
+    fn note_fire(&mut self) {
+        if let Some(obs) = self.flight.as_deref_mut() {
+            let t = self.now.as_micros();
+            if obs.fires % FIRE_SAMPLE_EVERY == 0 {
+                obs.recorder.record(t, FlightEvent::Fire { pending: self.queue.len() as u64 });
+            }
+            obs.fires += 1;
+            let stats = self.queue.stats();
+            if stats.peak_len > obs.last.peak_len {
+                obs.recorder.record(t, FlightEvent::QueueHighWater { depth: stats.peak_len });
+            }
+            if stats.late_insertions > obs.last.late_insertions {
+                obs.recorder.record(t, FlightEvent::LatePromotion { total: stats.late_insertions });
+            }
+            if stats.overflow_insertions > obs.last.overflow_insertions {
+                obs.recorder
+                    .record(t, FlightEvent::OverflowPromotion { total: stats.overflow_insertions });
+            }
+            obs.last = stats;
         }
     }
 
@@ -435,6 +503,7 @@ impl<W> Simulation<W> {
             };
             handler.invoke(&mut self.world, &mut ctx);
             self.fired += 1;
+            self.note_fire();
             return true;
         }
         false
@@ -467,6 +536,7 @@ impl<W> Simulation<W> {
             };
             handler.invoke(&mut self.world, &mut ctx);
             self.fired += 1;
+            self.note_fire();
         }
         if self.now < deadline {
             self.now = deadline;
@@ -757,6 +827,28 @@ mod tests {
         assert_eq!(Rc::strong_count(&token), 2);
         drop(sim);
         assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn flight_recorder_captures_fires_and_high_water() {
+        use perfcloud_obs::FlightEvent;
+        let mut sim = Simulation::new(0u64);
+        sim.attach_flight(64);
+        for s in 1..=3u64 {
+            sim.schedule_at(SimTime::from_secs(s), |w, _| *w += 1);
+        }
+        sim.run();
+        let fl = sim.flight().unwrap();
+        // Fire events are decimated 1-in-FIRE_SAMPLE_EVERY; with 3 fires
+        // only the first is sampled.
+        let fires = fl.iter().filter(|r| matches!(r.event, FlightEvent::Fire { .. })).count();
+        assert_eq!(fires, 1);
+        assert!(fl
+            .iter()
+            .any(|r| matches!(r.event, FlightEvent::QueueHighWater { depth } if depth == 3)));
+        // Sim-time stamped in microseconds.
+        assert_eq!(fl.iter().next().unwrap().t, SimTime::from_secs(1).as_micros());
+        assert_eq!(sim.wheel_stats().peak_len, 3);
     }
 
     #[test]

@@ -46,3 +46,4 @@ pub use faults::{
 };
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};
+pub use wheel::WheelStats;

@@ -90,6 +90,21 @@ impl Ord for Entry {
 /// Sentinel for "no node" in the intrusive lists.
 const NIL: u32 = u32::MAX;
 
+/// Always-on queue statistics: a handful of u64 counters bumped on the
+/// insert path, cheap enough to keep unconditionally. Consumed by the
+/// engine bench (`BENCH_engine.json` extras) and the flight recorder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// High-water mark of [`TimerWheel::len`] observed after any insert.
+    pub peak_len: u64,
+    /// Entries promoted to the late heap (scheduled behind the cursor).
+    pub late_insertions: u64,
+    /// Entries promoted to the overflow heap (beyond the wheel horizon).
+    pub overflow_insertions: u64,
+    /// Entries migrated back from the overflow heap into the wheel.
+    pub overflow_migrations: u64,
+}
+
 /// One slab node: an entry plus the next link of whatever slot list (or
 /// the free list) it is currently on.
 #[derive(Debug)]
@@ -134,6 +149,8 @@ pub struct TimerWheel {
     /// cursor at any level, e.g. `SimTime::MAX` sentinels). Strictly later
     /// than every wheel entry; migrated in when the wheel empties.
     overflow: BinaryHeap<Entry>,
+    /// Always-on counters; see [`WheelStats`].
+    stats: WheelStats,
 }
 
 impl Default for TimerWheel {
@@ -169,7 +186,13 @@ impl TimerWheel {
             stored: 0,
             late: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
+            stats: WheelStats::default(),
         }
+    }
+
+    /// Snapshot of the always-on queue counters.
+    pub fn stats(&self) -> WheelStats {
+        self.stats
     }
 
     /// Number of entries waiting (including lazily-cancelled ones that
@@ -189,11 +212,19 @@ impl TimerWheel {
         let t = e.time.as_micros();
         if t < self.now {
             self.late.push(e);
-            return;
+            self.stats.late_insertions += 1;
+        } else {
+            match level_of(self.now, t) {
+                None => {
+                    self.overflow.push(e);
+                    self.stats.overflow_insertions += 1;
+                }
+                Some(l) => self.link(l, e),
+            }
         }
-        match level_of(self.now, t) {
-            None => self.overflow.push(e),
-            Some(l) => self.link(l, e),
+        let len = self.len() as u64;
+        if len > self.stats.peak_len {
+            self.stats.peak_len = len;
         }
     }
 
@@ -372,6 +403,7 @@ impl TimerWheel {
                 break;
             }
             let e = self.overflow.pop().unwrap();
+            self.stats.overflow_migrations += 1;
             self.insert(e);
         }
         true
@@ -531,6 +563,25 @@ mod tests {
             times.iter().enumerate().map(|(s, &t)| (t, s as u64)).collect();
         expect.sort_by_key(|&(t, s)| (t, s));
         assert_eq!(drain(&mut w), expect);
+    }
+
+    #[test]
+    fn stats_track_peak_late_and_overflow() {
+        let mut w = TimerWheel::new();
+        w.insert(entry(100, 0));
+        w.insert(entry(200, 1));
+        assert_eq!(w.stats().peak_len, 2);
+        assert_eq!(w.pop().map(|e| e.seq), Some(0));
+        assert_eq!(w.pop().map(|e| e.seq), Some(1));
+        // Cursor is now at 200: an earlier time lands on the late heap.
+        w.insert(entry(50, 2));
+        assert_eq!(w.stats().late_insertions, 1);
+        // Beyond the 64^8 µs horizon: overflow, then migrated on drain.
+        w.insert(entry(1 << 55, 3));
+        assert_eq!(w.stats().overflow_insertions, 1);
+        assert_eq!(drain(&mut w), [(50, 2), (1 << 55, 3)]);
+        assert_eq!(w.stats().overflow_migrations, 1);
+        assert_eq!(w.stats().peak_len, 2);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //!   capping and the unmanaged default.
 //! * [`cluster`] — multi-server experiment assembly, workload mixes and the
 //!   metrics reported in the paper's evaluation.
+//! * [`obs`] — deterministic observability: fixed-capacity metrics
+//!   registry, typed flight recorder, and Perfetto/JSONL trace export.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub use perfcloud_core as core;
 pub use perfcloud_ctrl as ctrl;
 pub use perfcloud_frameworks as frameworks;
 pub use perfcloud_host as host;
+pub use perfcloud_obs as obs;
 pub use perfcloud_sim as sim;
 pub use perfcloud_stats as stats;
 pub use perfcloud_workloads as workloads;

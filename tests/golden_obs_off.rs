@@ -1,0 +1,41 @@
+//! Golden traces with observability disabled.
+//!
+//! Golden runs attach flight recorders by default (`OBSERVE_GOLDENS`), and
+//! the recorders are pure observation: they must not perturb a single
+//! decision. This suite is the other half of that proof — it clears the
+//! flag and re-renders a slice of scenarios, requiring the artifacts to
+//! still match the checked-in goldens byte for byte (the default-on suite
+//! in `golden_trace.rs` covers the enabled side).
+//!
+//! It lives in its own integration-test binary deliberately: the flag is a
+//! process-wide atomic, and flipping it here cannot race the recorder-on
+//! suite because separate test binaries run in separate processes.
+
+use perfcloud_bench::golden::{self, GoldenStatus, OBSERVE_GOLDENS};
+use std::sync::atomic::Ordering;
+
+#[test]
+fn golden_traces_match_without_observability() {
+    OBSERVE_GOLDENS.store(false, Ordering::Relaxed);
+    let scenarios = golden::scenarios();
+    let slice: Vec<_> = scenarios
+        .iter()
+        .filter(|s| matches!(s.name, "baseline" | "chaos_kitchen_sink" | "ctrl_coordinator_crash"))
+        .collect();
+    assert_eq!(slice.len(), 3);
+    for sc in slice {
+        let artifact = (sc.build)();
+        // No recorders were attached, so there is nothing to dump…
+        let dump = golden::take_flight_dump();
+        assert!(dump.is_empty(), "obs-off run left a flight dump:\n{dump}");
+        // …and the artifact must still match the golden rendered with
+        // recorders on (BLESS would hide exactly the bug this guards).
+        match golden::check_with_dump(sc.name, &artifact, &dump) {
+            GoldenStatus::Match => {}
+            GoldenStatus::Regenerated => panic!("run this suite without BLESS=1"),
+            GoldenStatus::Mismatch { diff } => {
+                panic!("scenario '{}' depends on observability being on:\n{diff}", sc.name)
+            }
+        }
+    }
+}

@@ -18,17 +18,21 @@
 
 use perfcloud_bench::golden::{self, GoldenStatus};
 use perfcloud_bench::sweep;
+use perfcloud_obs::chrome_trace;
 
 #[test]
 fn golden_traces_match() {
     let scenarios = golden::scenarios();
     // Scenarios are independent pure functions; render them through the
-    // sweep runner (honours PERFCLOUD_THREADS) to keep wall time down.
-    let outputs: Vec<String> = sweep::run(scenarios.len(), |i| (scenarios[i].build)());
+    // sweep runner (honours PERFCLOUD_THREADS) to keep wall time down. The
+    // flight dump lives in a thread-local on the worker that built the
+    // scenario, so capture it inside the closure.
+    let outputs: Vec<(String, String)> =
+        sweep::run(scenarios.len(), |i| ((scenarios[i].build)(), golden::take_flight_dump()));
     let mut failures = Vec::new();
     let mut regenerated = Vec::new();
-    for (sc, out) in scenarios.iter().zip(&outputs) {
-        match golden::check(sc.name, out) {
+    for (sc, (out, dump)) in scenarios.iter().zip(&outputs) {
+        match golden::check_with_dump(sc.name, out, dump) {
             GoldenStatus::Match => {}
             GoldenStatus::Regenerated => regenerated.push(sc.name),
             GoldenStatus::Mismatch { diff } => failures.push(diff),
@@ -43,8 +47,9 @@ fn golden_traces_match() {
 #[test]
 fn traces_are_independent_of_sweep_thread_count() {
     // A representative slice of cheap scenarios, re-rendered under three
-    // explicit pool sizes. Any dependence of a decision trace on thread
-    // scheduling shows up as a byte diff here.
+    // explicit pool sizes. Any dependence of a decision trace — or of the
+    // exported Perfetto trace — on thread scheduling shows up as a byte
+    // diff here.
     let scenarios = golden::scenarios();
     let slice: Vec<_> = scenarios
         .iter()
@@ -61,20 +66,64 @@ fn traces_are_independent_of_sweep_thread_count() {
         })
         .collect();
     assert_eq!(slice.len(), 6);
-    let render = |threads: usize| -> Vec<String> {
-        sweep::run_with_threads(slice.len(), threads, |i| (slice[i].build)())
+    let render = |threads: usize| -> Vec<(String, String)> {
+        sweep::run_with_threads(slice.len(), threads, |i| {
+            let artifact = (slice[i].build)();
+            let trace = chrome_trace(&golden::take_flight_sources());
+            (artifact, trace)
+        })
     };
     let one = render(1);
     for threads in [4, 7] {
         let other = render(threads);
         for (i, sc) in slice.iter().enumerate() {
             assert_eq!(
-                one[i],
-                other[i],
+                one[i].0,
+                other[i].0,
                 "scenario '{}' diverged between 1 and {threads} sweep threads:\n{}",
                 sc.name,
-                golden::first_divergence(sc.name, &one[i], &other[i])
+                golden::first_divergence(sc.name, &one[i].0, &other[i].0)
+            );
+            assert_eq!(
+                one[i].1, other[i].1,
+                "scenario '{}': exported Chrome trace diverged between 1 and {threads} \
+                 sweep threads",
+                sc.name
             );
         }
+    }
+    // The exported traces are real: every scenario in the slice recorded
+    // flight events on all three tracks.
+    for (i, sc) in slice.iter().enumerate() {
+        assert!(
+            one[i].1.contains("server0") && one[i].1.contains("\"ctrl\""),
+            "scenario '{}' exported no per-track trace data",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn golden_mismatch_dumps_flight_context() {
+    // A deliberately tampered artifact must fail with both the first
+    // diverging line and the flight-recorder context of the run that
+    // produced it — the whole point of carrying recorders in golden runs.
+    if std::env::var("BLESS").map(|v| v == "1").unwrap_or(false) {
+        return; // never bless a deliberately tampered artifact
+    }
+    let scenarios = golden::scenarios();
+    let sc = scenarios.iter().find(|s| s.name == "chaos_crash").expect("scenario exists");
+    let artifact = (sc.build)();
+    let tampered = artifact.replacen("# jct=", "# jct=9", 1);
+    assert_ne!(artifact, tampered);
+    match golden::check(sc.name, &tampered) {
+        GoldenStatus::Mismatch { diff } => {
+            assert!(diff.contains("diverges at line"), "{diff}");
+            assert!(diff.contains("flight-recorder events"), "{diff}");
+            // The dump carries real per-track events, e.g. the manager
+            // restart injected by the crash fault.
+            assert!(diff.contains("[server0]"), "{diff}");
+        }
+        other => panic!("tampered artifact unexpectedly {other:?}"),
     }
 }
