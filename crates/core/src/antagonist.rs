@@ -51,6 +51,7 @@ pub struct AntagonistIdentifier {
     corr_threshold: f64,
     window: usize,
     min_samples: usize,
+    max_lag: usize,
     io_deviation: TimeSeries,
     cpi_deviation: TimeSeries,
     io_windows: BTreeMap<VmId, RollingPearson>,
@@ -65,6 +66,7 @@ impl AntagonistIdentifier {
             corr_threshold: config.corr_threshold,
             window: config.corr_window,
             min_samples: config.min_corr_samples,
+            max_lag: config.corr_max_lag,
             io_deviation: TimeSeries::new(),
             cpi_deviation: TimeSeries::new(),
             io_windows: BTreeMap::new(),
@@ -146,10 +148,19 @@ impl AntagonistIdentifier {
         }
     }
 
-    /// Correlation between the victim deviation and one suspect's usage
-    /// series, over the sliding window. `None` until enough contributing
-    /// samples exist (intervals where the victim was idle carry no evidence
-    /// about suspects) or when either series is constant.
+    /// Cross-correlation between the victim deviation and one suspect's
+    /// usage series, over the sliding window: the best Pearson coefficient
+    /// across victim-delay alignments `0..=corr_max_lag`, each requiring at
+    /// least `min_corr_samples` contributing pairs. `None` until enough
+    /// contributing samples exist (intervals where the victim was idle carry
+    /// no evidence about suspects) or when either series is constant.
+    ///
+    /// The lag scan matters at contention onset: the antagonist's usage
+    /// steps up a full sampling interval before the victim's EWMA-smoothed
+    /// deviation reflects it, so the same-interval alignment blends the
+    /// clean step with post-onset execution noise and can stay below the
+    /// threshold for the whole episode. Scanning small victim delays
+    /// recovers the step.
     pub fn correlation(&self, suspect: VmId, resource: Resource) -> Option<f64> {
         let windows = match resource {
             Resource::Io => &self.io_windows,
@@ -159,7 +170,7 @@ impl AntagonistIdentifier {
         if w.contributing() < self.min_samples {
             return None;
         }
-        w.correlation()
+        w.correlation_lagged(self.max_lag, self.min_samples)
     }
 
     /// The suspects whose correlation meets the threshold.
@@ -257,7 +268,12 @@ mod tests {
             let victim = ident.deviation_series(Resource::Io);
             let usage = mon.series(suspect, Resource::Io.suspect_metric()).unwrap();
             let (x, y) = perfcloud_stats::timeseries::align_tail(victim, usage, cfg.corr_window);
-            let batch = perfcloud_stats::pearson::pearson_victim_aware(&x, &y);
+            let batch = perfcloud_stats::pearson::pearson_victim_aware_lagged(
+                &x,
+                &y,
+                cfg.corr_max_lag,
+                cfg.min_corr_samples,
+            );
             let rolled = ident.correlation(suspect, Resource::Io);
             match (rolled, batch) {
                 (Some(r), Some(b)) => assert!(

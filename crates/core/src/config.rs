@@ -29,6 +29,14 @@ pub struct PerfCloudConfig {
     /// Minimum aligned samples before correlating (paper: identification
     /// works "with dataset size as small as three").
     pub min_corr_samples: usize,
+    /// Maximum victim-response delay, in sampling intervals, scanned by the
+    /// identifier's cross-correlation. The victim's smoothed deviation
+    /// responds one or two intervals *after* an antagonist's resource usage
+    /// changes (EWMA smoothing, plus the time contention takes to become
+    /// measurable slowdown); the cross-correlation evaluates Pearson at each
+    /// alignment `0..=corr_max_lag` and uses the best one. 0 disables the
+    /// lag scan (plain same-interval Pearson).
+    pub corr_max_lag: usize,
     /// Normalized cap level at which a throttle is considered non-binding
     /// and removed, returning the controller to the dormant state.
     pub release_level: f64,
@@ -46,6 +54,7 @@ impl Default for PerfCloudConfig {
             corr_threshold: 0.8,
             corr_window: 24,
             min_corr_samples: 3,
+            corr_max_lag: 2,
             release_level: 1.5,
         }
     }
@@ -66,6 +75,10 @@ impl PerfCloudConfig {
         );
         assert!(self.min_corr_samples >= 2, "correlation needs at least 2 samples");
         assert!(self.corr_window >= self.min_corr_samples, "window smaller than minimum");
+        assert!(
+            self.corr_max_lag < self.corr_window,
+            "correlation lag scan must fit inside the window"
+        );
         assert!(self.release_level > 1.0, "release level must exceed the reference (1.0)");
     }
 }

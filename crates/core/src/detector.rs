@@ -10,7 +10,7 @@
 
 use crate::monitor::{PerformanceMonitor, VmMetricKind};
 use perfcloud_host::VmId;
-use perfcloud_stats::Running;
+use perfcloud_stats::population_stddev_stable;
 
 /// The detector's verdict for one sampling instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,18 +35,13 @@ pub fn deviation_across_vms(
     vms: &[VmId],
     kind: VmMetricKind,
 ) -> Option<f64> {
-    // Streamed through a Welford accumulator: this runs once per metric per
-    // server per sampling tick, so it must not allocate a scratch Vec.
-    let mut acc = Running::new();
-    for &vm in vms {
-        if let Some(v) = monitor.latest(vm, kind) {
-            acc.push(v);
-        }
-    }
-    if acc.count() < 2 {
-        return None;
-    }
-    acc.population_stddev()
+    // A fixed-order (vms order) two-pass compensated reduction: this value
+    // is compared against a threshold downstream, and a single-pass Welford
+    // stream rounds its running mean once per observation — enough last-bit
+    // drift to flip near-threshold decisions depending on how the sum was
+    // formed. It runs once per metric per server per sampling tick, so it
+    // must not allocate a scratch Vec; the monitor is iterated twice instead.
+    population_stddev_stable(|| vms.iter().filter_map(|&vm| monitor.latest(vm, kind)), 2)
 }
 
 /// Evaluates the contention signal for one application's VM group.

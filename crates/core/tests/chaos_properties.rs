@@ -12,7 +12,7 @@ use perfcloud_core::antagonist::Resource;
 use perfcloud_core::{AntagonistIdentifier, PerfCloudConfig, PerformanceMonitor, VmMetricKind};
 use perfcloud_host::VmId;
 use perfcloud_sim::{SimDuration, SimTime};
-use perfcloud_stats::pearson::pearson_victim_aware;
+use perfcloud_stats::pearson::pearson_victim_aware_lagged;
 use perfcloud_stats::timeseries::align_tail;
 use proptest::prelude::*;
 
@@ -84,7 +84,7 @@ proptest! {
         let batch = if contributing < cfg.min_corr_samples {
             None
         } else {
-            pearson_victim_aware(&x, &y)
+            pearson_victim_aware_lagged(&x, &y, cfg.corr_max_lag, cfg.min_corr_samples)
         };
 
         match (rolled, batch) {

@@ -39,6 +39,82 @@ pub fn sample_stddev(xs: &[f64]) -> Option<f64> {
     sample_variance(xs).map(f64::sqrt)
 }
 
+/// Kahan–Babuška (Neumaier) compensated sum for fixed-order reductions.
+///
+/// A plain `f64` sum loses low bits on every add; a Welford accumulator is
+/// better but its running mean still rounds once per observation, so two
+/// mathematically equal pipelines can disagree in the last couple of ulps —
+/// enough to flip a near-threshold comparison downstream. Compensated
+/// summation carries the rounding error in a second term, making the total
+/// exact to one final rounding for realistic inputs. The reduction order is
+/// whatever order the caller feeds values in; callers that need
+/// reproducibility across code paths must fix that order themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    /// An empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term (Neumaier's variant: also exact when the term is
+    /// larger in magnitude than the running sum).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Population standard deviation of the finite values yielded by `values`,
+/// computed as a fixed-order two-pass compensated reduction: a compensated
+/// mean, then a compensated sum of squared deviations. `values` is iterated
+/// twice, so it must yield the same sequence both times (the caller's fixed
+/// order *is* the reduction order). Returns `None` with fewer than
+/// `min_count` finite values.
+///
+/// This is the summation-order-stable kernel for near-threshold comparisons:
+/// unlike a streaming Welford pass, the two-pass form does not compound a
+/// per-observation rounding of the running mean into the squared terms.
+pub fn population_stddev_stable<I: Iterator<Item = f64>>(
+    values: impl Fn() -> I,
+    min_count: u64,
+) -> Option<f64> {
+    let mut n = 0u64;
+    let mut sum = CompensatedSum::new();
+    for v in values().filter(|v| v.is_finite()) {
+        n += 1;
+        sum.add(v);
+    }
+    if n < min_count.max(1) {
+        return None;
+    }
+    let mean = sum.total() / n as f64;
+    let mut m2 = CompensatedSum::new();
+    for v in values().filter(|v| v.is_finite()) {
+        let d = v - mean;
+        m2.add(d * d);
+    }
+    // All addends are non-negative; compensation can still leave the total
+    // an ulp below zero.
+    Some((m2.total() / n as f64).max(0.0).sqrt())
+}
+
 /// Numerically stable online accumulator (Welford's algorithm) for mean,
 /// variance, min and max of a stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -246,6 +322,54 @@ mod tests {
         );
         assert_eq!(merged.min(), Some(1.0));
         assert_eq!(merged.max(), Some(40.0));
+    }
+
+    #[test]
+    fn compensated_sum_recovers_cancelled_bits() {
+        // 1 + 1e100 - 1e100 ... naive summation returns 0; compensation
+        // recovers the small terms exactly.
+        let mut c = CompensatedSum::new();
+        for x in [1.0, 1e100, 1.0, -1e100] {
+            c.add(x);
+        }
+        assert_eq!(c.total(), 2.0);
+    }
+
+    #[test]
+    fn stable_stddev_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let d = population_stddev_stable(|| xs.iter().copied(), 2).unwrap();
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn stable_stddev_respects_min_count_and_skips_non_finite() {
+        let xs = [1.0, f64::NAN, f64::INFINITY];
+        assert_eq!(population_stddev_stable(|| xs.iter().copied(), 2), None);
+        let ys = [1.0, f64::NAN, 3.0];
+        let d = population_stddev_stable(|| ys.iter().copied(), 2).unwrap();
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn stable_stddev_constant_input_is_exactly_zero() {
+        let xs = [0.1 + 0.2; 9]; // a value with plenty of low bits
+        assert_eq!(population_stddev_stable(|| xs.iter().copied(), 2), Some(0.0));
+    }
+
+    #[test]
+    fn stable_stddev_is_close_to_welford_on_ill_conditioned_data() {
+        // Large mean, tiny spread: the regime where single-pass kernels
+        // shed bits. The two-pass compensated result equals the shifted
+        // exact computation.
+        // Base and offsets chosen exactly representable, so the only error
+        // source is the reduction itself.
+        let base = (1u64 << 40) as f64;
+        let xs: Vec<f64> = (0..18).map(|i| base + (i % 3) as f64 * 0.5).collect();
+        let shifted: Vec<f64> = xs.iter().map(|x| x - base).collect();
+        let exact = population_stddev(&shifted).unwrap();
+        let stable = population_stddev_stable(|| xs.iter().copied(), 2).unwrap();
+        assert!((stable - exact).abs() < 1e-12, "stable {stable} vs exact {exact}");
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl Ewma {
         }
         let next = match self.state {
             None => x,
-            Some(s) => self.alpha * x + (1.0 - self.alpha) * s,
+            // Single-rounding form of α·x + (1−α)·s: one multiply-add instead
+            // of three roundings, and exactly stationary at constant input
+            // (s + α·0 == s) regardless of how α·x and (1−α)·s would round.
+            Some(s) => s + self.alpha * (x - s),
         };
         self.state = Some(next);
         next

@@ -19,7 +19,10 @@ pub mod timeseries;
 
 pub use boxplot::BoxplotSummary;
 pub use cdf::{Cdf, Histogram};
-pub use descriptive::{mean, population_stddev, population_variance, sample_stddev, Running};
+pub use descriptive::{
+    mean, population_stddev, population_stddev_stable, population_variance, sample_stddev,
+    CompensatedSum, Running,
+};
 pub use ewma::Ewma;
 pub use pearson::{pearson, pearson_missing_as_zero};
 pub use quantile::{median, quantile};

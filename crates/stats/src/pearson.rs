@@ -6,40 +6,45 @@
 //! the paper treats such missing values **as 0 rather than omitting them**,
 //! "to avoid over-emphasizing similarities computed over little data".
 
+use crate::descriptive::CompensatedSum;
+
 /// Two-pass Pearson over a restartable stream of pairs.
 ///
 /// Shared by every variant below so the missing-value policies differ only
-/// in which pairs they feed in — no intermediate `Vec`s. The two passes
-/// visit pairs in the same order with the same operations as the original
-/// slice-based implementation, so results are bit-identical to it.
+/// in which pairs they feed in — no intermediate `Vec`s. All five reductions
+/// use compensated (Neumaier) accumulation: the coefficient is compared
+/// against the identification threshold downstream, so its low bits must be
+/// a stable function of the window contents, not of how the naive partial
+/// sums happened to round.
 pub(crate) fn pearson_of_pairs<I>(pairs: I) -> Option<f64>
 where
     I: Iterator<Item = (f64, f64)> + Clone,
 {
     let mut n = 0u64;
-    let mut sx = 0.0;
-    let mut sy = 0.0;
+    let mut sx = CompensatedSum::new();
+    let mut sy = CompensatedSum::new();
     for (a, b) in pairs.clone() {
         n += 1;
-        sx += a;
-        sy += b;
+        sx.add(a);
+        sy.add(b);
     }
     if n < 2 {
         return None;
     }
-    let mx = sx / n as f64;
-    let my = sy / n as f64;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
+    let mx = sx.total() / n as f64;
+    let my = sy.total() / n as f64;
+    let mut sxy = CompensatedSum::new();
+    let mut sxx = CompensatedSum::new();
+    let mut syy = CompensatedSum::new();
     for (a, b) in pairs {
         let dx = a - mx;
         let dy = b - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
+        sxy.add(dx * dy);
+        sxx.add(dx * dx);
+        syy.add(dy * dy);
     }
-    if sxx == 0.0 || syy == 0.0 {
+    let (sxy, sxx, syy) = (sxy.total(), sxx.total(), syy.total());
+    if sxx <= 0.0 || syy <= 0.0 {
         return None;
     }
     // Clamp: rounding can push |r| a hair past 1.
@@ -93,6 +98,45 @@ pub fn pearson_victim_aware(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64>
         let a = a.filter(|v| v.is_finite())?;
         Some((a, b.filter(|v| v.is_finite()).unwrap_or(0.0)))
     }))
+}
+
+/// Batch form of the identifier's cross-correlation: the best
+/// [`pearson_victim_aware`] coefficient over victim-delay alignments
+/// `0..=max_lag`, requiring at least `min_pairs` contributing pairs per
+/// alignment (never fewer than 2). At lag `k`, `x[i + k]` (victim) is paired
+/// with `y[i]` (suspect): the victim's deviation may respond one or more
+/// sampling intervals *after* the suspect's usage changes (EWMA smoothing
+/// plus contention-to-slowdown delay). Only non-negative lags are scanned.
+/// Mirrors `RollingPearson::correlation_lagged` over the same alignment.
+pub fn pearson_victim_aware_lagged(
+    x: &[Option<f64>],
+    y: &[Option<f64>],
+    max_lag: usize,
+    min_pairs: usize,
+) -> Option<f64> {
+    if x.len() != y.len() {
+        return None;
+    }
+    let min_pairs = min_pairs.max(2);
+    let mut best: Option<f64> = None;
+    for lag in 0..=max_lag.min(x.len().saturating_sub(1)) {
+        let aligned = || {
+            x[lag..].iter().zip(y.iter()).filter_map(|(a, b)| {
+                let a = a.filter(|v| v.is_finite())?;
+                Some((a, b.filter(|v| v.is_finite()).unwrap_or(0.0)))
+            })
+        };
+        if aligned().count() < min_pairs {
+            continue;
+        }
+        if let Some(r) = pearson_of_pairs(aligned()) {
+            best = Some(match best {
+                Some(b) if b >= r => b,
+                _ => r,
+            });
+        }
+    }
+    best
 }
 
 /// Pearson correlation that **omits** pairs with a missing observation — the
