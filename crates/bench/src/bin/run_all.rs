@@ -55,7 +55,7 @@ fn record(bin: &str, wall_seconds: f64) {
 
 /// Replays one golden scenario with recorders attached and writes its
 /// Chrome trace. Exits the process (0 on success).
-fn export_trace(scenario: &str, path: &str) -> ! {
+fn export_trace(scenario: &str, path: &str, shards: usize) -> ! {
     let Some(sc) = golden::scenarios().into_iter().find(|s| s.name == scenario) else {
         eprintln!("unknown scenario: {scenario}");
         eprintln!("known scenarios:");
@@ -64,7 +64,7 @@ fn export_trace(scenario: &str, path: &str) -> ! {
         }
         std::process::exit(2);
     };
-    let artifact = (sc.build)();
+    let artifact = (sc.build)(shards);
     let sources = golden::take_flight_sources();
     if sources.is_empty() {
         eprintln!("scenario {scenario} recorded no flight events (sweep-internal scenario?)");
@@ -90,6 +90,7 @@ fn main() {
     let mut fast = false;
     let mut trace_out: Option<String> = None;
     let mut trace_scenario = String::from("ctrl_coordinator_crash");
+    let mut shards: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,15 +99,32 @@ fn main() {
             "--trace-scenario" => {
                 trace_scenario = args.next().expect("--trace-scenario needs a name")
             }
+            "--shards" => {
+                let n = args.next().expect("--shards needs a count");
+                shards = Some(n.parse().unwrap_or_else(|_| panic!("bad shard count: {n}")));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: run_all [--fast] [--trace-out PATH [--trace-scenario NAME]]");
+                eprintln!(
+                    "usage: run_all [--fast] [--shards N] \
+                     [--trace-out PATH [--trace-scenario NAME]]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    // --shards overrides the PERFCLOUD_SHARDS environment; exporting it
+    // makes every child harness inherit the same in-run shard count. The
+    // results are byte-identical at any count — this is a perf knob.
+    if let Some(n) = shards {
+        std::env::set_var(perfcloud_sim::shard::SHARDS_ENV, n.to_string());
+    }
+    let shard_count = perfcloud_sim::shard::shards_from_env(1);
     if let Some(path) = &trace_out {
-        export_trace(&trace_scenario, path);
+        export_trace(&trace_scenario, path, shard_count);
+    }
+    if shard_count != 1 {
+        println!("in-run shards: {shard_count}");
     }
 
     let light: Vec<(&str, Vec<&str>)> = vec![

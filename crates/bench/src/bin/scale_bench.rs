@@ -1,0 +1,112 @@
+//! Scale benchmark runner with a CI regression gate.
+//!
+//! `cargo run --release -p perfcloud-bench --bin scale_bench -- \
+//!     [--baseline BENCH_scale.json] [--max-drop 0.15] \
+//!     [--servers N] [--intervals N] [--threads]`
+//!
+//! Runs the synthetic 100k-server / 1M-VM sharded scenario
+//! ([`perfcloud_bench::scalebench`]): a direct-loop baseline, the gated
+//! single-shard engine run, and 2/4/7-shard runs whose state digests must
+//! match the single-shard digest. Writes a fresh `BENCH_scale.json` and —
+//! when `--baseline` names a previously committed record — exits non-zero
+//! if the fresh `events_per_sec` fell more than `--max-drop` (fraction,
+//! default 0.15) below the baseline's. The baseline is read *before* the
+//! fresh record is written, so gating against the committed file in the
+//! repo root works even when `BENCH_JSON_DIR` is unset.
+
+use perfcloud_bench::benchjson::BenchRecord;
+use perfcloud_bench::scalebench::{self, ScaleConfig};
+use perfcloud_sim::shard::shards_from_env;
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut max_drop = 0.15f64;
+    let mut cfg = ScaleConfig::full(shards_from_env(1));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--max-drop" => {
+                max_drop = args
+                    .next()
+                    .expect("--max-drop needs a fraction")
+                    .parse()
+                    .expect("--max-drop must be a number")
+            }
+            "--servers" => {
+                cfg.servers = args
+                    .next()
+                    .expect("--servers needs a count")
+                    .parse()
+                    .expect("--servers must be a number")
+            }
+            "--intervals" => {
+                cfg.intervals = args
+                    .next()
+                    .expect("--intervals needs a count")
+                    .parse()
+                    .expect("--intervals must be a number")
+            }
+            "--threads" => cfg.threads = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: scale_bench [--baseline FILE] [--max-drop FRAC] \
+                     [--servers N] [--intervals N] [--threads]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline_eps =
+        baseline.as_deref().and_then(|p| BenchRecord::read_field(p, "events_per_sec"));
+    if let Some(path) = &baseline {
+        match baseline_eps {
+            Some(eps) => {
+                println!("baseline {path}: {eps:.0} events/sec (gate: -{:.0}%)", max_drop * 100.0)
+            }
+            None => eprintln!("warning: no events_per_sec in baseline {path}; gate disabled"),
+        }
+    }
+
+    println!(
+        "scale scenario: {} servers x {} VMs/server over {} intervals",
+        cfg.servers, cfg.vms_per_server, cfg.intervals
+    );
+    let record = scalebench::probe(&cfg);
+    println!(
+        "scale probe: {} VM-samples in {:.3}s ({:.0} events/sec, digests match at 1/2/4/7 shards)",
+        record.events_fired.unwrap_or(0),
+        record.wall_seconds,
+        record.events_per_sec().unwrap_or(0.0),
+    );
+    for (key, value) in &record.extras {
+        if key.ends_with("_overhead") {
+            println!("  {key}: {:.1}%", value * 100.0);
+        } else {
+            println!("  {key}: {value:.0}");
+        }
+    }
+
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_scale.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let (Some(base), Some(fresh)) = (baseline_eps, record.events_per_sec()) {
+        let floor = base * (1.0 - max_drop);
+        if fresh < floor {
+            eprintln!(
+                "REGRESSION: events_per_sec {fresh:.0} is below the gate floor {floor:.0} \
+                 (baseline {base:.0}, max drop {:.0}%)",
+                max_drop * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("scale gate passed: {fresh:.0} >= {floor:.0}");
+    }
+}

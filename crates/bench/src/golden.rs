@@ -70,12 +70,22 @@ pub fn take_flight_dump() -> String {
     merged_dump(&take_flight_sources(), FLIGHT_DUMP_EVENTS)
 }
 
-/// One named golden scenario: `build()` renders the canonical artifact.
+/// One named golden scenario: `build(shards)` renders the canonical
+/// artifact with the experiment partitioned into that many in-run shards.
+/// The bytes must be identical at every shard count; pass
+/// [`env_shards`]`()` to follow the `PERFCLOUD_SHARDS` environment (the CI
+/// matrix), or a literal to pin a count in-process (the shard-invariance
+/// suites — an env var would race parallel tests).
 pub struct GoldenScenario {
     /// File stem under `tests/golden/` (`<name>.trace`).
     pub name: &'static str,
     /// Renders the artifact from scratch.
-    pub build: fn() -> String,
+    pub build: fn(usize) -> String,
+}
+
+/// The ambient shard count: `PERFCLOUD_SHARDS`, default 1.
+pub fn env_shards() -> usize {
+    perfcloud_sim::shard::shards_from_env(1)
 }
 
 /// All golden scenarios: the fault-free references, one scenario per fault
@@ -107,14 +117,15 @@ pub fn scenarios() -> Vec<GoldenScenario> {
 /// overridden) — the same shape as the paper's Fig. 10 case study — with
 /// `faults` injected into the node manager. Returns the run's canonical
 /// artifact: two summary headers plus the full decision trace.
-fn chaos_run(faults: Option<FaultScenario>, mitigation: Mitigation) -> String {
-    chaos_run_with_control(faults, mitigation, ControlPlaneSpec::default())
+fn chaos_run(shards: usize, faults: Option<FaultScenario>, mitigation: Mitigation) -> String {
+    chaos_run_with_control(shards, faults, mitigation, ControlPlaneSpec::default())
 }
 
 /// [`chaos_run`] with an explicit control-plane deployment — used by the
 /// `ctrl_*` scenarios to run replicated cloud managers over a lossy or
 /// partitioned network while the same job/antagonist testbed plays out.
 fn chaos_run_with_control(
+    shards: usize,
     faults: Option<FaultScenario>,
     mitigation: Mitigation,
     control: ControlPlaneSpec,
@@ -127,6 +138,7 @@ fn chaos_run_with_control(
     cfg.faults = faults;
     cfg.control = control;
     let mut e = Experiment::build(cfg);
+    e.set_shards(shards);
     e.enable_decision_trace();
     if OBSERVE_GOLDENS.load(Ordering::Relaxed) {
         e.enable_observability(FLIGHT_CAPACITY);
@@ -149,94 +161,94 @@ fn secs(s: u64) -> SimTime {
     SimTime::from_secs(s)
 }
 
-fn baseline() -> String {
-    chaos_run(None, perfcloud())
+fn baseline(shards: usize) -> String {
+    chaos_run(shards, None, perfcloud())
 }
 
-fn ablation_monitoring() -> String {
+fn ablation_monitoring(shards: usize) -> String {
     // Monitoring-only node managers: deviations are recorded but thresholds
     // sit at infinity, so the trace must show signals and no decisions.
-    chaos_run(None, Mitigation::Default)
+    chaos_run(shards, None, Mitigation::Default)
 }
 
-fn chaos_drop() -> String {
+fn chaos_drop(shards: usize) -> String {
     let s = FaultScenario::named("drop").rule(
         FaultRule::new("drop-30pct", FaultKind::DropSample)
             .window(secs(20), secs(120))
             .with_probability(0.3),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_delay() -> String {
+fn chaos_delay(shards: usize) -> String {
     let s = FaultScenario::named("delay").rule(
         FaultRule::new("delay-2", FaultKind::DelaySample { intervals: 2 })
             .window(secs(20), secs(120))
             .with_probability(0.4),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_duplicate() -> String {
+fn chaos_duplicate(shards: usize) -> String {
     let s = FaultScenario::named("duplicate").rule(
         FaultRule::new("dup-half", FaultKind::DuplicateSample)
             .window(secs(20), secs(120))
             .with_probability(0.5),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_nan_iowait() -> String {
+fn chaos_nan_iowait(shards: usize) -> String {
     let s = FaultScenario::named("nan-iowait").rule(
         FaultRule::new("nan-all", FaultKind::CorruptNaN)
             .on_metric(MetricClass::BlkioIowait)
             .window(secs(25), secs(60)),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_spike_cpi() -> String {
+fn chaos_spike_cpi(shards: usize) -> String {
     let s = FaultScenario::named("spike-cpi").rule(
         FaultRule::new("spike-50x", FaultKind::CorruptSpike { factor: 50.0 })
             .on_metric(MetricClass::Cpi)
             .window(secs(25), secs(80))
             .with_probability(0.5),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_stuck_iowait() -> String {
+fn chaos_stuck_iowait(shards: usize) -> String {
     let s = FaultScenario::named("stuck-iowait").rule(
         FaultRule::new("stuck-all", FaultKind::CorruptStuckAt)
             .on_metric(MetricClass::BlkioIowait)
             .window(secs(30), secs(90)),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_stall() -> String {
+fn chaos_stall(shards: usize) -> String {
     let s = FaultScenario::named("stall").rule(
         FaultRule::new("stall-3", FaultKind::StallManager { intervals: 3 })
             .window(secs(30), secs(35)),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_crash() -> String {
+fn chaos_crash(shards: usize) -> String {
     let s = FaultScenario::named("crash")
         .rule(FaultRule::new("crash-once", FaultKind::CrashRestart).window(secs(40), secs(45)));
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_desync() -> String {
+fn chaos_desync(shards: usize) -> String {
     let s = FaultScenario::named("desync").rule(
         FaultRule::new("desync-20", FaultKind::DesyncPlacement { intervals: 20 })
             .window(secs(20), secs(25)),
     );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
-fn chaos_kitchen_sink() -> String {
+fn chaos_kitchen_sink(shards: usize) -> String {
     let s = FaultScenario::named("kitchen-sink")
         .rule(
             FaultRule::new("drop", FaultKind::DropSample)
@@ -269,7 +281,7 @@ fn chaos_kitchen_sink() -> String {
             FaultRule::new("desync", FaultKind::DesyncPlacement { intervals: 10 })
                 .window(secs(100), secs(105)),
         );
-    chaos_run(Some(s), perfcloud())
+    chaos_run(shards, Some(s), perfcloud())
 }
 
 /// Three cloud-manager replicas on a high-latency (600 ms) link; the
@@ -278,7 +290,7 @@ fn chaos_kitchen_sink() -> String {
 /// round — the RTT forces a generous election timeout), placement epochs
 /// jumping to m1's term within the staleness budget, and the healed m0's
 /// stale republish being rejected by epoch and stepped down.
-fn ctrl_coordinator_crash() -> String {
+fn ctrl_coordinator_crash(shards: usize) -> String {
     // The heal lands just before the t=35 sampling instant AND just after
     // the new coordinator's in-flight heartbeat died against the still-down
     // replica, so the healed m0 still believes it leads when the publish
@@ -297,7 +309,7 @@ fn ctrl_coordinator_crash() -> String {
         trace_events: true,
         ..ControlPlaneSpec::default()
     };
-    chaos_run_with_control(Some(s), perfcloud(), control)
+    chaos_run_with_control(shards, Some(s), perfcloud(), control)
 }
 
 /// Three replicas with the coordinator m0 partitioned away from everyone
@@ -306,7 +318,7 @@ fn ctrl_coordinator_crash() -> String {
 /// events). At heal both sides publish into the same interval: epoch
 /// ordering rejects the stale coordinator's update and its own heartbeat
 /// draws the step-down correction.
-fn ctrl_partition_heal() -> String {
+fn ctrl_partition_heal(shards: usize) -> String {
     let control = ControlPlaneSpec {
         managers: 3,
         link: LinkSpec { latency: SimDuration::from_millis(10), ..LinkSpec::default() },
@@ -323,14 +335,14 @@ fn ctrl_partition_heal() -> String {
         trace_events: true,
         ..ControlPlaneSpec::default()
     };
-    chaos_run_with_control(None, perfcloud(), control)
+    chaos_run_with_control(shards, None, perfcloud(), control)
 }
 
 /// A single manager on a lossy link: placement updates are dropped at 35%
 /// and occasionally delayed past the next publish, so stale epochs arrive
 /// after fresher ones and must be rejected while the node manager rides
 /// its cached view within the staleness budget.
-fn ctrl_lossy_placement() -> String {
+fn ctrl_lossy_placement(shards: usize) -> String {
     // The delay exceeds the 5 s publish cadence, so a lagged epoch arrives
     // after its successor was applied and must be rejected as a regression.
     let s = FaultScenario::named("ctrl-lossy-placement")
@@ -351,7 +363,7 @@ fn ctrl_lossy_placement() -> String {
         trace_events: true,
         ..ControlPlaneSpec::default()
     };
-    chaos_run_with_control(Some(s), perfcloud(), control)
+    chaos_run_with_control(shards, Some(s), perfcloud(), control)
 }
 
 /// A down-scaled Fig. 12(b): the Spark logistic-regression job under
@@ -361,7 +373,7 @@ fn ctrl_lossy_placement() -> String {
 /// is close between systems and has historically drifted under innocuous-
 /// looking changes to sampling or identification. Any such drift now shows
 /// up as a golden diff instead of a silent shape change.
-fn fig12b_mini() -> String {
+fn fig12b_mini(shards: usize) -> String {
     const SERVERS: usize = 4;
     const REPS: usize = 6;
     const TASKS: usize = 12;
@@ -373,7 +385,9 @@ fn fig12b_mini() -> String {
         let mut cfg = ExperimentConfig::new(cluster, Mitigation::Default);
         cfg.jobs.push((JOB_START, bench.job(TASKS)));
         cfg.max_sim_time = SimTime::from_secs(7_200);
-        Experiment::build(cfg).run().sole_jct()
+        let mut e = Experiment::build(cfg);
+        e.set_shards(shards);
+        e.run().sole_jct()
     };
 
     type MitigationFactory = fn() -> Mitigation;
@@ -405,7 +419,9 @@ fn fig12b_mini() -> String {
             cfg.jobs.push((JOB_START, bench.job(TASKS)));
             cfg.antagonists = antagonists;
             cfg.max_sim_time = SimTime::from_secs(7_200);
-            Experiment::build(cfg).run().sole_jct() / solo
+            let mut e = Experiment::build(cfg);
+            e.set_shards(shards);
+            e.run().sole_jct() / solo
         });
         let b = BoxplotSummary::from_data(&jcts).expect("non-empty");
         let list: Vec<String> = jcts.iter().map(|v| format!("{v}")).collect();

@@ -12,6 +12,7 @@ pub mod ctrlbench;
 pub mod enginebench;
 pub mod golden;
 pub mod report;
+pub mod scalebench;
 pub mod scenarios;
 pub mod sweep;
 

@@ -1,0 +1,313 @@
+//! Scale probe: a synthetic sharded cluster far beyond the paper's
+//! 15-server testbed.
+//!
+//! The scenario registers `servers × vms_per_server` VMs in the SoA
+//! [`CloudManager`], partitions the servers into `S` contiguous shards
+//! ([`perfcloud_sim::shard::partition`]), and gives each shard its own
+//! [`Simulation`] driving one batched periodic event per sampling interval
+//! — the event shape the node-manager sampling path uses. Each firing
+//! streams the shard's VM state columns (EWMA update per VM, the monitor's
+//! §III-B smoothing arithmetic) with no per-record pointer chasing; one
+//! VM-sample counts as one aggregate event. Shards advance between epoch
+//! barriers aligned to the sampling interval, concurrently when `threads`
+//! is set.
+//!
+//! Every run folds its final EWMA column into an order-independent-of-`S`
+//! digest: per-VM state depends only on that VM's own sample sequence, so
+//! the digest must be identical at any shard count — the cheap end-to-end
+//! proof that sharding changed no arithmetic. A plain nested loop over the
+//! same columns ([`direct_loop`]) is the no-engine baseline the ≤5%
+//! single-shard-overhead target is measured against.
+
+use crate::benchjson::BenchRecord;
+use perfcloud_cluster::shard::for_each_shard;
+use perfcloud_core::{AppId, CloudManager, VmRecord};
+use perfcloud_host::{Priority, ServerId, VmId};
+use perfcloud_sim::rng::fnv1a64;
+use perfcloud_sim::shard::partition;
+use perfcloud_sim::{SimDuration, SimTime, Simulation};
+use std::time::Instant;
+
+/// EWMA smoothing weight, the paper's default α.
+const ALPHA: f64 = 0.5;
+
+/// Sampling interval of the synthetic cluster, the paper's 5 s cadence.
+const INTERVAL_SECS: f64 = 5.0;
+
+/// One scale-scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Physical servers in the synthetic cluster.
+    pub servers: usize,
+    /// VMs per server (one low-priority suspect, the rest high-priority).
+    pub vms_per_server: usize,
+    /// Sampling intervals simulated (= epochs between barriers).
+    pub intervals: usize,
+    /// In-run shards.
+    pub shards: usize,
+    /// Advance shards on scoped worker threads between barriers.
+    pub threads: bool,
+}
+
+impl ScaleConfig {
+    /// The full benchmark scenario: 100k servers / 1M VMs.
+    pub fn full(shards: usize) -> Self {
+        ScaleConfig { servers: 100_000, vms_per_server: 10, intervals: 150, shards, threads: false }
+    }
+
+    /// A smoke-sized scenario (1k servers / 10k VMs) for `cargo test`.
+    pub fn smoke(shards: usize) -> Self {
+        ScaleConfig { servers: 1_000, vms_per_server: 10, intervals: 20, shards, threads: false }
+    }
+
+    /// Total VMs in the scenario.
+    pub fn total_vms(&self) -> usize {
+        self.servers * self.vms_per_server
+    }
+}
+
+/// Measured outcome of one scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleOutcome {
+    /// Aggregate events processed (one per VM-sample).
+    pub events: u64,
+    /// Wall time of the drive loop (registry build excluded).
+    pub wall_seconds: f64,
+    /// Digest of the final per-VM EWMA column, in global VM order. Must
+    /// not depend on the shard count.
+    pub digest: u64,
+    /// Per-shard calendar peak depth (timer-wheel high-water mark).
+    pub queue_peak_depth: Vec<usize>,
+    /// Per-shard microseconds spent waiting at epoch barriers.
+    pub barrier_wait_us: Vec<u64>,
+}
+
+impl ScaleOutcome {
+    /// Aggregate events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+}
+
+/// Builds the synthetic registry: `servers × vms_per_server` VMs, VM ids
+/// dense in server-major order, one low-priority suspect per server and
+/// the high-priority rest grouped into per-rack applications.
+pub fn build_registry(cfg: &ScaleConfig) -> CloudManager {
+    let mut cloud = CloudManager::new();
+    let k = cfg.vms_per_server;
+    for s in 0..cfg.servers {
+        for v in 0..k {
+            let vm = VmId((s * k + v) as u32);
+            let record = if v == 0 {
+                VmRecord { server: ServerId(s as u32), priority: Priority::Low, app: None }
+            } else {
+                VmRecord {
+                    server: ServerId(s as u32),
+                    priority: Priority::High,
+                    app: Some(AppId((s / 40) as u32)),
+                }
+            };
+            cloud.register(vm, record);
+        }
+    }
+    cloud
+}
+
+/// One shard's streamed state: contiguous columns for its VM range.
+struct ShardWorld {
+    /// Smoothed per-VM signal, the mutated column.
+    ewma: Vec<f64>,
+    /// Per-VM raw-sample base, derived from the registry's priority and
+    /// app columns at build time.
+    base: Vec<f64>,
+    /// Samples processed.
+    events: u64,
+}
+
+/// Extracts shard-local `base` values for `server_range` from the
+/// registry, streaming its SoA columns via the per-server row lists, in
+/// global VM order.
+fn shard_base(cloud: &CloudManager, server_range: std::ops::Range<usize>) -> Vec<f64> {
+    let cols = cloud.vm_columns();
+    let mut base = Vec::new();
+    for s in server_range {
+        for &row in cloud.rows_on(ServerId(s as u32)) {
+            let row = row as usize;
+            // Low-priority suspects offer a heavier raw signal; high-
+            // priority members shade by application id. Arbitrary but
+            // fixed arithmetic — the digest pins it.
+            let b = match cols.priorities[row] {
+                Priority::Low => 8.0 + (cols.ids[row].0 % 13) as f64,
+                Priority::High => 1.0 + cols.apps[row].map_or(0.0, |a| (a.0 % 7) as f64) * 0.25,
+            };
+            base.push(b);
+        }
+    }
+    base
+}
+
+/// Runs the sharded scale scenario.
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleOutcome {
+    let cloud = build_registry(cfg);
+    let ranges = partition(cfg.servers, cfg.shards);
+    let interval = SimDuration::from_secs(INTERVAL_SECS);
+
+    // Per-shard engines, each with one batched periodic sampling event.
+    let mut sims: Vec<Simulation<ShardWorld>> = ranges
+        .iter()
+        .map(|r| {
+            let base = shard_base(&cloud, r.clone());
+            let ewma = vec![0.0f64; base.len()];
+            let mut sim = Simulation::new(ShardWorld { ewma, base, events: 0 });
+            sim.schedule_periodic(SimTime::ZERO + interval, interval, |w: &mut ShardWorld, _| {
+                // Stream the shard's columns: x_v = base_v, s_v ← s_v + α(x_v − s_v).
+                for (s, &b) in w.ewma.iter_mut().zip(w.base.iter()) {
+                    *s += ALPHA * (b - *s);
+                }
+                w.events += w.base.len() as u64;
+                true
+            });
+            sim
+        })
+        .collect();
+
+    let mut barrier_wait_us = vec![0u64; cfg.shards];
+    let start = Instant::now();
+    for epoch in 1..=cfg.intervals {
+        let end = SimTime::ZERO + SimDuration::from_secs(INTERVAL_SECS * epoch as f64);
+        // Epoch barrier: every shard reaches `end` before any proceeds.
+        let waits = for_each_shard(cfg.threads, &mut sims, |_, sim| {
+            sim.run_until(end);
+        });
+        for (s, w) in waits.iter().enumerate() {
+            barrier_wait_us[s] += w;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Shards are contiguous server ranges and each shard's VMs are laid
+    // out in global order, so shard-order concatenation is global VM order.
+    let mut hash_buf = Vec::with_capacity(cfg.total_vms() * 8);
+    let mut events = 0u64;
+    let mut queue_peak_depth = Vec::with_capacity(cfg.shards);
+    for sim in &sims {
+        let w = sim.world();
+        events += w.events;
+        for s in &w.ewma {
+            hash_buf.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        queue_peak_depth.push(sim.wheel_stats().peak_len as usize);
+    }
+    ScaleOutcome {
+        events,
+        wall_seconds,
+        digest: fnv1a64(&hash_buf),
+        queue_peak_depth,
+        barrier_wait_us,
+    }
+}
+
+/// The no-engine baseline: the same columns and arithmetic as a plain
+/// nested loop — "today's loop" with neither calendar nor shard structure.
+pub fn direct_loop(cfg: &ScaleConfig) -> ScaleOutcome {
+    let cloud = build_registry(cfg);
+    let base = shard_base(&cloud, 0..cfg.servers);
+    let mut ewma = vec![0.0f64; base.len()];
+    let mut events = 0u64;
+    let start = Instant::now();
+    for _ in 0..cfg.intervals {
+        for (s, &b) in ewma.iter_mut().zip(base.iter()) {
+            *s += ALPHA * (b - *s);
+        }
+        events += base.len() as u64;
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let mut hash_buf = Vec::with_capacity(ewma.len() * 8);
+    for s in &ewma {
+        hash_buf.extend_from_slice(&s.to_bits().to_le_bytes());
+    }
+    ScaleOutcome {
+        events,
+        wall_seconds,
+        digest: fnv1a64(&hash_buf),
+        queue_peak_depth: vec![0],
+        barrier_wait_us: vec![0],
+    }
+}
+
+/// The full `BENCH_scale.json` measurement: the direct-loop baseline, the
+/// single-shard engine run (the gated `events_per_sec` headline), and
+/// multi-shard runs proving digest invariance while reporting per-shard
+/// queue peaks and barrier waits.
+pub fn probe(cfg: &ScaleConfig) -> BenchRecord {
+    let direct = direct_loop(cfg);
+    let one = run_scale(&ScaleConfig { shards: 1, ..cfg.clone() });
+    assert_eq!(one.digest, direct.digest, "engine driving changed the arithmetic");
+
+    let mut record = BenchRecord {
+        name: "scale".into(),
+        wall_seconds: one.wall_seconds,
+        events_fired: Some(one.events),
+        extras: vec![
+            ("servers".into(), cfg.servers as f64),
+            ("vms".into(), cfg.total_vms() as f64),
+            ("intervals".into(), cfg.intervals as f64),
+            ("direct_loop_eps".into(), direct.events_per_sec()),
+            ("single_shard_overhead".into(), 1.0 - one.events_per_sec() / direct.events_per_sec()),
+        ],
+    };
+    for shards in [2usize, 4, 7] {
+        let multi = run_scale(&ScaleConfig { shards, ..cfg.clone() });
+        assert_eq!(multi.digest, one.digest, "digest diverged at {shards} shards");
+        record.extras.push((format!("eps_shards{shards}"), multi.events_per_sec()));
+        if shards == 4 {
+            for (s, &peak) in multi.queue_peak_depth.iter().enumerate() {
+                record.extras.push((format!("shard{s}_queue_peak_depth"), peak as f64));
+            }
+            for (s, &us) in multi.barrier_wait_us.iter().enumerate() {
+                record.extras.push((format!("shard{s}_barrier_wait_us"), us as f64));
+            }
+        }
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_invariant_across_shard_counts() {
+        let reference = run_scale(&ScaleConfig::smoke(1));
+        assert_eq!(reference.events, 10_000 * 20);
+        for shards in [2usize, 3, 4, 7] {
+            let out = run_scale(&ScaleConfig::smoke(shards));
+            assert_eq!(out.events, reference.events, "shards={shards}");
+            assert_eq!(out.digest, reference.digest, "shards={shards}");
+            assert_eq!(out.queue_peak_depth.len(), shards);
+        }
+        // Threaded epoch advancement changes latency only.
+        let threaded = run_scale(&ScaleConfig { threads: true, ..ScaleConfig::smoke(4) });
+        assert_eq!(threaded.digest, reference.digest);
+    }
+
+    #[test]
+    fn direct_loop_matches_engine_arithmetic() {
+        let direct = direct_loop(&ScaleConfig::smoke(1));
+        let engine = run_scale(&ScaleConfig::smoke(1));
+        assert_eq!(direct.digest, engine.digest);
+        assert_eq!(direct.events, engine.events);
+    }
+
+    #[test]
+    fn registry_has_expected_shape() {
+        let cfg = ScaleConfig::smoke(1);
+        let cloud = build_registry(&cfg);
+        assert_eq!(cloud.len(), cfg.total_vms());
+        let rows = cloud.rows_on(ServerId(0));
+        assert_eq!(rows.len(), cfg.vms_per_server);
+        let cols = cloud.vm_columns();
+        // One low-priority suspect per server, first in id order.
+        assert_eq!(cols.priorities[rows[0] as usize], Priority::Low);
+    }
+}

@@ -11,6 +11,7 @@
 //! the paper's Fig. 9 compares the default system against PerfCloud.
 
 use crate::antagonists::{AntagonistKind, AntagonistPlacement};
+use crate::shard::{for_each_shard, ShardEffect, ShardScratch};
 use crate::topology::{ClusterSpec, Testbed};
 use crate::trace::DecisionTrace;
 use perfcloud_baselines::{Dolly, LatePolicy, StaticCapping};
@@ -20,9 +21,18 @@ use perfcloud_core::{
 use perfcloud_ctrl::{ControlPlane, ControlPlaneSpec};
 use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, SpeculationPolicy};
 use perfcloud_frameworks::{JobOutcome, JobSpec};
-use perfcloud_host::{PhysicalServer, ServerId, VmId};
+use perfcloud_host::{FinishedProcess, PhysicalServer, ServerId, VmId};
 use perfcloud_obs::{ExportSource, MetricsRegistry};
+use perfcloud_sim::shard::{partition, shards_from_env, split_mut};
 use perfcloud_sim::{FaultScenario, SimDuration, SimTime};
+use std::ops::Range;
+
+/// Minimum servers per shard before the dispatch loop spawns worker
+/// threads. Below this, per-tick thread spawn/join overhead (~10µs per
+/// worker) dwarfs the shard's work, so small clusters — including every
+/// golden scenario — run shards inline in shard order, which is
+/// byte-identical by construction.
+const SHARD_THREAD_MIN_SERVERS: usize = 64;
 
 /// The mitigation strategy of one run.
 pub enum Mitigation {
@@ -167,6 +177,20 @@ pub struct Experiment {
     /// node-manager step instead of allocating a report per (server,
     /// interval).
     report_buf: StepReport,
+    /// In-run shard count `S` (`PERFCLOUD_SHARDS`, default 1).
+    shards: usize,
+    /// Contiguous server-index range of each shard.
+    shard_ranges: Vec<Range<usize>>,
+    /// Per-shard scratch buffers, reused every phase.
+    shard_scratch: Vec<ShardScratch>,
+    /// Thread-dispatch override for the shard phases: `None` auto-sizes on
+    /// servers-per-shard, `Some(v)` forces threads on/off (tests).
+    shard_threads: Option<bool>,
+    /// Stall flags snapshotted from the control plane at the epoch barrier
+    /// before the sampling phase fans out.
+    stall_snapshot: Vec<bool>,
+    /// Merged `(server, finished process)` pairs from the tick phase.
+    finished_buf: Vec<(usize, FinishedProcess)>,
 }
 
 impl Experiment {
@@ -228,6 +252,9 @@ impl Experiment {
 
         let scheduler = FrameworkScheduler::new(tb.workers.clone());
         let sample_interval = pc_config.sample_interval;
+        let shards = shards_from_env(1);
+        let shard_ranges = partition(tb.servers.len(), shards);
+        let shard_scratch = (0..shards).map(|_| ShardScratch::default()).collect();
         Experiment {
             servers: tb.servers,
             cloud: tb.cloud,
@@ -249,7 +276,41 @@ impl Experiment {
             max_sim_time: config.max_sim_time,
             trace: None,
             report_buf: StepReport::default(),
+            shards,
+            shard_ranges,
+            shard_scratch,
+            shard_threads: None,
+            stall_snapshot: Vec::new(),
+            finished_buf: Vec::new(),
         }
+    }
+
+    /// Repartitions the cluster into `shards` in-run shards. Any count
+    /// produces byte-identical traces and results; more shards than
+    /// servers leaves the excess shards empty.
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        self.shards = shards;
+        self.shard_ranges = partition(self.servers.len(), shards);
+        self.shard_scratch = (0..shards).map(|_| ShardScratch::default()).collect();
+    }
+
+    /// The in-run shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Forces shard worker threads on or off (`None` restores the
+    /// auto-sizing default). Threading is a latency decision only; outputs
+    /// are identical either way.
+    pub fn set_shard_threads(&mut self, force: Option<bool>) {
+        self.shard_threads = force;
+    }
+
+    fn use_threads(&self) -> bool {
+        self.shard_threads.unwrap_or_else(|| {
+            self.shards > 1 && self.servers.len() / self.shards >= SHARD_THREAD_MIN_SERVERS
+        })
     }
 
     /// Starts recording a canonical decision trace of every node-manager
@@ -318,7 +379,7 @@ impl Experiment {
     /// `BENCH_*.json` records use: ingest outcomes plus control-plane
     /// network delivery counters.
     pub fn metrics_snapshot(&self) -> Vec<(String, f64)> {
-        let mut reg = MetricsRegistry::with_capacity(16);
+        let mut reg = MetricsRegistry::with_capacity(16 + 2 * self.shards);
         let ingest = self.ingest_stats();
         let pairs = [
             ("ingest_baselines", ingest.baselines),
@@ -341,6 +402,14 @@ impl Experiment {
         ] {
             let id = reg.counter(name);
             reg.inc(id, value);
+        }
+        let id = reg.gauge("shards");
+        reg.set(id, self.shards as i64);
+        for (s, scratch) in self.shard_scratch.iter().enumerate() {
+            let id = reg.gauge(&format!("shard{s}_queue_peak_depth"));
+            reg.set(id, scratch.queue_peak_depth as i64);
+            let id = reg.gauge(&format!("shard{s}_barrier_wait_us"));
+            reg.set(id, scratch.barrier_wait_us as i64);
         }
         reg.snapshot()
     }
@@ -396,15 +465,13 @@ impl Experiment {
             self.submitted_jobs += 1;
         }
 
-        // Advance the world.
-        let mut finished = Vec::new();
-        for (i, server) in self.servers.iter_mut().enumerate() {
-            let report = server.tick(self.tick);
-            for f in report.finished {
-                finished.push((i, f));
-            }
-        }
+        // Advance the world: each shard ticks its own servers; the merged
+        // finished list (shard order = server-index order) feeds the
+        // framework scheduler, which stays on the coordinator.
+        self.tick_servers();
+        let finished = std::mem::take(&mut self.finished_buf);
         self.scheduler.on_tick(now, &mut self.servers, &finished, self.policy.as_mut());
+        self.finished_buf = finished;
 
         // Control plane first: at the sampling cadence the live coordinator
         // publishes fresh placement views, and every tick delivers whatever
@@ -416,9 +483,66 @@ impl Experiment {
         }
         self.plane.tick(now, &mut self.cloud, &mut self.node_managers);
 
-        // Node managers at the sampling cadence, all writing into the one
-        // reused report buffer.
+        // Node managers at the sampling cadence.
         if sampling {
+            self.sample_node_managers(now);
+            self.next_sample += self.sample_interval;
+        }
+
+        if let Some(trace) = self.trace.as_mut() {
+            for (at, text) in self.plane.drain_events() {
+                trace.record_ctrl(at, &text);
+            }
+        } else {
+            self.plane.drain_events();
+        }
+    }
+
+    /// Ticks every server, collecting `(server, finished)` pairs into
+    /// `finished_buf` in server-index order.
+    fn tick_servers(&mut self) {
+        self.finished_buf.clear();
+        let tick = self.tick;
+        if self.shards == 1 {
+            for (i, server) in self.servers.iter_mut().enumerate() {
+                let report = server.tick(tick);
+                for f in report.finished {
+                    self.finished_buf.push((i, f));
+                }
+            }
+            return;
+        }
+        let threaded = self.use_threads();
+        let starts: Vec<usize> = self.shard_ranges.iter().map(|r| r.start).collect();
+        let slices = split_mut(&mut self.servers, &self.shard_ranges);
+        let mut tasks: Vec<_> = slices.into_iter().zip(self.shard_scratch.iter_mut()).collect();
+        let waits = for_each_shard(threaded, &mut tasks, |s, (servers, scratch)| {
+            scratch.finished.clear();
+            let base = starts[s];
+            for (k, server) in servers.iter_mut().enumerate() {
+                let report = server.tick(tick);
+                for f in report.finished {
+                    scratch.finished.push((base + k, f));
+                }
+            }
+        });
+        drop(tasks);
+        // Epoch barrier: concatenate per-shard results in shard order
+        // (= global index order; shards are contiguous).
+        for (s, scratch) in self.shard_scratch.iter_mut().enumerate() {
+            scratch.barrier_wait_us += waits[s];
+            self.finished_buf.append(&mut scratch.finished);
+        }
+    }
+
+    /// Runs every node manager's sampling step. With one shard this is the
+    /// plain sequential loop; with more, each shard steps its servers
+    /// against a stall snapshot frozen at the barrier, deferring every
+    /// control-plane effect into its scratch, and the coordinator replays
+    /// the deferred effects in shard order — the exact order (and thus the
+    /// exact control-network RNG draws) of the sequential loop.
+    fn sample_node_managers(&mut self, now: SimTime) {
+        if self.shards == 1 {
             for (i, nm) in self.node_managers.iter_mut().enumerate() {
                 let stalled = self.plane.stalled(i, now);
                 nm.step_synced(now, &mut self.servers[i], stalled, &mut self.report_buf);
@@ -433,15 +557,56 @@ impl Experiment {
                     trace.record(now, i, &self.report_buf);
                 }
             }
-            self.next_sample += self.sample_interval;
+            return;
         }
-
-        if let Some(trace) = self.trace.as_mut() {
-            for (at, text) in self.plane.drain_events() {
-                trace.record_ctrl(at, &text);
+        // A stall window only changes through its own server's restart, so
+        // the pre-barrier snapshot equals the sequential loop's live reads.
+        self.plane.stall_snapshot_into(now, &mut self.stall_snapshot);
+        let threaded = self.use_threads();
+        let tracing = self.trace.is_some();
+        let starts: Vec<usize> = self.shard_ranges.iter().map(|r| r.start).collect();
+        let stall = &self.stall_snapshot;
+        let server_slices = split_mut(&mut self.servers, &self.shard_ranges);
+        let nm_slices = split_mut(&mut self.node_managers, &self.shard_ranges);
+        let mut tasks: Vec<_> = server_slices
+            .into_iter()
+            .zip(nm_slices)
+            .zip(self.shard_scratch.iter_mut())
+            .map(|((servers, nms), scratch)| (servers, nms, scratch))
+            .collect();
+        let waits = for_each_shard(threaded, &mut tasks, |s, (servers, nms, scratch)| {
+            scratch.effects.clear();
+            scratch.trace.clear();
+            let base = starts[s];
+            for (k, (server, nm)) in servers.iter_mut().zip(nms.iter_mut()).enumerate() {
+                let i = base + k;
+                nm.step_synced(now, server, stall[i], &mut scratch.report);
+                if scratch.report.restarted {
+                    scratch.effects.push(ShardEffect::ClearStall(i));
+                }
+                while let Some(apps) = nm.take_colocation_notice() {
+                    scratch.effects.push(ShardEffect::Colocation(i, apps));
+                }
+                if tracing {
+                    scratch.trace.record(now, i, &scratch.report);
+                }
             }
-        } else {
-            self.plane.drain_events();
+        });
+        drop(tasks);
+        // Epoch barrier: replay deferred control-plane effects and splice
+        // trace fragments, both in shard order.
+        for (s, scratch) in self.shard_scratch.iter_mut().enumerate() {
+            scratch.barrier_wait_us += waits[s];
+            scratch.note_queue_depth(scratch.effects.len());
+            for effect in scratch.effects.drain(..) {
+                match effect {
+                    ShardEffect::ClearStall(i) => self.plane.clear_stall(i),
+                    ShardEffect::Colocation(i, apps) => self.plane.send_colocation(now, i, apps),
+                }
+            }
+            if let Some(trace) = self.trace.as_mut() {
+                scratch.trace.drain_into(trace);
+            }
         }
     }
 
@@ -684,6 +849,52 @@ mod tests {
         assert!(get("ingest_recorded") > 0.0);
         assert!(get("net_sent") > 0.0);
         assert_eq!(get("ingest_rejected"), 0.0, "no faults: nothing rejected");
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let build = |shards: usize, threads: Option<bool>| {
+            let mut e = Experiment::build(one_job_config(
+                Benchmark::Terasort,
+                10,
+                Mitigation::PerfCloud(PerfCloudConfig::default()),
+                Some(15),
+            ));
+            e.enable_decision_trace();
+            e.set_shards(shards);
+            e.set_shard_threads(threads);
+            let r = e.run();
+            let t = e.decision_trace().unwrap().canonical();
+            (r, t)
+        };
+        let (r1, t1) = build(1, None);
+        assert!(!t1.is_empty());
+        for shards in [2usize, 3, 7] {
+            let (r, t) = build(shards, None);
+            assert_eq!(r1, r, "result diverged at shards={shards}");
+            assert_eq!(t1, t, "trace diverged at shards={shards}");
+        }
+        // Forced worker threads change latency only, never a byte.
+        let (rt, tt) = build(3, Some(true));
+        assert_eq!(r1, rt);
+        assert_eq!(t1, tt);
+    }
+
+    #[test]
+    fn shard_metrics_are_surfaced() {
+        let mut e = Experiment::build(one_job_config(
+            Benchmark::Terasort,
+            10,
+            Mitigation::PerfCloud(PerfCloudConfig::default()),
+            Some(0),
+        ));
+        e.set_shards(3);
+        e.run();
+        let snap = e.metrics_snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("shards"), 3.0);
+        assert!(get("shard0_queue_peak_depth") >= 0.0);
+        assert!(get("shard2_barrier_wait_us") >= 0.0);
     }
 
     #[test]

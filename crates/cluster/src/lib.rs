@@ -19,6 +19,7 @@ pub mod antagonists;
 pub mod experiment;
 pub mod metrics;
 pub mod mix;
+pub mod shard;
 pub mod topology;
 pub mod trace;
 

@@ -1,0 +1,134 @@
+//! Per-shard scratch state and the shard dispatch loop.
+//!
+//! The experiment's sharded phases (server ticking, node-manager sampling)
+//! run one closure per shard over disjoint `&mut` slices of the cluster.
+//! Each shard writes everything it produces — finished processes, decision
+//! trace lines, deferred control-plane effects — into its own
+//! [`ShardScratch`], and the coordinator replays those buffers *in shard
+//! order* at the epoch barrier. Shards are contiguous server-index ranges
+//! ([`perfcloud_sim::shard::partition`]), so shard-order replay equals
+//! global server-index order and the merged outcome is byte-identical to
+//! the sequential loop at any shard count.
+
+use crate::trace::DecisionTrace;
+use perfcloud_core::{AppId, StepReport};
+use perfcloud_host::FinishedProcess;
+
+/// A control-plane side effect a shard deferred to the epoch barrier.
+///
+/// Shard workers never touch the `ControlPlane` (it is shared, and its
+/// network draws RNG); they queue effects here in the exact order the
+/// sequential loop would have issued them, and the coordinator replays the
+/// queues in shard order.
+#[derive(Debug)]
+pub enum ShardEffect {
+    /// Server `i`'s agent restarted: clear its stall window.
+    ClearStall(usize),
+    /// Server `i` observed colocated high-priority apps: notify the
+    /// coordinator over the control network.
+    Colocation(usize, Vec<AppId>),
+}
+
+/// One shard's reusable buffers, refilled every phase.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    /// Node-manager step report buffer (one per shard, like the sequential
+    /// loop's single reused buffer).
+    pub report: StepReport,
+    /// Decision-trace fragment for this shard's servers this interval.
+    pub trace: DecisionTrace,
+    /// `(server index, finished process)` pairs from the tick phase, in
+    /// server-index order within the shard.
+    pub finished: Vec<(usize, FinishedProcess)>,
+    /// Deferred control-plane effects from the sampling phase, in issue
+    /// order.
+    pub effects: Vec<ShardEffect>,
+    /// High-water mark of deferred work queued at any single barrier —
+    /// the shard's cross-shard traffic burst size.
+    pub queue_peak_depth: usize,
+    /// Total microseconds this shard spent waiting at barriers for the
+    /// slowest shard of its dispatch (0 when running sequentially).
+    pub barrier_wait_us: u64,
+}
+
+impl ShardScratch {
+    /// Records the depth of the deferred-effect queue at a barrier.
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        self.queue_peak_depth = self.queue_peak_depth.max(depth);
+    }
+}
+
+/// Runs `f` once per shard task, threaded when `threaded` (one scoped
+/// worker per task) and inline in shard order otherwise. Returns per-shard
+/// barrier wait in microseconds: how long each worker idled between
+/// finishing its shard and the slowest worker finishing (all zero for the
+/// sequential path, where no one waits).
+///
+/// Sequential execution in ascending shard order is the determinism
+/// baseline; the threaded path is byte-identical because tasks are
+/// disjoint and all cross-shard work is deferred into the tasks' scratch.
+pub fn for_each_shard<T: Send>(
+    threaded: bool,
+    tasks: &mut [T],
+    f: impl Fn(usize, &mut T) + Sync,
+) -> Vec<u64> {
+    let n = tasks.len();
+    if !threaded || n <= 1 {
+        for (s, t) in tasks.iter_mut().enumerate() {
+            f(s, t);
+        }
+        return vec![0; n];
+    }
+    let mut elapsed = vec![0u64; n];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .iter_mut()
+            .enumerate()
+            .map(|(s, t)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    f(s, t);
+                    start.elapsed().as_micros() as u64
+                })
+            })
+            .collect();
+        for (s, h) in handles.into_iter().enumerate() {
+            elapsed[s] = h.join().expect("shard worker panicked");
+        }
+    });
+    let slowest = elapsed.iter().copied().max().unwrap_or(0);
+    elapsed.iter().map(|&e| slowest - e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_dispatch_runs_in_shard_order() {
+        let mut tasks: Vec<Vec<usize>> = vec![Vec::new(); 4];
+        let waits = for_each_shard(false, &mut tasks, |s, t| t.push(s));
+        assert_eq!(waits, vec![0; 4]);
+        for (s, t) in tasks.iter().enumerate() {
+            assert_eq!(t, &vec![s]);
+        }
+    }
+
+    #[test]
+    fn threaded_dispatch_reaches_every_task() {
+        let mut tasks: Vec<u64> = vec![0; 7];
+        let waits = for_each_shard(true, &mut tasks, |s, t| *t = (s as u64 + 1) * 10);
+        assert_eq!(waits.len(), 7);
+        assert!(waits.contains(&0), "the slowest shard waits zero");
+        assert_eq!(tasks, vec![10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn queue_depth_tracks_high_water() {
+        let mut s = ShardScratch::default();
+        s.note_queue_depth(3);
+        s.note_queue_depth(1);
+        assert_eq!(s.queue_peak_depth, 3);
+    }
+}

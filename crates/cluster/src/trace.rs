@@ -85,6 +85,20 @@ impl DecisionTrace {
         &self.lines
     }
 
+    /// Empties the trace, keeping line capacity. Shard scratch traces are
+    /// cleared at each epoch barrier after merging.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Moves this trace's lines onto the end of `target`, leaving this
+    /// trace empty. Appending per-shard fragments in shard order is how the
+    /// sharded sampling phase reassembles the global server-index order
+    /// (shards are contiguous index ranges).
+    pub fn drain_into(&mut self, target: &mut DecisionTrace) {
+        target.lines.append(&mut self.lines);
+    }
+
     /// The whole trace as one newline-terminated string.
     pub fn canonical(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,99 @@
+//! Property: in-run sharding never changes a decision.
+//!
+//! Partitioning the cluster into S shards with epoch-barrier effect replay
+//! must be a pure execution strategy: for *arbitrary* seeds and arbitrary
+//! fault schedules — not just the golden scenarios — running the same
+//! experiment at S ∈ {2, 3, 4, 7} shards (sequentially or on forced worker
+//! threads) must produce an [`ExperimentResult`] and canonical
+//! decision-trace bytes identical to the single-shard reference. Any shard
+//! closure that reads live control-plane state instead of the barrier
+//! snapshot, or any replay that deviates from shard order, fails here
+//! immediately.
+
+use perfcloud_cluster::{
+    AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
+};
+use perfcloud_core::PerfCloudConfig;
+use perfcloud_frameworks::Benchmark;
+use perfcloud_sim::{FaultKind, FaultRule, FaultScenario, SimTime};
+use proptest::prelude::*;
+
+/// One fuzzed fault rule: (kind tag, window start, window length, firing
+/// probability). Times are in seconds, offset into the run.
+type RuleSpec = (u8, u16, u16, f64);
+
+fn decode_kind(tag: u8) -> FaultKind {
+    match tag % 8 {
+        0 => FaultKind::DropSample,
+        1 => FaultKind::DelaySample { intervals: 1 + u32::from(tag) % 3 },
+        2 => FaultKind::DuplicateSample,
+        3 => FaultKind::CorruptNaN,
+        4 => FaultKind::CorruptSpike { factor: 30.0 },
+        5 => FaultKind::CorruptStuckAt,
+        6 => FaultKind::StallManager { intervals: 2 },
+        _ => FaultKind::CrashRestart,
+    }
+}
+
+fn scenario(rules: &[RuleSpec]) -> Option<FaultScenario> {
+    if rules.is_empty() {
+        return None;
+    }
+    let mut s = FaultScenario::named("shard-invariance");
+    for (i, &(tag, start, len, prob)) in rules.iter().enumerate() {
+        let from = 10 + u64::from(start);
+        let until = from + 5 + u64::from(len);
+        s = s.rule(
+            FaultRule::new(format!("r{i}"), decode_kind(tag))
+                .window(SimTime::from_secs(from), SimTime::from_secs(until))
+                .with_probability(prob),
+        );
+    }
+    Some(s)
+}
+
+fn build(seed: u64, rules: &[RuleSpec], shards: usize, threads: bool) -> Experiment {
+    let mut cfg = ExperimentConfig::new(
+        ClusterSpec::small_scale(seed),
+        Mitigation::PerfCloud(PerfCloudConfig::default()),
+    );
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(8)));
+    cfg.antagonists.push(
+        AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(15)),
+    );
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    cfg.faults = scenario(rules);
+    let mut e = Experiment::build(cfg);
+    e.enable_decision_trace();
+    e.set_shards(shards);
+    if threads {
+        // Force scoped worker threads even below the per-shard server
+        // threshold — the threaded path must be byte-identical too.
+        e.set_shard_threads(Some(true));
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn shard_count_never_changes_decisions(
+        seed in 0u64..1_000_000,
+        rules in proptest::collection::vec((0u8..8, 0u16..120, 0u16..120, 0.05f64..0.9), 0..4),
+        shard_pick in 0usize..4,
+        threads_tag in 0u8..2,
+    ) {
+        let shards = [2usize, 3, 4, 7][shard_pick];
+        let threads = threads_tag == 1;
+        let mut reference = build(seed, &rules, 1, false);
+        let r_ref = reference.run();
+        let mut sharded = build(seed, &rules, shards, threads);
+        let r_sharded = sharded.run();
+        prop_assert_eq!(&r_ref, &r_sharded);
+        prop_assert_eq!(
+            reference.decision_trace().expect("trace enabled").canonical(),
+            sharded.decision_trace().expect("trace enabled").canonical()
+        );
+    }
+}

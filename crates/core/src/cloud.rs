@@ -96,13 +96,58 @@ impl Clone for Placement {
     }
 }
 
+/// Borrowed view of the registry's VM columns, for hot paths that stream
+/// per-VM state without touching the id index. All four slices are indexed
+/// by *row*; rows for one server come from [`CloudManager::rows_on`].
+#[derive(Debug, Clone, Copy)]
+pub struct VmColumns<'a> {
+    /// VM id of each row.
+    pub ids: &'a [VmId],
+    /// Hosting server of each row.
+    pub servers: &'a [ServerId],
+    /// Priority of each row.
+    pub priorities: &'a [Priority],
+    /// Application membership of each row (high-priority VMs only).
+    pub apps: &'a [Option<AppId>],
+}
+
 /// The central VM registry.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Stored struct-of-arrays: one dense column per [`VmRecord`] field plus a
+/// per-server row list, so the per-interval placement fetch walks only the
+/// server's own rows (contiguous column reads) instead of scanning the
+/// whole registry, and the batched sampling path of the scale scenarios
+/// can stream whole columns. A `VmId → row` index keeps point lookups and
+/// re-registration cheap; rows are swap-removed on deregistration, and the
+/// per-server lists stay sorted by VM id so every derived view keeps the
+/// exact id order of the original map-based registry.
+#[derive(Debug, Clone, Default)]
 pub struct CloudManager {
-    vms: BTreeMap<VmId, VmRecord>,
+    /// VM id → row in the columns.
+    index: BTreeMap<VmId, u32>,
+    ids: Vec<VmId>,
+    servers: Vec<ServerId>,
+    priorities: Vec<Priority>,
+    apps: Vec<Option<AppId>>,
+    /// Rows hosted on each server, sorted by the VM id at the row.
+    by_server: BTreeMap<ServerId, Vec<u32>>,
     /// Colocation conflicts reported by node managers (multiple high-priority
     /// applications on one server) — the paper's future-work migration hook.
     notifications: Vec<(ServerId, Vec<AppId>)>,
+}
+
+impl PartialEq for CloudManager {
+    // Row order depends on registration history; equality is over the
+    // logical registry contents, like the map-based representation had.
+    fn eq(&self, other: &Self) -> bool {
+        self.index.len() == other.index.len()
+            && self.notifications == other.notifications
+            && self
+                .index
+                .keys()
+                .zip(other.index.keys())
+                .all(|(a, b)| a == b && self.record(*a) == other.record(*b))
+    }
 }
 
 impl CloudManager {
@@ -111,34 +156,139 @@ impl CloudManager {
         Self::default()
     }
 
+    /// Number of registered VMs.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The VM columns, for streaming reads.
+    pub fn vm_columns(&self) -> VmColumns<'_> {
+        VmColumns {
+            ids: &self.ids,
+            servers: &self.servers,
+            priorities: &self.priorities,
+            apps: &self.apps,
+        }
+    }
+
+    /// Rows of the VMs hosted on `server`, sorted by VM id. Index into the
+    /// [`Self::vm_columns`] slices.
+    pub fn rows_on(&self, server: ServerId) -> &[u32] {
+        self.by_server.get(&server).map_or(&[], Vec::as_slice)
+    }
+
+    /// Inserts `row` into `server`'s list, keeping it sorted by VM id.
+    fn link(&mut self, server: ServerId, row: u32) {
+        let vm = self.ids[row as usize];
+        let rows = self.by_server.entry(server).or_default();
+        let at = rows.partition_point(|&r| self.ids[r as usize] < vm);
+        rows.insert(at, row);
+    }
+
+    /// Removes `row` from `server`'s list.
+    fn unlink(&mut self, server: ServerId, row: u32) {
+        let rows = self.by_server.get_mut(&server).expect("row is linked");
+        let at = rows.iter().position(|&r| r == row).expect("row is linked");
+        rows.remove(at);
+        if rows.is_empty() {
+            self.by_server.remove(&server);
+        }
+    }
+
     /// Registers (or re-registers) a VM.
     pub fn register(&mut self, vm: VmId, record: VmRecord) {
         if record.priority == Priority::Low {
             assert!(record.app.is_none(), "low-priority VMs have no application group");
         }
-        self.vms.insert(vm, record);
+        if let Some(&row) = self.index.get(&vm) {
+            let old = self.servers[row as usize];
+            if old != record.server {
+                self.unlink(old, row);
+                self.link(record.server, row);
+            }
+            self.servers[row as usize] = record.server;
+            self.priorities[row as usize] = record.priority;
+            self.apps[row as usize] = record.app;
+            return;
+        }
+        let row = self.ids.len() as u32;
+        self.ids.push(vm);
+        self.servers.push(record.server);
+        self.priorities.push(record.priority);
+        self.apps.push(record.app);
+        self.index.insert(vm, row);
+        self.link(record.server, row);
     }
 
     /// Removes a VM (teardown).
     pub fn deregister(&mut self, vm: VmId) -> Option<VmRecord> {
-        self.vms.remove(&vm)
+        let row = self.index.remove(&vm)?;
+        let record = VmRecord {
+            server: self.servers[row as usize],
+            priority: self.priorities[row as usize],
+            app: self.apps[row as usize],
+        };
+        self.unlink(record.server, row);
+        let last = (self.ids.len() - 1) as u32;
+        self.ids.swap_remove(row as usize);
+        self.servers.swap_remove(row as usize);
+        self.priorities.swap_remove(row as usize);
+        self.apps.swap_remove(row as usize);
+        if row != last {
+            // The former last row moved into the hole; repoint its index
+            // entry and its server list slot.
+            let moved = self.ids[row as usize];
+            *self.index.get_mut(&moved).expect("moved row is indexed") = row;
+            let rows =
+                self.by_server.get_mut(&self.servers[row as usize]).expect("moved row is linked");
+            let at = rows.iter().position(|&r| r == last).expect("moved row is linked");
+            rows[at] = row;
+        }
+        Some(record)
     }
 
     /// Moves a VM to another server (migration).
     pub fn migrate(&mut self, vm: VmId, to: ServerId) {
-        if let Some(r) = self.vms.get_mut(&vm) {
-            r.server = to;
+        if let Some(&row) = self.index.get(&vm) {
+            let from = self.servers[row as usize];
+            if from != to {
+                self.unlink(from, row);
+                self.servers[row as usize] = to;
+                self.link(to, row);
+            }
         }
     }
 
     /// Looks up one VM.
-    pub fn record(&self, vm: VmId) -> Option<&VmRecord> {
-        self.vms.get(&vm)
+    pub fn record(&self, vm: VmId) -> Option<VmRecord> {
+        self.index.get(&vm).map(|&row| VmRecord {
+            server: self.servers[row as usize],
+            priority: self.priorities[row as usize],
+            app: self.apps[row as usize],
+        })
     }
 
     /// All VMs placed on `server`, in id order.
     pub fn vms_on(&self, server: ServerId) -> Vec<(VmId, VmRecord)> {
-        self.vms.iter().filter(|(_, r)| r.server == server).map(|(&v, &r)| (v, r)).collect()
+        self.rows_on(server)
+            .iter()
+            .map(|&r| {
+                let r = r as usize;
+                (
+                    self.ids[r],
+                    VmRecord {
+                        server: self.servers[r],
+                        priority: self.priorities[r],
+                        app: self.apps[r],
+                    },
+                )
+            })
+            .collect()
     }
 
     /// High-priority application groups present on `server`: app id → its
@@ -171,26 +321,26 @@ impl CloudManager {
     /// without the per-interval allocations of the `Vec`-returning forms.
     pub fn placement_into(&self, server: ServerId, out: &mut Placement) {
         out.clear();
-        for (&vm, r) in &self.vms {
-            if r.server != server {
-                continue;
-            }
-            match r.priority {
+        let rows = self.rows_on(server);
+        for &row in rows {
+            let row = row as usize;
+            match self.priorities[row] {
                 Priority::High => {
-                    if let Some(app) = r.app {
+                    if let Some(app) = self.apps[row] {
                         if !out.apps.contains(&app) {
                             out.apps.push(app);
                         }
                     }
                 }
-                Priority::Low => out.suspects.push(vm),
+                Priority::Low => out.suspects.push(self.ids[row]),
             }
         }
         out.apps.sort_unstable();
         if let Some(&controlled) = out.apps.first() {
-            for (&vm, r) in &self.vms {
-                if r.server == server && r.priority == Priority::High && r.app == Some(controlled) {
-                    out.members.push(vm);
+            for &row in rows {
+                let row = row as usize;
+                if self.priorities[row] == Priority::High && self.apps[row] == Some(controlled) {
+                    out.members.push(self.ids[row]);
                 }
             }
         }
@@ -269,6 +419,85 @@ mod tests {
         assert!(cm.deregister(VmId(0)).is_some());
         assert!(cm.record(VmId(0)).is_none());
         assert!(cm.deregister(VmId(0)).is_none());
+    }
+
+    #[test]
+    fn columns_and_rows_agree_with_records() {
+        let mut cm = CloudManager::new();
+        cm.register(VmId(3), hi(1, 2));
+        cm.register(VmId(0), hi(0, 1));
+        cm.register(VmId(2), lo(0));
+        cm.register(VmId(1), hi(0, 1));
+        assert_eq!(cm.len(), 4);
+        let cols = cm.vm_columns();
+        for (i, &vm) in cols.ids.iter().enumerate() {
+            let r = cm.record(vm).unwrap();
+            assert_eq!(cols.servers[i], r.server);
+            assert_eq!(cols.priorities[i], r.priority);
+            assert_eq!(cols.apps[i], r.app);
+        }
+        // Row lists are sorted by VM id regardless of registration order.
+        let on0: Vec<VmId> =
+            cm.rows_on(ServerId(0)).iter().map(|&r| cols.ids[r as usize]).collect();
+        assert_eq!(on0, vec![VmId(0), VmId(1), VmId(2)]);
+    }
+
+    #[test]
+    fn churn_keeps_index_and_row_lists_consistent() {
+        // swap_remove moves the last row into the hole; deregistering from
+        // the middle repeatedly exercises the index/row-list fixups.
+        let mut cm = CloudManager::new();
+        for v in 0..10u32 {
+            cm.register(VmId(v), if v % 3 == 0 { lo(v % 4) } else { hi(v % 4, 1) });
+        }
+        for v in [4u32, 0, 7, 9] {
+            assert!(cm.deregister(VmId(v)).is_some());
+        }
+        cm.migrate(VmId(5), ServerId(0));
+        cm.register(VmId(4), hi(2, 3));
+        assert_eq!(cm.len(), 7);
+        for v in 0..10u32 {
+            let expect_present = !matches!(v, 0 | 7 | 9);
+            assert_eq!(cm.record(VmId(v)).is_some(), expect_present, "vm {v}");
+        }
+        // Every row list entry round-trips through the index.
+        let cols = cm.vm_columns();
+        for s in 0..4u32 {
+            let rows = cm.rows_on(ServerId(s));
+            assert!(rows.windows(2).all(|w| cols.ids[w[0] as usize] < cols.ids[w[1] as usize]));
+            for &r in rows {
+                assert_eq!(cols.servers[r as usize], ServerId(s));
+            }
+        }
+        let mut total = 0;
+        for s in 0..4u32 {
+            total += cm.rows_on(ServerId(s)).len();
+        }
+        assert_eq!(total, cm.len());
+    }
+
+    #[test]
+    fn re_registration_moves_server() {
+        let mut cm = CloudManager::new();
+        cm.register(VmId(0), hi(0, 1));
+        cm.register(VmId(1), hi(0, 1));
+        cm.register(VmId(0), hi(2, 1));
+        assert_eq!(cm.record(VmId(0)).unwrap().server, ServerId(2));
+        assert_eq!(cm.vms_on(ServerId(0)).len(), 1);
+        assert_eq!(cm.vms_on(ServerId(2)).len(), 1);
+    }
+
+    #[test]
+    fn logical_equality_ignores_row_order() {
+        let mut a = CloudManager::new();
+        a.register(VmId(0), hi(0, 1));
+        a.register(VmId(1), lo(0));
+        let mut b = CloudManager::new();
+        b.register(VmId(1), lo(0));
+        b.register(VmId(0), hi(0, 1));
+        assert_eq!(a, b);
+        b.migrate(VmId(0), ServerId(1));
+        assert_ne!(a, b);
     }
 
     #[test]

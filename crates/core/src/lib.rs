@@ -32,7 +32,7 @@ pub mod node_manager;
 
 pub use antagonist::AntagonistIdentifier;
 pub use chaos::{ManagerFault, NodeFaults};
-pub use cloud::{AppId, CloudManager, Placement, PlacementEpoch, VmRecord};
+pub use cloud::{AppId, CloudManager, Placement, PlacementEpoch, VmColumns, VmRecord};
 pub use config::PerfCloudConfig;
 pub use cubic::{CubicController, CubicState};
 pub use detector::{deviation_across_vms, ContentionSignal};

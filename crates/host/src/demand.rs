@@ -99,8 +99,10 @@ pub struct Achieved {
     pub llc_misses: f64,
 }
 
-/// A unit of guest work. Object-safe so VMs can host heterogeneous processes.
-pub trait Process {
+/// A unit of guest work. Object-safe so VMs can host heterogeneous
+/// processes; `Send` so servers (and the VMs they host) can move between
+/// the sharded experiment loop's worker threads at epoch barriers.
+pub trait Process: Send {
     /// Demand for the coming tick of length `dt`.
     fn demand(&self, dt: SimDuration) -> ResourceDemand;
 

@@ -219,7 +219,7 @@ impl<W> Scheduler<W> {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     ) -> EventId {
         debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
         let at = at.max(self.now);
@@ -239,7 +239,7 @@ impl<W> Scheduler<W> {
     pub fn schedule_in(
         &mut self,
         d: SimDuration,
-        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     ) -> EventId {
         let at = self.now + d;
         self.schedule_at(at, handler)
@@ -265,7 +265,7 @@ impl<W> Scheduler<W> {
         &mut self,
         id: EventId,
         at: SimTime,
-        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     ) {
         debug_assert!(at >= self.now);
         // SAFETY: as in `schedule_at`.
@@ -292,9 +292,9 @@ impl<W> Scheduler<W> {
 /// calendar entry pointing at a reinstalled handler.
 fn periodic_tick<W>(
     id: EventId,
-    mut f: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + 'static,
+    mut f: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + Send + 'static,
     period: SimDuration,
-) -> impl FnOnce(&mut W, &mut Scheduler<W>) + 'static {
+) -> impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static {
     move |world, ctx| {
         let again = f(world, ctx);
         if !ctx.series_live(id) {
@@ -434,7 +434,7 @@ impl<W> Simulation<W> {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     ) -> EventId {
         debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
         let at = at.max(self.now);
@@ -449,7 +449,7 @@ impl<W> Simulation<W> {
     pub fn schedule_in(
         &mut self,
         d: SimDuration,
-        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     ) -> EventId {
         let at = self.now + d;
         self.schedule_at(at, handler)
@@ -465,7 +465,7 @@ impl<W> Simulation<W> {
         &mut self,
         start: SimTime,
         period: SimDuration,
-        handler: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + 'static,
+        handler: impl FnMut(&mut W, &mut Scheduler<W>) -> bool + Send + 'static,
     ) -> EventId {
         assert!(!period.is_zero(), "periodic event with zero period would never advance time");
         debug_assert!(start >= self.now, "scheduled event in the past: {start} < {}", self.now);
@@ -804,29 +804,29 @@ mod tests {
 
     #[test]
     fn dropping_a_simulation_drops_pending_handlers() {
-        use std::rc::Rc;
-        let token = Rc::new(());
+        use std::sync::Arc;
+        let token = Arc::new(());
         let mut sim = Simulation::new(());
-        let witness = Rc::clone(&token);
+        let witness = Arc::clone(&token);
         sim.schedule_at(SimTime::from_secs(1), move |_, _| drop(witness));
-        assert_eq!(Rc::strong_count(&token), 2);
+        assert_eq!(Arc::strong_count(&token), 2);
         drop(sim);
-        assert_eq!(Rc::strong_count(&token), 1);
+        assert_eq!(Arc::strong_count(&token), 1);
     }
 
     #[test]
     fn dropping_a_simulation_drops_periodic_handlers() {
-        use std::rc::Rc;
-        let token = Rc::new(());
+        use std::sync::Arc;
+        let token = Arc::new(());
         let mut sim = Simulation::new(());
-        let witness = Rc::clone(&token);
+        let witness = Arc::clone(&token);
         sim.schedule_periodic(SimTime::from_secs(1), SimDuration::from_secs(1.0), move |_, _| {
             let _hold = &witness;
             true
         });
-        assert_eq!(Rc::strong_count(&token), 2);
+        assert_eq!(Arc::strong_count(&token), 2);
         drop(sim);
-        assert_eq!(Rc::strong_count(&token), 1);
+        assert_eq!(Arc::strong_count(&token), 1);
     }
 
     #[test]

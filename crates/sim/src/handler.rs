@@ -65,9 +65,13 @@ unsafe fn drop_boxed<F>(p: *mut u64) {
 
 impl<W, C> RawHandler<W, C> {
     /// Wraps `f`, storing it inline if it fits.
+    ///
+    /// `Send` is required so a whole `Simulation` (calendar included) can be
+    /// moved to a shard worker thread; every handler in this workspace
+    /// captures ids and small copies, which are `Send` for free.
     pub fn new<F>(f: F) -> Self
     where
-        F: FnOnce(&mut W, &mut C) + 'static,
+        F: FnOnce(&mut W, &mut C) + Send + 'static,
     {
         let mut buf = [MaybeUninit::<u64>::uninit(); WORDS];
         if size_of::<F>() <= INLINE_BYTES && align_of::<F>() <= align_of::<u64>() {
@@ -90,6 +94,12 @@ impl<W, C> RawHandler<W, C> {
     }
 }
 
+// SAFETY: the only constructor requires `F: Send`, so the type-erased value
+// in `buf` (an `F` inline or a `Box<F>`) is always `Send`; the function
+// pointers carry no state. `W`/`C` only appear in the pointers' signatures —
+// no value of either type is stored.
+unsafe impl<W, C> Send for RawHandler<W, C> {}
+
 impl<W, C> Drop for RawHandler<W, C> {
     fn drop(&mut self) {
         // Runs only if the handler was never invoked (e.g. the simulation
@@ -102,7 +112,7 @@ impl<W, C> Drop for RawHandler<W, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     type Ctx = ();
 
@@ -125,25 +135,25 @@ mod tests {
 
     #[test]
     fn uninvoked_handlers_drop_their_captures() {
-        let token = Rc::new(());
-        let witness = Rc::clone(&token);
+        let token = Arc::new(());
+        let witness = Arc::clone(&token);
         let h: RawHandler<u64, Ctx> = RawHandler::new(move |_, _| drop(witness));
-        assert_eq!(Rc::strong_count(&token), 2);
+        assert_eq!(Arc::strong_count(&token), 2);
         drop(h);
-        assert_eq!(Rc::strong_count(&token), 1);
+        assert_eq!(Arc::strong_count(&token), 1);
     }
 
     #[test]
     fn invoked_handlers_do_not_double_drop() {
-        let token = Rc::new(());
-        let witness = Rc::clone(&token);
+        let token = Arc::new(());
+        let witness = Arc::clone(&token);
         let h: RawHandler<u64, Ctx> = RawHandler::new(move |w, _| {
-            *w = Rc::strong_count(&witness) as u64;
+            *w = Arc::strong_count(&witness) as u64;
         });
         let mut world = 0u64;
         h.invoke(&mut world, &mut ());
         assert_eq!(world, 2);
-        assert_eq!(Rc::strong_count(&token), 1);
+        assert_eq!(Arc::strong_count(&token), 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod engine;
 pub mod faults;
 pub mod handler;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod wheel;
 

@@ -24,7 +24,7 @@ fn golden_traces_match_without_observability() {
         .collect();
     assert_eq!(slice.len(), 3);
     for sc in slice {
-        let artifact = (sc.build)();
+        let artifact = (sc.build)(golden::env_shards());
         // No recorders were attached, so there is nothing to dump…
         let dump = golden::take_flight_dump();
         assert!(dump.is_empty(), "obs-off run left a flight dump:\n{dump}");
@@ -35,6 +35,26 @@ fn golden_traces_match_without_observability() {
             GoldenStatus::Regenerated => panic!("run this suite without BLESS=1"),
             GoldenStatus::Mismatch { diff } => {
                 panic!("scenario '{}' depends on observability being on:\n{diff}", sc.name)
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_traces_match_at_four_shards_without_observability() {
+    // Shard-count invariance and observability-purity compose: all 16
+    // goldens, recorders off, 4 in-run shards, same bytes.
+    if std::env::var("BLESS").map(|v| v == "1").unwrap_or(false) {
+        panic!("run this suite without BLESS=1");
+    }
+    OBSERVE_GOLDENS.store(false, Ordering::Relaxed);
+    for sc in golden::scenarios() {
+        let artifact = (sc.build)(4);
+        match golden::check_with_dump(sc.name, &artifact, "") {
+            GoldenStatus::Match => {}
+            GoldenStatus::Regenerated => unreachable!("BLESS handled above"),
+            GoldenStatus::Mismatch { diff } => {
+                panic!("scenario '{}' diverged at 4 shards (obs off):\n{diff}", sc.name)
             }
         }
     }
