@@ -7,6 +7,7 @@
 //! qualitative shape (`shape check … HOLDS/VIOLATED`). `run_all` executes
 //! everything in sequence; `--fast` shrinks the two expensive sweeps.
 
+pub mod accuracy;
 pub mod benchjson;
 pub mod ctrlbench;
 pub mod enginebench;

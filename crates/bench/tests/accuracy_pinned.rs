@@ -1,0 +1,45 @@
+//! The ISSUE-pinned adversarial pair: a family where the paper pipeline
+//! *fails* and an alternative *succeeds*, asserted as a regular test so the
+//! contrast cannot silently evaporate under recalibration.
+//!
+//! The family is `low_signal`: a rate-limited fio antagonist whose across-VM
+//! iowait deviation stays below ℋ_io = 10, so the paper's Eq. 1 threshold
+//! never trips — detection recall (and hence detect-F1) is 0. The
+//! Alioth-style learned monitor leans on the robust (MAD) deviation, which
+//! the same episode moves well past its decision surface, and detects it
+//! cleanly. Only the two relevant cells are run here; the full 20-cell
+//! matrix (and the byte-pinned scoreboard) lives in `accuracy_bench
+//! --check`.
+
+use perfcloud_bench::accuracy::{accuracy_scenarios, run_cell};
+use perfcloud_core::{DetectorKind, IdentifierKind, PipelineSpec};
+
+#[test]
+fn low_signal_defeats_paper_but_not_alioth() {
+    let scenarios = accuracy_scenarios();
+    let low_signal = scenarios
+        .iter()
+        .find(|s| s.name == "low_signal")
+        .expect("low_signal scenario in the accuracy matrix");
+
+    let paper = run_cell(low_signal, PipelineSpec::paper());
+    assert!(
+        paper.detect_f1 < 0.5,
+        "paper pipeline should miss the sub-threshold antagonist \
+         (detect_f1 = {}, expected < 0.5); if the detector or the scenario \
+         changed, re-derive the adversarial family",
+        paper.detect_f1
+    );
+
+    let alioth = run_cell(
+        low_signal,
+        PipelineSpec { detector: DetectorKind::Alioth, identifier: IdentifierKind::Paper },
+    );
+    assert!(
+        alioth.detect_f1 >= 0.8,
+        "alioth detector should catch the sub-threshold antagonist \
+         (detect_f1 = {}, expected >= 0.8); recalibrate the weights in \
+         pipeline/alioth.rs against the measured features",
+        alioth.detect_f1
+    );
+}

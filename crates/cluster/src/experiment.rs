@@ -16,7 +16,7 @@ use crate::topology::{ClusterSpec, Testbed};
 use crate::trace::DecisionTrace;
 use perfcloud_baselines::{Dolly, LatePolicy, StaticCapping};
 use perfcloud_core::{
-    CloudManager, IngestStats, NodeFaults, NodeManager, PerfCloudConfig, StepReport,
+    CloudManager, IngestStats, NodeFaults, NodeManager, PerfCloudConfig, PipelineSpec, StepReport,
 };
 use perfcloud_ctrl::{ControlPlane, ControlPlaneSpec};
 use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, SpeculationPolicy};
@@ -87,6 +87,11 @@ pub struct ExperimentConfig {
     /// The default is a single manager on a zero-latency loopback, which
     /// reproduces the direct-fetch behavior byte-for-byte.
     pub control: ControlPlaneSpec,
+    /// Detection/identification pipeline run by the node managers when the
+    /// mitigation is PerfCloud; non-PerfCloud mitigations always run the
+    /// paper's monitoring-only pipeline. The default (paper/paper)
+    /// reproduces the pre-seam behavior byte-for-byte.
+    pub pipeline: PipelineSpec,
 }
 
 impl ExperimentConfig {
@@ -100,6 +105,7 @@ impl ExperimentConfig {
             max_sim_time: SimTime::from_secs(3_600),
             faults: None,
             control: ControlPlaneSpec::default(),
+            pipeline: PipelineSpec::default(),
         }
     }
 }
@@ -210,26 +216,37 @@ impl Experiment {
         }
         let pending_antagonists: Vec<usize> = (0..antagonist_vms.len()).collect();
 
-        let (policy, dolly, pc_config): (
+        // The pipeline spec only applies when PerfCloud is actually in
+        // control; passive mitigations keep the paper's monitoring-only
+        // pipeline so an alternative detector can never act through them.
+        let (policy, dolly, pc_config, pipeline): (
             Box<dyn SpeculationPolicy>,
             Option<Dolly>,
             PerfCloudConfig,
+            PipelineSpec,
         ) = match config.mitigation {
-            Mitigation::Default => (Box::new(NoSpeculation), None, monitoring_only()),
-            Mitigation::Late(l) => (Box::new(l), None, monitoring_only()),
-            Mitigation::Dolly(d) => (Box::new(NoSpeculation), Some(d), monitoring_only()),
+            Mitigation::Default => {
+                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
+            }
+            Mitigation::Late(l) => (Box::new(l), None, monitoring_only(), PipelineSpec::paper()),
+            Mitigation::Dolly(d) => {
+                (Box::new(NoSpeculation), Some(d), monitoring_only(), PipelineSpec::paper())
+            }
             Mitigation::StaticCap(s) => {
                 for server in &mut tb.servers {
                     s.apply(server);
                 }
-                (Box::new(NoSpeculation), None, monitoring_only())
+                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
             }
-            Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg),
-            Mitigation::PerfCloudWithLate(cfg, late) => (Box::new(late), None, cfg),
+            Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg, config.pipeline),
+            Mitigation::PerfCloudWithLate(cfg, late) => {
+                (Box::new(late), None, cfg, config.pipeline)
+            }
         };
 
-        let mut node_managers: Vec<NodeManager> =
-            (0..tb.servers.len()).map(|_| NodeManager::new(pc_config.clone())).collect();
+        let mut node_managers: Vec<NodeManager> = (0..tb.servers.len())
+            .map(|_| NodeManager::with_pipeline(pc_config.clone(), pipeline))
+            .collect();
         let chaos_seed = tb.rng.child("chaos").master_seed();
         let scenario = config.faults.clone().unwrap_or_default();
         if let Some(scenario) = &config.faults {

@@ -17,6 +17,7 @@
 
 pub mod antagonists;
 pub mod experiment;
+pub mod labels;
 pub mod metrics;
 pub mod mix;
 pub mod shard;
@@ -25,6 +26,7 @@ pub mod trace;
 
 pub use antagonists::{AntagonistKind, AntagonistPlacement};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, Mitigation};
+pub use labels::{parse_trace, GroundTruth, StepObservation, TruthEntry};
 pub use metrics::{mean_efficiency, normalize_jcts, DegradationBreakdown};
 pub use mix::{MixConfig, WorkloadMix};
 pub use topology::{ClusterSpec, Testbed};

@@ -140,6 +140,27 @@ impl AntagonistIdentifier {
         }
     }
 
+    /// Drops every deviation sample and correlation window, keeping buffer
+    /// capacity — the state a freshly constructed identifier has. Used by
+    /// the crash-restart path, where the agent process loses its memory.
+    pub fn reset(&mut self) {
+        self.io_deviation = TimeSeries::new();
+        self.cpi_deviation = TimeSeries::new();
+        self.io_windows.clear();
+        self.cpu_windows.clear();
+    }
+
+    /// Number of live correlation windows for `resource` — one per suspect
+    /// currently accumulating evidence. Bounded by the suspect set:
+    /// [`observe`](Self::observe) evicts windows of departed suspects, so a
+    /// churn of short-lived VMs cannot grow this without bound.
+    pub fn window_count(&self, resource: Resource) -> usize {
+        match resource {
+            Resource::Io => self.io_windows.len(),
+            Resource::Cpu => self.cpu_windows.len(),
+        }
+    }
+
     /// The victim deviation series for `resource`.
     pub fn deviation_series(&self, resource: Resource) -> &TimeSeries {
         match resource {

@@ -29,6 +29,7 @@ pub mod cubic;
 pub mod detector;
 pub mod monitor;
 pub mod node_manager;
+pub mod pipeline;
 
 pub use antagonist::AntagonistIdentifier;
 pub use chaos::{ManagerFault, NodeFaults};
@@ -38,3 +39,4 @@ pub use cubic::{CubicController, CubicState};
 pub use detector::{deviation_across_vms, ContentionSignal};
 pub use monitor::{IngestOutcome, IngestStats, PerformanceMonitor, VmMetricKind};
 pub use node_manager::{NodeManager, PlacementApplyOutcome, StepReport};
+pub use pipeline::{Detector, DetectorKind, Identifier, IdentifierKind, PipelineSpec};

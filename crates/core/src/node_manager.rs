@@ -10,13 +10,14 @@
 //! actuators. Caps are released once the controller has probed past the
 //! point where the throttle binds.
 
-use crate::antagonist::{AntagonistIdentifier, Resource};
+use crate::antagonist::Resource;
 use crate::chaos::{ManagerFault, NodeFaults};
 use crate::cloud::{AppId, CloudManager, Placement, PlacementEpoch};
 use crate::config::PerfCloudConfig;
 use crate::cubic::{CubicController, CubicState};
-use crate::detector::{detect, ContentionSignal};
+use crate::detector::ContentionSignal;
 use crate::monitor::{PerformanceMonitor, VmMetricKind};
+use crate::pipeline::{Detector, Identifier, PipelineSpec};
 use perfcloud_host::throttle::{CpuCap, IoThrottle};
 use perfcloud_host::{PhysicalServer, VmId};
 use perfcloud_obs::{FlightEvent, FlightRecorder};
@@ -118,9 +119,11 @@ pub enum PlacementApplyOutcome {
 /// The per-server PerfCloud agent.
 pub struct NodeManager {
     config: PerfCloudConfig,
+    pipeline: PipelineSpec,
     controller: CubicController,
     monitor: PerformanceMonitor,
-    identifier: AntagonistIdentifier,
+    detector: Box<dyn Detector>,
+    identifier: Box<dyn Identifier>,
     io_controlled: BTreeMap<VmId, Controlled>,
     cpu_controlled: BTreeMap<VmId, Controlled>,
     io_cap_trace: BTreeMap<VmId, TimeSeries>,
@@ -155,14 +158,24 @@ pub struct NodeManager {
 }
 
 impl NodeManager {
-    /// Creates an agent with the given configuration.
+    /// Creates an agent with the given configuration and the paper's own
+    /// detection/identification pipeline.
     pub fn new(config: PerfCloudConfig) -> Self {
+        NodeManager::with_pipeline(config, PipelineSpec::default())
+    }
+
+    /// Creates an agent running an alternative pipeline over the same
+    /// monitor, controller, and actuators. The default spec reproduces
+    /// [`NodeManager::new`] byte-for-byte.
+    pub fn with_pipeline(config: PerfCloudConfig, pipeline: PipelineSpec) -> Self {
         config.validate();
         NodeManager {
             controller: CubicController::new(config.beta, config.gamma),
             monitor: PerformanceMonitor::new(&config),
-            identifier: AntagonistIdentifier::new(&config),
+            detector: pipeline.build_detector(&config),
+            identifier: pipeline.build_identifier(&config),
             config,
+            pipeline,
             io_controlled: BTreeMap::new(),
             cpu_controlled: BTreeMap::new(),
             io_cap_trace: BTreeMap::new(),
@@ -210,8 +223,13 @@ impl NodeManager {
     }
 
     /// The identifier, which holds the victim deviation time series.
-    pub fn identifier(&self) -> &AntagonistIdentifier {
-        &self.identifier
+    pub fn identifier(&self) -> &dyn Identifier {
+        self.identifier.as_ref()
+    }
+
+    /// The pipeline this agent runs (the default is the paper's).
+    pub fn pipeline(&self) -> PipelineSpec {
+        self.pipeline
     }
 
     /// Trace of normalized I/O caps applied to `vm` over time.
@@ -422,7 +440,7 @@ impl NodeManager {
         }
 
         // (3) Deviations across the application's VMs.
-        let signal = detect(&self.monitor, &placement.members, self.config.h_io, self.config.h_cpi);
+        let signal = self.detector.detect(&self.monitor, &placement.members);
         self.identifier.observe(
             now,
             signal.io_deviation,
@@ -435,11 +453,13 @@ impl NodeManager {
         self.identifier.identify_into(
             &placement.suspects,
             Resource::Io,
+            &self.monitor,
             &mut report.io_antagonists,
         );
         self.identifier.identify_into(
             &placement.suspects,
             Resource::Cpu,
+            &self.monitor,
             &mut report.cpu_antagonists,
         );
 
@@ -535,7 +555,8 @@ impl NodeManager {
         }
         self.was_contended = false;
         self.monitor = PerformanceMonitor::new(&self.config);
-        self.identifier = AntagonistIdentifier::new(&self.config);
+        self.detector.reset();
+        self.identifier.reset();
         self.io_controlled.clear();
         self.cpu_controlled.clear();
         self.controlled_app = None;

@@ -1,0 +1,101 @@
+//! The paper's own pipeline behind the trait seams.
+//!
+//! Thin adapters over the original inlined code: [`PaperDetector`] calls
+//! [`crate::detector::detect`] and [`PaperIdentifier`] wraps
+//! [`AntagonistIdentifier`]. Both are byte-identical to the pre-seam node
+//! manager — the golden-trace suite and the equivalence proptest in
+//! `crates/cluster/tests` pin this — and allocation-free in steady state
+//! (`crates/core/tests/alloc_free.rs`).
+
+use super::{Detector, Identifier};
+use crate::antagonist::{AntagonistIdentifier, Resource};
+use crate::config::PerfCloudConfig;
+use crate::detector::{detect, ContentionSignal};
+use crate::monitor::PerformanceMonitor;
+use perfcloud_host::VmId;
+use perfcloud_sim::SimTime;
+use perfcloud_stats::TimeSeries;
+
+/// Across-VM stddev vs. fixed threshold ℋ (§III-A).
+#[derive(Debug)]
+pub struct PaperDetector {
+    h_io: f64,
+    h_cpi: f64,
+}
+
+impl PaperDetector {
+    /// Creates the detector with the paper's thresholds from `config`.
+    pub fn new(config: &PerfCloudConfig) -> Self {
+        config.validate();
+        PaperDetector { h_io: config.h_io, h_cpi: config.h_cpi }
+    }
+}
+
+impl Detector for PaperDetector {
+    fn detect(&mut self, monitor: &PerformanceMonitor, app_vms: &[VmId]) -> ContentionSignal {
+        detect(monitor, app_vms, self.h_io, self.h_cpi)
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+}
+
+/// Rolling lagged Pearson ≥ 0.8 (§III-B), wrapping [`AntagonistIdentifier`].
+#[derive(Debug)]
+pub struct PaperIdentifier {
+    inner: AntagonistIdentifier,
+}
+
+impl PaperIdentifier {
+    /// Creates the identifier with the pipeline configuration.
+    pub fn new(config: &PerfCloudConfig) -> Self {
+        PaperIdentifier { inner: AntagonistIdentifier::new(config) }
+    }
+
+    /// The wrapped identifier, for tests that poke its internals.
+    pub fn inner(&self) -> &AntagonistIdentifier {
+        &self.inner
+    }
+}
+
+impl Identifier for PaperIdentifier {
+    fn observe(
+        &mut self,
+        now: SimTime,
+        io_dev: Option<f64>,
+        cpi_dev: Option<f64>,
+        monitor: &PerformanceMonitor,
+        suspects: &[VmId],
+    ) {
+        self.inner.observe(now, io_dev, cpi_dev, monitor, suspects);
+    }
+
+    fn identify_into(
+        &mut self,
+        suspects: &[VmId],
+        resource: Resource,
+        _monitor: &PerformanceMonitor,
+        out: &mut Vec<VmId>,
+    ) {
+        self.inner.identify_into(suspects, resource, out);
+    }
+
+    fn correlation(&self, suspect: VmId, resource: Resource) -> Option<f64> {
+        self.inner.correlation(suspect, resource)
+    }
+
+    fn deviation_series(&self, resource: Resource) -> &TimeSeries {
+        self.inner.deviation_series(resource)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+}

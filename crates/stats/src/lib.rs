@@ -14,6 +14,7 @@ pub mod descriptive;
 pub mod ewma;
 pub mod pearson;
 pub mod quantile;
+pub mod rank;
 pub mod rolling;
 pub mod timeseries;
 
@@ -26,5 +27,6 @@ pub use descriptive::{
 pub use ewma::Ewma;
 pub use pearson::{pearson, pearson_missing_as_zero};
 pub use quantile::{median, quantile};
+pub use rank::{robust_stddev, spearman, spearman_victim_aware_lagged};
 pub use rolling::{RollingPearson, RollingStddev};
 pub use timeseries::TimeSeries;
