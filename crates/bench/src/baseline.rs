@@ -1,0 +1,114 @@
+//! Cross-figure baseline cache.
+//!
+//! Several figure harnesses need the same interference-free references —
+//! the solo JCT of a `(benchmark, tasks, seed)` combination, fio's solo
+//! IOPS/bandwidth, STREAM's solo core usage — and each used to recompute
+//! them from scratch. When `run_all` drives the whole suite it precomputes
+//! the union of those references once (in parallel, in-process), writes
+//! them to a cache file, and points every child harness at it via
+//! `PERFCLOUD_BASELINE_CACHE`. The [`crate::scenarios`] accessors consult
+//! the cache first and fall back to computing — a stale or partial cache
+//! can only cost time, never change a number.
+//!
+//! Values round-trip through the file as IEEE-754 bit patterns (hex), so a
+//! cached baseline is **bit-identical** to a freshly computed one and
+//! figure outputs are byte-for-byte unchanged by caching.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Environment variable naming the cache file.
+pub const ENV: &str = "PERFCLOUD_BASELINE_CACHE";
+
+/// Cache key of a solo JCT.
+pub fn solo_jct_key(bench: perfcloud_frameworks::Benchmark, tasks: usize, seed: u64) -> String {
+    format!("solo_jct:{}:{tasks}:{seed}", bench.name())
+}
+
+/// Cache keys of the fio solo reference (IOPS, bytes/s).
+pub fn fio_keys(seed: u64) -> (String, String) {
+    (format!("fio_solo_iops:{seed}"), format!("fio_solo_bps:{seed}"))
+}
+
+/// Cache key of STREAM's solo core usage.
+pub fn stream_key(seed: u64) -> String {
+    format!("stream_solo_cores:{seed}")
+}
+
+fn cache() -> &'static BTreeMap<String, f64> {
+    static CACHE: OnceLock<BTreeMap<String, f64>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let Ok(path) = std::env::var(ENV) else { return BTreeMap::new() };
+        let Ok(text) = std::fs::read_to_string(&path) else { return BTreeMap::new() };
+        parse(&text)
+    })
+}
+
+fn parse(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, bits)) = line.split_once('\t') {
+            if let Ok(bits) = u64::from_str_radix(bits.trim(), 16) {
+                map.insert(key.to_string(), f64::from_bits(bits));
+            }
+        }
+    }
+    map
+}
+
+/// Looks `key` up in the process-wide cache (loaded lazily from the file
+/// named by [`ENV`]; empty when unset or unreadable).
+pub fn cached(key: &str) -> Option<f64> {
+    cache().get(key).copied()
+}
+
+/// Serializes entries in the cache file format (sorted, bit-exact hex).
+pub fn render(entries: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("# PerfCloud baseline cache: key \\t f64-bits-hex\n");
+    for (key, value) in entries {
+        out.push_str(&format!("{key}\t{:016x}\n", value.to_bits()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip_is_bit_exact() {
+        let mut entries = BTreeMap::new();
+        entries.insert("a".to_string(), 1.0 / 3.0);
+        entries.insert("b".to_string(), 123_456.789_012_345);
+        entries.insert("c".to_string(), f64::MIN_POSITIVE);
+        let parsed = parse(&render(&entries));
+        assert_eq!(entries.len(), parsed.len());
+        for (k, v) in &entries {
+            assert_eq!(v.to_bits(), parsed[k].to_bits(), "{k}");
+        }
+    }
+
+    #[test]
+    fn comments_and_garbage_lines_are_skipped() {
+        let map = parse("# header\n\nnot-a-pair\nx\tzz\nok\t3ff0000000000000\n");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map["ok"], 1.0);
+    }
+
+    #[test]
+    fn keys_are_distinct_per_parameter() {
+        use perfcloud_frameworks::Benchmark;
+        let a = solo_jct_key(Benchmark::Terasort, 10, 42);
+        let b = solo_jct_key(Benchmark::Terasort, 20, 42);
+        let c = solo_jct_key(Benchmark::Wordcount, 10, 42);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let (iops, bps) = fio_keys(42);
+        assert_ne!(iops, bps);
+        assert_ne!(stream_key(42), stream_key(43));
+    }
+}

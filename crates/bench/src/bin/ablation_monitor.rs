@@ -13,7 +13,14 @@
 //! but delays detection; coarser sampling delays detection roughly by the
 //! interval length. The paper's 5 s / EWMA choice sits in the corner with
 //! zero false positives and single-interval latency.
+//!
+//! Grid points cannot share a parent (each builds its monitors with a
+//! different α/interval), but within a grid point the alone and contended
+//! twins diverge only at the fio onset: one parent per point runs the
+//! pre-onset prefix, then each twin is a fork (the alone fork simply never
+//! starts the booted, inert antagonist VM).
 
+use perfcloud_bench::benchjson::BenchRecord;
 use perfcloud_bench::report::Table;
 use perfcloud_bench::scenarios::*;
 use perfcloud_bench::sweep;
@@ -25,7 +32,20 @@ use perfcloud_core::PerfCloudConfig;
 use perfcloud_frameworks::Benchmark;
 use perfcloud_sim::{SimDuration, SimTime};
 
-fn run(alpha: f64, interval: f64, with_fio: bool, seed: u64) -> Vec<(f64, f64)> {
+type Series = Vec<(f64, f64)>;
+
+fn deviation_series(e: &Experiment) -> Series {
+    let s = e.node_managers[0].identifier().deviation_series(Resource::Io);
+    s.times()
+        .iter()
+        .zip(s.values())
+        .filter_map(|(&t, &v)| v.map(|v| (t.as_secs_f64(), v)))
+        .collect()
+}
+
+/// Runs one grid point's alone/contended twins off a shared parent.
+/// Returns (alone series, contended series, prefix ticks shared).
+fn grid_point(alpha: f64, interval: f64, seed: u64) -> (Series, Series, u64) {
     let pc = PerfCloudConfig {
         ewma_alpha: alpha,
         sample_interval: SimDuration::from_secs(interval),
@@ -35,23 +55,25 @@ fn run(alpha: f64, interval: f64, with_fio: bool, seed: u64) -> Vec<(f64, f64)> 
     };
     let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(seed), Mitigation::PerfCloud(pc));
     cfg.jobs.push((JOB_START, Benchmark::Terasort.job(20)));
-    if with_fio {
-        cfg.antagonists.push(
-            AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(ANTAGONIST_ONSET),
-        );
-    }
+    cfg.antagonists.push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0).deferred());
     cfg.max_sim_time = SimTime::from_secs(3_600);
-    let mut e = Experiment::build(cfg);
-    let _ = e.run();
-    let s = e.node_managers[0].identifier().deviation_series(Resource::Io);
-    s.times()
-        .iter()
-        .zip(s.values())
-        .filter_map(|(&t, &v)| v.map(|v| (t.as_secs_f64(), v)))
-        .collect()
+    let mut parent = Experiment::build(cfg);
+    let tick = SimDuration::from_secs(0.1);
+    while parent.now() + tick < ANTAGONIST_ONSET {
+        parent.step_tick();
+    }
+    let finish = |mut e: Experiment| {
+        let _ = e.run();
+        deviation_series(&e)
+    };
+    let alone = parent.fork();
+    let mut contended = parent.fork();
+    contended.start_antagonist(0, ANTAGONIST_ONSET);
+    (finish(alone), finish(contended), parent.ticks_stepped())
 }
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let seed = base_seed();
     const H: f64 = 10.0;
     println!("=== Ablation: EWMA weight x sampling interval ===");
@@ -63,19 +85,17 @@ fn main() {
         "detection latency (s)",
         "false positives (alone)",
     ]);
-    // 3×3 grid × {alone, contended} = 18 independent experiments; job 2k is
-    // the alone run for grid point k, job 2k+1 its contended twin.
+    // 3×3 grid, each point an alone/contended fork pair off one parent.
     let grid: Vec<(f64, f64)> = [0.2, 0.5, 1.0]
         .iter()
         .flat_map(|&alpha| [2.5, 5.0, 10.0].iter().map(move |&interval| (alpha, interval)))
         .collect();
-    let runs = sweep::run(grid.len() * 2, |j| {
-        let (alpha, interval) = grid[j / 2];
-        run(alpha, interval, j % 2 == 1, seed)
+    let runs = sweep::run(grid.len(), |k| {
+        let (alpha, interval) = grid[k];
+        grid_point(alpha, interval, seed)
     });
     for (k, &(alpha, interval)) in grid.iter().enumerate() {
-        let alone = &runs[2 * k];
-        let contended = &runs[2 * k + 1];
+        let (alone, contended, _) = &runs[k];
         let fp = alone.iter().filter(|&&(_, v)| v > H).count();
         let onset = ANTAGONIST_ONSET.as_secs_f64();
         let latency = contended
@@ -94,4 +114,11 @@ fn main() {
         "\n(the paper's operating point is alpha-smoothed sampling at 5 s: detection within\n\
  \"a few seconds\" and no false positives when running alone)"
     );
+
+    let mut rec = BenchRecord::wall("ablation_monitor", t0.elapsed().as_secs_f64());
+    let saved: u64 = runs.iter().map(|r| r.2).sum();
+    rec.extras.push(("sweep_points".into(), (grid.len() * 2) as f64));
+    rec.extras.push(("forked_points".into(), (grid.len() * 2) as f64));
+    rec.extras.push(("prefix_events_saved".into(), saved as f64));
+    let _ = rec.write();
 }

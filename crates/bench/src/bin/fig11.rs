@@ -21,16 +21,17 @@
 //! future-work scenario).
 
 use perfcloud_baselines::{Dolly, LatePolicy};
+use perfcloud_bench::benchjson::BenchRecord;
 use perfcloud_bench::report::{f2, pct, Table};
 use perfcloud_bench::scenarios::base_seed;
-use perfcloud_bench::sweep;
+use perfcloud_bench::{forked, sweep};
 use perfcloud_cluster::{
     mean_efficiency, normalize_jcts, ClusterSpec, DegradationBreakdown, Experiment,
     ExperimentConfig, Mitigation, MixConfig, WorkloadMix,
 };
 use perfcloud_core::PerfCloudConfig;
 use perfcloud_frameworks::{Benchmark, JobOutcome};
-use perfcloud_sim::{RngFactory, SimTime};
+use perfcloud_sim::{RngFactory, SimDuration, SimTime};
 use std::collections::HashMap;
 
 fn arg_value(flag: &str) -> Option<String> {
@@ -50,21 +51,31 @@ fn mitigations() -> Vec<(&'static str, MitigationFactory)> {
     ]
 }
 
-/// Measures each distinct job's interference-free JCT on a clean cluster,
-/// one parallel sweep repetition per distinct job.
-fn baselines(mix: &WorkloadMix, spec: &ClusterSpec) -> HashMap<String, f64> {
+/// Measures each distinct job's interference-free JCT on a clean cluster.
+/// Every baseline shares the same empty-cluster warm-up, so one parent runs
+/// that prefix (up to just before the 5 s submission instant) and each
+/// distinct job runs as a fork with its job pushed in.
+fn baselines(
+    mix: &WorkloadMix,
+    spec: &ClusterSpec,
+) -> (HashMap<String, f64>, forked::ForkedResults<(String, f64)>) {
     let jobs = mix.distinct_specs();
-    sweep::run(jobs.len(), |i| {
+    let mut cfg = ExperimentConfig::new(spec.clone(), Mitigation::Default);
+    cfg.max_sim_time = SimTime::from_secs(7_200);
+    let mut parent = Experiment::build(cfg);
+    let tick = SimDuration::from_secs(0.1);
+    while parent.now() + tick < SimTime::from_secs(5) {
+        parent.step_tick();
+    }
+    let out = forked::sweep(&parent, jobs.len(), |i, mut e| {
         let job = jobs[i].clone();
         let name = job.name.clone();
-        let mut cfg = ExperimentConfig::new(spec.clone(), Mitigation::Default);
-        cfg.jobs.push((SimTime::from_secs(5), job));
-        cfg.max_sim_time = SimTime::from_secs(7_200);
-        let r = Experiment::build(cfg).run();
+        e.push_job(SimTime::from_secs(5), job);
+        let r = e.run();
         (name, r.outcomes[0].jct)
-    })
-    .into_iter()
-    .collect()
+    });
+    let map = out.results.iter().cloned().collect();
+    (map, out)
 }
 
 fn is_spark(outcome: &JobOutcome) -> bool {
@@ -72,6 +83,7 @@ fn is_spark(outcome: &JobOutcome) -> bool {
 }
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let seed = base_seed();
     let scale: f64 = arg_value("--scale").and_then(|s| s.parse().ok()).unwrap_or(0.25);
     let heterogeneous = std::env::args().any(|a| a == "--heterogeneous");
@@ -100,7 +112,7 @@ fn main() {
         "measuring interference-free baselines ({} distinct jobs)…",
         mix.distinct_specs().len()
     );
-    let base = baselines(&mix, &cluster);
+    let (base, base_forks) = baselines(&mix, &cluster);
 
     let systems = mitigations();
     println!(
@@ -108,22 +120,33 @@ fn main() {
         systems.len(),
         sweep::worker_count(systems.len())
     );
-    let rows: Vec<(String, DegradationBreakdown, DegradationBreakdown, f64)> =
-        sweep::run(systems.len(), |i| {
-            let (name, make) = systems[i];
-            let mut cfg = ExperimentConfig::new(cluster.clone(), make());
-            cfg.jobs = mix.jobs.clone();
-            cfg.antagonists = mix.antagonists.clone();
-            cfg.max_sim_time = SimTime::from_secs(4 * 3_600);
-            let r = Experiment::build(cfg).run();
-            let mr: Vec<JobOutcome> = r.outcomes.iter().filter(|o| !is_spark(o)).cloned().collect();
-            let spark: Vec<JobOutcome> =
-                r.outcomes.iter().filter(|o| is_spark(o)).cloned().collect();
-            let mr_b = DegradationBreakdown::from_normalized(&normalize_jcts(&mr, &base));
-            let sp_b = DegradationBreakdown::from_normalized(&normalize_jcts(&spark, &base));
-            let eff = mean_efficiency(&r.outcomes);
-            (name.to_string(), mr_b, sp_b, eff)
-        });
+    // All five systems run the identical mix, so they share one neutral
+    // parent: its prefix ends strictly before the first job submission and
+    // the first 5 s monitoring sample, where swapping the mitigation on a
+    // fork is still exact.
+    let mut parent_cfg = ExperimentConfig::new(cluster.clone(), Mitigation::Default);
+    parent_cfg.jobs = mix.jobs.clone();
+    parent_cfg.antagonists = mix.antagonists.clone();
+    parent_cfg.max_sim_time = SimTime::from_secs(4 * 3_600);
+    let mut parent = Experiment::build(parent_cfg);
+    let first_job = mix.jobs.iter().map(|(t, _)| *t).min().unwrap_or(SimTime::MAX);
+    let cut = first_job.min(SimTime::from_secs(5));
+    let tick = SimDuration::from_secs(0.1);
+    while parent.now() + tick < cut {
+        parent.step_tick();
+    }
+    let sys_forks = forked::sweep(&parent, systems.len(), |i, mut e| {
+        let (name, make) = systems[i];
+        e.set_mitigation(make());
+        let r = e.run();
+        let mr: Vec<JobOutcome> = r.outcomes.iter().filter(|o| !is_spark(o)).cloned().collect();
+        let spark: Vec<JobOutcome> = r.outcomes.iter().filter(|o| is_spark(o)).cloned().collect();
+        let mr_b = DegradationBreakdown::from_normalized(&normalize_jcts(&mr, &base));
+        let sp_b = DegradationBreakdown::from_normalized(&normalize_jcts(&spark, &base));
+        let eff = mean_efficiency(&r.outcomes);
+        (name.to_string(), mr_b, sp_b, eff)
+    });
+    let rows: Vec<(String, DegradationBreakdown, DegradationBreakdown, f64)> = sys_forks.results;
 
     for (label, pick) in [("a) MapReduce", 0usize), ("b) Spark", 1)] {
         println!("\nFig 11({label}): fraction of jobs by degradation bucket");
@@ -188,4 +211,12 @@ pays no duplication cost (efficiency 1.0 vs Dolly's {:.2}).",
         "shape check (more clones help Dolly's job performance): {}",
         if all_under10(d6) >= all_under10(d2) { "HOLDS" } else { "VIOLATED" }
     );
+
+    let mut rec = BenchRecord::wall("fig11", t0.elapsed().as_secs_f64());
+    let sweep_points = base_forks.forked_points + sys_forks.forked_points;
+    let saved = base_forks.prefix_ticks_saved + sys_forks.prefix_ticks_saved;
+    rec.extras.push(("sweep_points".into(), sweep_points as f64));
+    rec.extras.push(("forked_points".into(), sweep_points as f64));
+    rec.extras.push(("prefix_events_saved".into(), saved as f64));
+    let _ = rec.write();
 }

@@ -88,6 +88,36 @@ pub fn env_shards() -> usize {
     perfcloud_sim::shard::shards_from_env(1)
 }
 
+/// Whether golden runs snapshot mid-run and finish on the fork
+/// (`FORK_GOLDENS=1`). [`Experiment::fork`] promises a fork continues
+/// byte-identically to its parent, so every golden artifact must come out
+/// unchanged — any missed byte of state (an RNG position, a monitor
+/// window, an in-flight message) surfaces as a golden diff. CI runs the
+/// golden suites once more with this set (and never with `BLESS`).
+pub fn fork_goldens() -> bool {
+    std::env::var("FORK_GOLDENS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Snapshot instant for the `FORK_GOLDENS=1` leg: 30 s (ticks are 100 ms)
+/// is past detection and the throttling onset and inside every fault
+/// window, yet safely before any golden scenario's job completes — the
+/// fork is taken with live monitor windows, controller state, fault
+/// machinery, and in-flight control messages.
+const FORK_PREFIX_TICKS: u64 = 300;
+
+/// Runs an experiment to completion — straight through, or (with
+/// `FORK_GOLDENS=1`) via a mid-run snapshot whose fork finishes the run.
+fn run_to_completion(mut e: Experiment) -> (Experiment, perfcloud_cluster::ExperimentResult) {
+    if fork_goldens() {
+        for _ in 0..FORK_PREFIX_TICKS {
+            e.step_tick();
+        }
+        e = e.fork();
+    }
+    let r = e.run();
+    (e, r)
+}
+
 /// All golden scenarios: the fault-free references, one scenario per fault
 /// class, a kitchen-sink mix, and the mini Fig. 12(b) sweep.
 pub fn scenarios() -> Vec<GoldenScenario> {
@@ -143,7 +173,7 @@ fn chaos_run_with_control(
     if OBSERVE_GOLDENS.load(Ordering::Relaxed) {
         e.enable_observability(FLIGHT_CAPACITY);
     }
-    let r = e.run();
+    let (e, r) = run_to_completion(e);
     LAST_FLIGHT_SOURCES.with(|s| *s.borrow_mut() = e.flight_sources());
     let trace = e.decision_trace().expect("trace enabled");
     let mut out = String::new();
@@ -387,7 +417,7 @@ fn fig12b_mini(shards: usize) -> String {
         cfg.max_sim_time = SimTime::from_secs(7_200);
         let mut e = Experiment::build(cfg);
         e.set_shards(shards);
-        e.run().sole_jct()
+        run_to_completion(e).1.sole_jct()
     };
 
     type MitigationFactory = fn() -> Mitigation;
@@ -421,7 +451,7 @@ fn fig12b_mini(shards: usize) -> String {
             cfg.max_sim_time = SimTime::from_secs(7_200);
             let mut e = Experiment::build(cfg);
             e.set_shards(shards);
-            e.run().sole_jct() / solo
+            run_to_completion(e).1.sole_jct() / solo
         });
         let b = BoxplotSummary::from_data(&jcts).expect("non-empty");
         let list: Vec<String> = jcts.iter().map(|v| format!("{v}")).collect();

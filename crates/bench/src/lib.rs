@@ -8,9 +8,11 @@
 //! everything in sequence; `--fast` shrinks the two expensive sweeps.
 
 pub mod accuracy;
+pub mod baseline;
 pub mod benchjson;
 pub mod ctrlbench;
 pub mod enginebench;
+pub mod forked;
 pub mod golden;
 pub mod report;
 pub mod scalebench;

@@ -47,8 +47,13 @@ pub fn small_scale_spec(
     Experiment::build(cfg)
 }
 
-/// Interference-free JCT of one benchmark at the given size.
+/// Interference-free JCT of one benchmark at the given size. Served from
+/// the cross-figure baseline cache when `run_all` has precomputed it (the
+/// cached value is bit-identical to a fresh computation).
 pub fn solo_jct(bench: Benchmark, tasks: usize, seed: u64) -> f64 {
+    if let Some(v) = crate::baseline::cached(&crate::baseline::solo_jct_key(bench, tasks, seed)) {
+        return v;
+    }
     small_scale(bench, tasks, Vec::new(), Mitigation::Default, seed).run().sole_jct()
 }
 
@@ -69,6 +74,12 @@ pub fn contended_run(
 /// Chameleon server: its solo IOPS and bytes/s (the normalization reference
 /// for Figs. 1 and 9).
 pub fn fio_solo_reference(seed: u64) -> (f64, f64) {
+    let (iops_key, bps_key) = crate::baseline::fio_keys(seed);
+    if let (Some(iops), Some(bps)) =
+        (crate::baseline::cached(&iops_key), crate::baseline::cached(&bps_key))
+    {
+        return (iops, bps);
+    }
     let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(seed), Mitigation::Default);
     // No workers do anything; just the antagonist.
     cfg.antagonists.push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0));
@@ -82,6 +93,9 @@ pub fn fio_solo_reference(seed: u64) -> (f64, f64) {
 /// The STREAM benchmark running alone: solo CPU cores used (reference for
 /// static CPU caps).
 pub fn stream_solo_cores(seed: u64) -> f64 {
+    if let Some(v) = crate::baseline::cached(&crate::baseline::stream_key(seed)) {
+        return v;
+    }
     let mut cfg = ExperimentConfig::new(ClusterSpec::small_scale(seed), Mitigation::Default);
     cfg.antagonists.push(AntagonistPlacement::pinned(AntagonistKind::Stream, 0));
     cfg.max_sim_time = SimTime::from_secs(60);

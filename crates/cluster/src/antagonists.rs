@@ -115,6 +115,15 @@ impl AntagonistPlacement {
         self
     }
 
+    /// Same placement with the start deferred past any horizon: the VM is
+    /// booted but its workload never spawns. Fork-point sweeps build the
+    /// parent this way and let each fork pick the onset with
+    /// [`crate::Experiment::start_antagonist`].
+    pub fn deferred(mut self) -> Self {
+        self.start = SimTime::MAX;
+        self
+    }
+
     /// Same placement with a bounded run length.
     pub fn lasting(mut self, duration: SimDuration) -> Self {
         self.duration = Some(duration);

@@ -178,6 +178,20 @@ pub struct Experiment {
     next_sample: SimTime,
     now: SimTime,
     max_sim_time: SimTime,
+    /// Ticks executed so far — the prefix length a fork inherits for free.
+    ticks_stepped: u64,
+    /// Chaos seed derived from the testbed's master seed at build time;
+    /// kept so [`Self::set_mitigation`] can rebuild node managers with
+    /// byte-identical fault streams.
+    chaos_seed: u64,
+    /// The fault scenario attached to node managers at build, if any.
+    fault_scenario: Option<FaultScenario>,
+    /// The pipeline spec from the build config (only in effect under a
+    /// PerfCloud mitigation).
+    pipeline: PipelineSpec,
+    /// Flight-recorder capacity if observability is on; re-attached to
+    /// rebuilt node managers by [`Self::set_mitigation`].
+    flight_capacity: Option<usize>,
     trace: Option<DecisionTrace>,
     /// Reused step-report buffer: one per experiment, refilled by every
     /// node-manager step instead of allocating a report per (server,
@@ -291,6 +305,11 @@ impl Experiment {
             next_sample: SimTime::ZERO + sample_interval,
             now: SimTime::ZERO,
             max_sim_time: config.max_sim_time,
+            ticks_stepped: 0,
+            chaos_seed,
+            fault_scenario: config.faults,
+            pipeline: config.pipeline,
+            flight_capacity: None,
             trace: None,
             report_buf: StepReport::default(),
             shards,
@@ -341,6 +360,7 @@ impl Experiment {
     /// `capacity` events. Recording is pure observation; enabling it
     /// changes no decision, trace, or result byte.
     pub fn enable_observability(&mut self, capacity: usize) {
+        self.flight_capacity = Some(capacity);
         for nm in &mut self.node_managers {
             nm.attach_flight(capacity);
         }
@@ -446,9 +466,177 @@ impl Experiment {
         &self.antagonist_vms
     }
 
+    /// Ticks executed so far. A fork inherits the parent's prefix, so a
+    /// sweep that forks `n` points off one parent at this tick count saves
+    /// `(n - 1) × ticks_stepped` ticks over `n` fresh runs.
+    pub fn ticks_stepped(&self) -> u64 {
+        self.ticks_stepped
+    }
+
+    /// Snapshots the entire experiment into an independent copy.
+    ///
+    /// The fork duplicates every byte of mutable state — server and VM
+    /// contents (running processes, AR(1) luck states, RNG stream
+    /// positions), the cloud registry, the framework scheduler, every node
+    /// manager (monitor windows, CUBIC controllers, pipeline state), the
+    /// control plane with its in-flight network messages, the decision
+    /// trace, and any attached flight recorders — so continuing the fork
+    /// is byte-identical to continuing the parent, and neither observes
+    /// the other. Per-shard scratch buffers are rebuilt empty: they are
+    /// drained at every epoch barrier and only accumulate latency metrics,
+    /// never simulation state.
+    ///
+    /// Combined with the divergence APIs ([`Self::start_antagonist`],
+    /// [`Self::push_job`], [`Self::apply_static_caps`],
+    /// [`Self::set_mitigation`]), a run forked at time `t` and diverged
+    /// produces the same result, decision trace, and flight export as a
+    /// fresh run built with the diverged configuration.
+    pub fn fork(&self) -> Self {
+        Experiment {
+            servers: self.servers.clone(),
+            cloud: self.cloud.clone(),
+            scheduler: self.scheduler.clone(),
+            node_managers: self.node_managers.clone(),
+            plane: self.plane.clone(),
+            policy: self.policy.clone(),
+            dolly: self.dolly,
+            mitigation_name: self.mitigation_name.clone(),
+            antagonist_vms: self.antagonist_vms.clone(),
+            antagonist_seeds: self.antagonist_seeds.clone(),
+            pending_antagonists: self.pending_antagonists.clone(),
+            pending_jobs: self.pending_jobs.clone(),
+            submitted_jobs: self.submitted_jobs,
+            tick: self.tick,
+            sample_interval: self.sample_interval,
+            next_sample: self.next_sample,
+            now: self.now,
+            max_sim_time: self.max_sim_time,
+            ticks_stepped: self.ticks_stepped,
+            chaos_seed: self.chaos_seed,
+            fault_scenario: self.fault_scenario.clone(),
+            pipeline: self.pipeline,
+            flight_capacity: self.flight_capacity,
+            trace: self.trace.clone(),
+            report_buf: self.report_buf.clone(),
+            shards: self.shards,
+            shard_ranges: self.shard_ranges.clone(),
+            shard_scratch: (0..self.shards).map(|_| ShardScratch::default()).collect(),
+            shard_threads: self.shard_threads,
+            stall_snapshot: Vec::new(),
+            finished_buf: Vec::new(),
+        }
+    }
+
+    /// Diverges a fork: schedules the `index`-th placed antagonist to
+    /// start at `at`. The parent typically places it with a start beyond
+    /// the horizon (an idle, booted VM is inert: it draws from its own
+    /// luck RNG streams only when it runs processes), so the fork decides
+    /// the onset. Exactness requires `at` to lie strictly ahead of the
+    /// last executed tick (or no tick to have run yet) — otherwise a
+    /// fresh run of the diverged config would already have spawned it.
+    pub fn start_antagonist(&mut self, index: usize, at: SimTime) {
+        assert!(
+            at > self.now || self.ticks_stepped == 0,
+            "antagonist start {at:?} is not ahead of the fork point {:?}",
+            self.now
+        );
+        assert!(self.pending_antagonists.contains(&index), "antagonist {index} already started");
+        self.antagonist_vms[index].1.start = at;
+    }
+
+    /// Diverges a fork: submits an additional job at time `at` (strictly
+    /// ahead of the last executed tick, or before the first). Equivalent
+    /// to having appended `(at, spec)` to the build config's job list.
+    pub fn push_job(&mut self, at: SimTime, spec: JobSpec) {
+        assert!(
+            at > self.now || self.ticks_stepped == 0,
+            "job submission {at:?} is not ahead of the fork point {:?}",
+            self.now
+        );
+        // `pending_jobs` is sorted descending (pop-from-back = earliest).
+        // Insert before existing equal-time entries so they pop first —
+        // the order a stable ascending sort gives an appended config entry.
+        let idx = self.pending_jobs.partition_point(|(t, _)| *t > at);
+        self.pending_jobs.insert(idx, (at, spec));
+    }
+
+    /// Diverges a fork: applies fixed caps to every server, as
+    /// [`Mitigation::StaticCap`] does at build time. Forking an uncapped
+    /// parent before its first tick and applying caps is byte-identical
+    /// to building with the static-cap mitigation.
+    pub fn apply_static_caps(&mut self, caps: &StaticCapping) {
+        for server in &mut self.servers {
+            caps.apply(server);
+        }
+        self.mitigation_name = "static-cap".into();
+    }
+
+    /// Diverges a fork: swaps the mitigation strategy, rebuilding the
+    /// speculation policy, Dolly cloning, and every node manager.
+    ///
+    /// Exact only **before the first sampling instant**: until then no
+    /// placement view has been published and no sample ingested, so the
+    /// node managers (and the detector/identifier/controller state inside
+    /// them) are still in their just-built state — rebuilding them is a
+    /// no-op observationally. All mitigation pipelines share the sampling
+    /// cadence, so the control plane (built once from the chaos seed) is
+    /// already exact. This is what lets one neutral parent cover a whole
+    /// mitigation comparison: run the shared prefix once, fork per
+    /// system, swap, continue.
+    pub fn set_mitigation(&mut self, mitigation: Mitigation) {
+        assert!(
+            self.now < SimTime::ZERO + self.sample_interval,
+            "set_mitigation at {:?} is past the first sampling instant",
+            self.now
+        );
+        self.mitigation_name = mitigation.name();
+        let (policy, dolly, pc_config, pipeline): (
+            Box<dyn SpeculationPolicy>,
+            Option<Dolly>,
+            PerfCloudConfig,
+            PipelineSpec,
+        ) = match mitigation {
+            Mitigation::Default => {
+                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
+            }
+            Mitigation::Late(l) => (Box::new(l), None, monitoring_only(), PipelineSpec::paper()),
+            Mitigation::Dolly(d) => {
+                (Box::new(NoSpeculation), Some(d), monitoring_only(), PipelineSpec::paper())
+            }
+            Mitigation::StaticCap(s) => {
+                for server in &mut self.servers {
+                    s.apply(server);
+                }
+                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
+            }
+            Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg, self.pipeline),
+            Mitigation::PerfCloudWithLate(cfg, late) => (Box::new(late), None, cfg, self.pipeline),
+        };
+        assert_eq!(
+            pc_config.sample_interval, self.sample_interval,
+            "set_mitigation cannot change the sampling cadence"
+        );
+        self.policy = policy;
+        self.dolly = dolly;
+        self.node_managers = (0..self.servers.len())
+            .map(|_| NodeManager::with_pipeline(pc_config.clone(), pipeline))
+            .collect();
+        if let Some(scenario) = &self.fault_scenario {
+            for (i, nm) in self.node_managers.iter_mut().enumerate() {
+                nm.attach_faults(NodeFaults::new(self.chaos_seed, scenario.clone(), i as u32));
+            }
+        }
+        if let Some(capacity) = self.flight_capacity {
+            for nm in &mut self.node_managers {
+                nm.attach_flight(capacity);
+            }
+        }
+    }
+
     /// Advances one tick.
     pub fn step_tick(&mut self) {
         self.now += self.tick;
+        self.ticks_stepped += 1;
         let now = self.now;
 
         // Start due antagonists.

@@ -46,7 +46,7 @@ impl Resource {
 ///
 /// [`correlation`]: Self::correlation
 /// [`identify`]: Self::identify
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AntagonistIdentifier {
     corr_threshold: f64,
     window: usize,

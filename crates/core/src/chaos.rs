@@ -48,7 +48,7 @@ pub enum ManagerFault {
 /// Per-server fault state: a bound injector plus the small amount of mutable
 /// bookkeeping faults need (delayed deliveries in flight, stuck-sensor
 /// memory).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NodeFaults {
     injector: FaultInjector,
     server: u32,

@@ -96,7 +96,7 @@ impl IngestStats {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VmMonitorState {
     prev: Option<CounterSnapshot>,
     last_ingest: Option<SimTime>,
@@ -105,7 +105,7 @@ struct VmMonitorState {
 }
 
 /// Samples and retains smoothed per-VM metric series for one server.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PerformanceMonitor {
     alpha: f64,
     retain: usize,
@@ -300,9 +300,13 @@ impl PerformanceMonitor {
         self.series(vm, kind)?.last_present().map(|(_, v)| v)
     }
 
-    /// VMs with at least one recorded sample.
-    pub fn monitored_vms(&self) -> Vec<VmId> {
-        self.vms.keys().copied().collect()
+    /// VMs with at least one delivered sample, in ascending id order.
+    ///
+    /// Borrowed iteration — callers in the sampling loop must not pay a
+    /// fresh `Vec` per interval (the counting-allocator steady-state test
+    /// covers this).
+    pub fn monitored_vms(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.vms.keys().copied()
     }
 
     /// Drops a VM's state (it migrated away or was torn down).
@@ -512,8 +516,8 @@ mod tests {
         let mut now = SimTime::ZERO;
         mon.sample(now, &server);
         sample_after(&mut mon, &mut server, &mut now);
-        assert_eq!(mon.monitored_vms().len(), 2);
+        assert_eq!(mon.monitored_vms().count(), 2);
         mon.forget(VmId(1));
-        assert_eq!(mon.monitored_vms(), vec![VmId(0)]);
+        assert_eq!(mon.monitored_vms().collect::<Vec<_>>(), vec![VmId(0)]);
     }
 }

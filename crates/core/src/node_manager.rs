@@ -117,6 +117,7 @@ pub enum PlacementApplyOutcome {
 }
 
 /// The per-server PerfCloud agent.
+#[derive(Clone)]
 pub struct NodeManager {
     config: PerfCloudConfig,
     pipeline: PipelineSpec,

@@ -72,7 +72,7 @@ fn verdict(
 }
 
 /// Learned monitor over robust + moment deviation features.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AliothDetector {
     /// Scratch for the latest across-VM values; reused between calls.
     scratch: Vec<f64>,

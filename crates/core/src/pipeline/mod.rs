@@ -22,6 +22,44 @@ use perfcloud_host::VmId;
 use perfcloud_sim::SimTime;
 use perfcloud_stats::TimeSeries;
 
+/// The `CloneBox` bound on [`Detector`]: pipelines must be duplicable so a
+/// node manager (and therefore a whole experiment) can be forked mid-run.
+/// Blanket-implemented for any `Clone` detector.
+pub trait CloneDetector {
+    /// Boxes a deep copy of `self`.
+    fn clone_box(&self) -> Box<dyn Detector>;
+}
+
+impl<T: Detector + Clone + 'static> CloneDetector for T {
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Detector> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The `CloneBox` bound on [`Identifier`]; see [`CloneDetector`].
+pub trait CloneIdentifier {
+    /// Boxes a deep copy of `self`.
+    fn clone_box(&self) -> Box<dyn Identifier>;
+}
+
+impl<T: Identifier + Clone + 'static> CloneIdentifier for T {
+    fn clone_box(&self) -> Box<dyn Identifier> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Identifier> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// Contention detection: turns the monitor's smoothed per-VM series into a
 /// per-interval [`ContentionSignal`] for one application's VM group.
 ///
@@ -30,7 +68,7 @@ use perfcloud_stats::TimeSeries;
 /// dependence — so runs replay byte-identically at any shard or thread
 /// count. `Send` because node managers are stepped from shard worker
 /// threads.
-pub trait Detector: Send {
+pub trait Detector: Send + CloneDetector {
     /// Evaluates the signal for one application's VMs at the current
     /// sampling instant. Every implementation must fill `io_deviation` /
     /// `cpi_deviation` with the paper's across-VM standard deviations (the
@@ -50,7 +88,7 @@ pub trait Detector: Send {
 /// causing the victim's deviations, per resource dimension.
 ///
 /// Same determinism and `Send` contract as [`Detector`].
-pub trait Identifier: Send {
+pub trait Identifier: Send + CloneIdentifier {
     /// Appends the victim's deviations observed at `now` and advances any
     /// incremental per-suspect state. Called once per sampling interval,
     /// right after detection, with the current suspect set.

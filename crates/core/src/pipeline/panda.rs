@@ -34,7 +34,7 @@ const SIGN_AGREEMENT_MIN: f64 = 0.5;
 const USAGE_SHARE_MIN: f64 = 0.3;
 
 /// Noise-resilient identifier: Spearman + sign agreement + usage share.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PandaIdentifier {
     corr_threshold: f64,
     window: usize,

@@ -17,7 +17,7 @@ use perfcloud_sim::SimTime;
 use perfcloud_stats::TimeSeries;
 
 /// Across-VM stddev vs. fixed threshold ℋ (§III-A).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PaperDetector {
     h_io: f64,
     h_cpi: f64,
@@ -44,7 +44,7 @@ impl Detector for PaperDetector {
 }
 
 /// Rolling lagged Pearson ≥ 0.8 (§III-B), wrapping [`AntagonistIdentifier`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PaperIdentifier {
     inner: AntagonistIdentifier,
 }

@@ -128,6 +128,58 @@ fn steady_state_node_manager_step_is_allocation_free() {
     assert_eq!(total, 0, "{total} allocations across 50 steady-state steps (expected 0)");
 }
 
+/// [`perfcloud_core::PerformanceMonitor::monitored_vms`] exists so the
+/// sampling loop can walk the monitored set without materializing a `Vec`
+/// per interval; iterating it — and chasing each VM's latest smoothed
+/// metric — must itself be allocation-free.
+#[test]
+fn monitored_vms_iteration_is_allocation_free() {
+    use perfcloud_core::VmMetricKind;
+
+    const DT: SimDuration = SimDuration::from_micros(100_000);
+    let mut server =
+        PhysicalServer::new(ServerId(0), ServerConfig::default(), RngFactory::new(9), DT);
+    let mut cloud = CloudManager::new();
+    for vm in (0..6).map(VmId) {
+        server.add_vm(vm, VmConfig::high_priority());
+        server.spawn(vm, Box::new(FioRandRead::with_rate(400.0, 4096.0, None)));
+        cloud.register(
+            vm,
+            VmRecord { server: ServerId(0), priority: Priority::High, app: Some(AppId(1)) },
+        );
+    }
+    let config =
+        PerfCloudConfig { h_io: f64::INFINITY, h_cpi: f64::INFINITY, ..Default::default() };
+    let mut nm = NodeManager::new(config);
+    let mut report = StepReport::default();
+    let mut now = SimTime::ZERO;
+    for _ in 0..20 {
+        for _ in 0..50 {
+            server.tick(DT);
+        }
+        now += SimDuration::from_secs(5.0);
+        nm.step_into(now, &mut server, &mut cloud, &mut report);
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    counted(true);
+    let mut seen = 0usize;
+    let mut live_series = 0usize;
+    for _ in 0..100 {
+        for vm in nm.monitor().monitored_vms() {
+            seen += 1;
+            if nm.monitor().latest_present(vm, VmMetricKind::IowaitRatio).is_some() {
+                live_series += 1;
+            }
+        }
+    }
+    counted(false);
+    let total = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(seen, 600, "all six VMs visible on every pass");
+    assert_eq!(live_series, 600, "every monitored VM has a live iowait series");
+    assert_eq!(total, 0, "{total} allocations across 100 monitored_vms() walks (expected 0)");
+}
+
 #[test]
 fn steady_state_step_with_flight_recorder_is_allocation_free() {
     // The recorder's ring is reserved at attach time; recording into it —

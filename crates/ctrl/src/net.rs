@@ -95,7 +95,7 @@ pub enum SendOutcome {
 
 /// The simulated network: a timer wheel of in-flight messages plus the fault
 /// injector that decides each message's fate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimNet {
     injector: FaultInjector,
     link: LinkSpec,

@@ -82,7 +82,7 @@ struct Endpoint {
 }
 
 /// The control plane for one cluster experiment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ControlPlane {
     spec: ControlPlaneSpec,
     net: SimNet,

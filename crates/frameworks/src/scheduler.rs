@@ -83,8 +83,32 @@ pub struct SchedulerView {
     pub total_slots: usize,
 }
 
+/// The `CloneBox` bound on [`SpeculationPolicy`]: policies must be
+/// duplicable so a whole experiment can be forked mid-run.
+/// Blanket-implemented for any `Clone` policy.
+pub trait ClonePolicy {
+    /// Boxes a deep copy of `self`.
+    fn clone_box(&self) -> Box<dyn SpeculationPolicy>;
+}
+
+impl<T: SpeculationPolicy + Clone + 'static> ClonePolicy for T {
+    fn clone_box(&self) -> Box<dyn SpeculationPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn SpeculationPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// Hook for straggler-mitigation policies that launch speculative attempts.
-pub trait SpeculationPolicy {
+///
+/// `Send` because experiments (which own their policy) move between sweep
+/// worker threads; [`ClonePolicy`] so forking an experiment can deep-copy
+/// the policy.
+pub trait SpeculationPolicy: Send + ClonePolicy {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
     /// Returns the tasks to launch one more attempt for. The scheduler
@@ -105,6 +129,7 @@ impl SpeculationPolicy for NoSpeculation {
     }
 }
 
+#[derive(Clone)]
 struct CloneGroup {
     members: Vec<JobId>,
     winner: Option<JobId>,
@@ -113,6 +138,7 @@ struct CloneGroup {
 }
 
 /// The scheduler itself.
+#[derive(Clone)]
 pub struct FrameworkScheduler {
     workers: Vec<Worker>,
     running_on: Vec<usize>,
@@ -755,6 +781,7 @@ mod tests {
     }
 
     /// A policy that speculates every running task immediately.
+    #[derive(Clone)]
     struct AlwaysSpeculate;
     impl SpeculationPolicy for AlwaysSpeculate {
         fn name(&self) -> &'static str {

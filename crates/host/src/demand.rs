@@ -99,10 +99,33 @@ pub struct Achieved {
     pub llc_misses: f64,
 }
 
+/// The `CloneBox` bound on [`Process`]: every process must be duplicable
+/// so a whole server (and therefore a whole experiment) can be forked
+/// mid-run. The blanket impl covers any `Clone` process type; implementors
+/// only need `#[derive(Clone)]`.
+pub trait CloneProcess {
+    /// Boxes a deep copy of `self`.
+    fn clone_box(&self) -> Box<dyn Process>;
+}
+
+impl<T: Process + Clone + 'static> CloneProcess for T {
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Process> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// A unit of guest work. Object-safe so VMs can host heterogeneous
 /// processes; `Send` so servers (and the VMs they host) can move between
-/// the sharded experiment loop's worker threads at epoch barriers.
-pub trait Process: Send {
+/// the sharded experiment loop's worker threads at epoch barriers, and
+/// [`CloneProcess`] so forking an experiment can deep-copy every running
+/// process.
+pub trait Process: Send + CloneProcess {
     /// Demand for the coming tick of length `dt`.
     fn demand(&self, dt: SimDuration) -> ResourceDemand;
 

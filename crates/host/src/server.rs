@@ -57,6 +57,7 @@ pub struct TickReport {
 }
 
 /// A simulated physical server hosting VMs.
+#[derive(Clone)]
 pub struct PhysicalServer {
     /// Identifier within the cluster.
     pub id: ServerId,
@@ -405,6 +406,7 @@ mod tests {
     use crate::demand::{IoPattern, ResourceDemand};
 
     /// A process that wants `instr` instructions and `bytes` of I/O total.
+    #[derive(Clone)]
     struct WorkProc {
         instr_left: f64,
         bytes_left: f64,

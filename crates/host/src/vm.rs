@@ -45,6 +45,7 @@ pub struct VmDemand {
 }
 
 /// A hosted virtual machine.
+#[derive(Clone)]
 pub struct Vm {
     /// Cluster-wide identifier.
     pub id: VmId,
@@ -142,6 +143,7 @@ mod tests {
     use crate::jitter::Ar1;
     use perfcloud_sim::{RngFactory, SimDuration};
 
+    #[derive(Clone)]
     struct FakeProc {
         demand: ResourceDemand,
     }

@@ -361,7 +361,7 @@ impl fmt::Display for Record {
 /// Bounded ring buffer of [`Record`]s. Allocates its full capacity at
 /// construction; recording never allocates and overwrites the oldest
 /// entry once full.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlightRecorder {
     buf: Vec<Record>,
     capacity: usize,

@@ -31,6 +31,13 @@ const WORDS: usize = INLINE_BYTES / 8;
 ///
 /// `C` is the scheduling context type handed to handlers (kept generic so
 /// this module does not depend on the engine's types).
+///
+/// Handlers are **cloneable**: the constructor requires `F: Clone`, and a
+/// third monomorphized function pointer duplicates the stored capture into
+/// a fresh buffer. This is what lets a whole calendar (and therefore a
+/// whole [`crate::Simulation`]) be forked mid-run — every handler in this
+/// workspace captures ids and small `Copy` data, which are `Clone` for
+/// free.
 pub struct RawHandler<W, C> {
     buf: [MaybeUninit<u64>; WORDS],
     /// Consumes the value in `buf` and calls it. The buffer must not be
@@ -38,6 +45,9 @@ pub struct RawHandler<W, C> {
     call: unsafe fn(*mut u64, &mut W, &mut C),
     /// Drops the value in `buf` without calling it.
     drop_fn: unsafe fn(*mut u64),
+    /// Duplicates the value in `buf` into a caller-provided buffer (the
+    /// `CloneBox` bound, monomorphized away).
+    clone_fn: unsafe fn(*const u64, *mut u64),
 }
 
 unsafe fn call_inline<W, C, F: FnOnce(&mut W, &mut C)>(p: *mut u64, w: &mut W, c: &mut C) {
@@ -63,6 +73,17 @@ unsafe fn drop_boxed<F>(p: *mut u64) {
     unsafe { p.cast::<Box<F>>().drop_in_place() }
 }
 
+unsafe fn clone_inline<F: Clone>(src: *const u64, dst: *mut u64) {
+    // SAFETY: an `F` lives at `src`; `dst` is a fresh buffer with the same
+    // size and alignment guarantees `new` established for inline storage.
+    unsafe { dst.cast::<F>().write((*src.cast::<F>()).clone()) }
+}
+
+unsafe fn clone_boxed<F: Clone>(src: *const u64, dst: *mut u64) {
+    // SAFETY: a `Box<F>` lives at `src`; the clone is boxed afresh.
+    unsafe { dst.cast::<Box<F>>().write(Box::new((**src.cast::<Box<F>>()).clone())) }
+}
+
 impl<W, C> RawHandler<W, C> {
     /// Wraps `f`, storing it inline if it fits.
     ///
@@ -71,17 +92,27 @@ impl<W, C> RawHandler<W, C> {
     /// captures ids and small copies, which are `Send` for free.
     pub fn new<F>(f: F) -> Self
     where
-        F: FnOnce(&mut W, &mut C) + Send + 'static,
+        F: FnOnce(&mut W, &mut C) + Clone + Send + 'static,
     {
         let mut buf = [MaybeUninit::<u64>::uninit(); WORDS];
         if size_of::<F>() <= INLINE_BYTES && align_of::<F>() <= align_of::<u64>() {
             // SAFETY: the buffer is large and aligned enough for `F`.
             unsafe { buf.as_mut_ptr().cast::<F>().write(f) };
-            RawHandler { buf, call: call_inline::<W, C, F>, drop_fn: drop_inline::<F> }
+            RawHandler {
+                buf,
+                call: call_inline::<W, C, F>,
+                drop_fn: drop_inline::<F>,
+                clone_fn: clone_inline::<F>,
+            }
         } else {
             // SAFETY: a `Box<F>` is one pointer, which always fits.
             unsafe { buf.as_mut_ptr().cast::<Box<F>>().write(Box::new(f)) };
-            RawHandler { buf, call: call_boxed::<W, C, F>, drop_fn: drop_boxed::<F> }
+            RawHandler {
+                buf,
+                call: call_boxed::<W, C, F>,
+                drop_fn: drop_boxed::<F>,
+                clone_fn: clone_boxed::<F>,
+            }
         }
     }
 
@@ -91,6 +122,17 @@ impl<W, C> RawHandler<W, C> {
         // SAFETY: `this` is never dropped (ManuallyDrop), so the closure is
         // consumed exactly once, by `call`.
         unsafe { (this.call)(this.buf.as_mut_ptr().cast(), world, ctx) }
+    }
+}
+
+impl<W, C> Clone for RawHandler<W, C> {
+    fn clone(&self) -> Self {
+        let mut buf = [MaybeUninit::<u64>::uninit(); WORDS];
+        // SAFETY: `self.buf` holds a live value of the type `clone_fn` was
+        // monomorphized for, and `buf` satisfies the same size/alignment
+        // contract as the source buffer.
+        unsafe { (self.clone_fn)(self.buf.as_ptr().cast(), buf.as_mut_ptr().cast()) };
+        RawHandler { buf, call: self.call, drop_fn: self.drop_fn, clone_fn: self.clone_fn }
     }
 }
 
@@ -153,6 +195,42 @@ mod tests {
         let mut world = 0u64;
         h.invoke(&mut world, &mut ());
         assert_eq!(world, 2);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn cloned_inline_handler_is_independent() {
+        let base = 10u64;
+        let h: RawHandler<u64, Ctx> = RawHandler::new(move |w, _| *w += base);
+        let h2 = h.clone();
+        let mut world = 0u64;
+        h.invoke(&mut world, &mut ());
+        h2.invoke(&mut world, &mut ());
+        assert_eq!(world, 20);
+    }
+
+    #[test]
+    fn cloned_boxed_handler_duplicates_the_capture() {
+        let big = [3u64; 32]; // over the inline cap -> boxed path
+        let h: RawHandler<u64, Ctx> = RawHandler::new(move |w, _| *w += big.iter().sum::<u64>());
+        let h2 = h.clone();
+        let mut world = 0u64;
+        h.invoke(&mut world, &mut ());
+        h2.invoke(&mut world, &mut ());
+        assert_eq!(world, 2 * 3 * 32);
+    }
+
+    #[test]
+    fn cloned_handler_shares_no_drop_state() {
+        let token = Arc::new(());
+        let witness = Arc::clone(&token);
+        let h: RawHandler<u64, Ctx> = RawHandler::new(move |_, _| drop(witness));
+        let h2 = h.clone();
+        // Original + clone each hold one Arc.
+        assert_eq!(Arc::strong_count(&token), 3);
+        drop(h);
+        assert_eq!(Arc::strong_count(&token), 2);
+        drop(h2);
         assert_eq!(Arc::strong_count(&token), 1);
     }
 

@@ -107,14 +107,18 @@ pub struct WheelStats {
 
 /// One slab node: an entry plus the next link of whatever slot list (or
 /// the free list) it is currently on.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     entry: Entry,
     next: u32,
 }
 
 /// Hierarchical timer wheel with exact `(time, seq)` pop order.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the whole calendar — cursor, bitmaps, slab lists,
+/// late/overflow heaps and counters — so a forked simulation replays the
+/// exact same pop order as its parent.
+#[derive(Debug, Clone)]
 pub struct TimerWheel {
     /// Cursor: the wheel's notion of "current tick". Only ever advances,
     /// and only to the base of a slot that is about to fire (or to the
