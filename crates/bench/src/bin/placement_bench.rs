@@ -1,0 +1,108 @@
+//! Placement benchmark runner with a CI regression gate.
+//!
+//! `cargo run --release -p perfcloud-bench --bin placement_bench -- \
+//!     [--check] [--baseline BENCH_placement.json] [--max-drop 0.15]`
+//!
+//! Runs [`perfcloud_bench::placementbench`]: the `AntagonistAware`
+//! decision-throughput micro-bench plus the deterministic
+//! throttle-vs-migrate-vs-hybrid scenario comparison, and writes a fresh
+//! `BENCH_placement.json`. With `--baseline` (implied as the committed
+//! `BENCH_placement.json` by `--check`) the run exits non-zero if
+//! `decisions_per_sec` fell more than `--max-drop` (default 0.15) below
+//! the baseline. `--check` additionally asserts the scenario invariants:
+//! both placement arms migrate exactly once (no ping-pong) and hybrid
+//! does not lose to throttle-only on victim JCT.
+
+use perfcloud_bench::benchjson::BenchRecord;
+use perfcloud_bench::placementbench;
+
+/// The fixed seed of the gated run — the golden seed, so the scenario
+/// arms reproduce the committed `placement_*` golden artifacts.
+const SEED: u64 = 42;
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut max_drop = 0.15f64;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--max-drop" => {
+                max_drop = args
+                    .next()
+                    .expect("--max-drop needs a fraction")
+                    .parse()
+                    .expect("--max-drop must be a number")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: placement_bench [--check] [--baseline FILE] [--max-drop FRAC]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if check && baseline.is_none() {
+        baseline = Some("BENCH_placement.json".into());
+    }
+
+    let baseline_dps =
+        baseline.as_deref().and_then(|p| BenchRecord::read_field(p, "decisions_per_sec"));
+    if let Some(path) = &baseline {
+        match baseline_dps {
+            Some(dps) => println!(
+                "baseline {path}: {dps:.0} decisions/sec (gate: -{:.0}%)",
+                max_drop * 100.0
+            ),
+            None => eprintln!("warning: no decisions_per_sec in baseline {path}; gate disabled"),
+        }
+    }
+
+    let probe = placementbench::probe(SEED);
+    println!(
+        "placement probe: {:.0} decisions/sec; \
+         jct throttle={:.1}s migrate={:.1}s hybrid={:.1}s; \
+         migrations migrate={} hybrid={}",
+        probe.decisions_per_sec,
+        probe.throttle.jct,
+        probe.migrate.jct,
+        probe.hybrid.jct,
+        probe.migrate.migrations,
+        probe.hybrid.migrations,
+    );
+
+    let record = probe.record();
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_placement.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if check {
+        let violations = probe.violations();
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("INVARIANT VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("placement invariants hold: one migration per arm, hybrid <= throttle JCT");
+    }
+
+    if let Some(base) = baseline_dps {
+        let fresh = probe.decisions_per_sec;
+        let floor = base * (1.0 - max_drop);
+        if fresh < floor {
+            eprintln!(
+                "REGRESSION: decisions_per_sec {fresh:.0} is below the gate floor {floor:.0} \
+                 (baseline {base:.0}, max drop {:.0}%)",
+                max_drop * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("placement gate passed: {fresh:.0} >= {floor:.0}");
+    }
+}

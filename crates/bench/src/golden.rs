@@ -24,6 +24,7 @@ use perfcloud_core::PerfCloudConfig;
 use perfcloud_ctrl::{ControlPlaneSpec, LinkSpec, NodeId, Partition};
 use perfcloud_frameworks::Benchmark;
 use perfcloud_obs::{merged_dump, ExportSource};
+use perfcloud_place::PlacementConfig;
 use perfcloud_sim::{
     FaultKind, FaultRule, FaultScenario, MessageClass, MetricClass, SimDuration, SimTime,
 };
@@ -137,6 +138,9 @@ pub fn scenarios() -> Vec<GoldenScenario> {
         GoldenScenario { name: "ctrl_coordinator_crash", build: ctrl_coordinator_crash },
         GoldenScenario { name: "ctrl_partition_heal", build: ctrl_partition_heal },
         GoldenScenario { name: "ctrl_lossy_placement", build: ctrl_lossy_placement },
+        GoldenScenario { name: "placement_throttle", build: placement_throttle },
+        GoldenScenario { name: "placement_migrate", build: placement_migrate },
+        GoldenScenario { name: "placement_hybrid", build: placement_hybrid },
         GoldenScenario { name: "fig12b_mini", build: fig12b_mini },
     ]
 }
@@ -396,6 +400,61 @@ fn ctrl_lossy_placement(shards: usize) -> String {
     chaos_run_with_control(shards, Some(s), perfcloud(), control)
 }
 
+/// The placement testbed: the chaos job/antagonist shape on a two-server
+/// cluster whose second server is held spare (no workers), so a placement
+/// policy has somewhere to move the antagonist. Same seed and onsets as
+/// [`chaos_run`]; the artifact adds a `# migrations=` header pinning how
+/// many live migrations the run started, so a policy change that starts
+/// migrating (or stops) is a one-line golden diff even before any
+/// decision drifts.
+fn placement_run(shards: usize, mitigation: Mitigation) -> String {
+    let mut cluster = ClusterSpec::small_scale(GOLDEN_SEED);
+    cluster.servers = 2;
+    cluster.spare_servers = 1;
+    let mut cfg = ExperimentConfig::new(cluster, mitigation);
+    cfg.jobs.push((JOB_START, Benchmark::Terasort.job(20)));
+    cfg.antagonists
+        .push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(ANTAGONIST_ONSET));
+    cfg.max_sim_time = SimTime::from_secs(7_200);
+    let mut e = Experiment::build(cfg);
+    e.set_shards(shards);
+    e.enable_decision_trace();
+    if OBSERVE_GOLDENS.load(Ordering::Relaxed) {
+        e.enable_observability(FLIGHT_CAPACITY);
+    }
+    let (e, r) = run_to_completion(e);
+    LAST_FLIGHT_SOURCES.with(|s| *s.borrow_mut() = e.flight_sources());
+    let trace = e.decision_trace().expect("trace enabled");
+    let migrations = e.placement().map_or(0, |rt| rt.migrations_started());
+    let mut out = String::new();
+    let _ = writeln!(out, "# jct={}", r.sole_jct());
+    let _ = writeln!(out, "# antagonist_io_ops={}", r.antagonists[0].io_ops);
+    let _ = writeln!(out, "# migrations={migrations}");
+    out.push_str(&trace.canonical());
+    out
+}
+
+/// Throttle-only arm of the placement comparison: PerfCloud caps the
+/// antagonist in place; the spare server stays empty and `migrations=0`.
+fn placement_throttle(shards: usize) -> String {
+    placement_run(shards, perfcloud())
+}
+
+/// Migrate-only arm: no throttling — the identified antagonist is
+/// live-migrated to the spare server and runs there uncapped.
+fn placement_migrate(shards: usize) -> String {
+    placement_run(shards, Mitigation::MigrateOnly(PlacementConfig::default()))
+}
+
+/// Hybrid arm: throttle while the interference penalty accrues, then
+/// migrate the antagonist away entirely.
+fn placement_hybrid(shards: usize) -> String {
+    placement_run(
+        shards,
+        Mitigation::Hybrid(PerfCloudConfig::default(), PlacementConfig::default()),
+    )
+}
+
 /// A down-scaled Fig. 12(b): the Spark logistic-regression job under
 /// randomly placed antagonists, 6 repetitions over 4 servers for each of
 /// LATE, Dolly-4 and PerfCloud. This pins the default-seed normalized-JCT
@@ -585,7 +644,7 @@ mod tests {
     #[test]
     fn scenario_names_are_unique_and_nonempty() {
         let s = scenarios();
-        assert!(s.len() >= 13);
+        assert!(s.len() >= 16);
         let mut names: Vec<&str> = s.iter().map(|sc| sc.name).collect();
         names.sort_unstable();
         names.dedup();

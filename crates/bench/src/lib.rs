@@ -14,6 +14,7 @@ pub mod ctrlbench;
 pub mod enginebench;
 pub mod forked;
 pub mod golden;
+pub mod placementbench;
 pub mod report;
 pub mod scalebench;
 pub mod scenarios;

@@ -11,6 +11,7 @@
 //! the paper's Fig. 9 compares the default system against PerfCloud.
 
 use crate::antagonists::{AntagonistKind, AntagonistPlacement};
+use crate::placement::PlacementRuntime;
 use crate::shard::{for_each_shard, ShardEffect, ShardScratch};
 use crate::topology::{ClusterSpec, Testbed};
 use crate::trace::DecisionTrace;
@@ -23,6 +24,7 @@ use perfcloud_frameworks::scheduler::{FrameworkScheduler, NoSpeculation, Specula
 use perfcloud_frameworks::{JobOutcome, JobSpec};
 use perfcloud_host::{FinishedProcess, PhysicalServer, ServerId, VmId};
 use perfcloud_obs::{ExportSource, MetricsRegistry};
+use perfcloud_place::PlacementConfig;
 use perfcloud_sim::shard::{partition, shards_from_env, split_mut};
 use perfcloud_sim::{FaultScenario, SimDuration, SimTime};
 use std::ops::Range;
@@ -51,6 +53,15 @@ pub enum Mitigation {
     /// covers what host-level throttling cannot (e.g. slow servers in a
     /// heterogeneous cluster).
     PerfCloudWithLate(PerfCloudConfig, LatePolicy),
+    /// Migration-only mitigation (§VI's "complementary solutions such as
+    /// VM migration"): the PerfCloud pipeline detects and identifies as
+    /// usual but never throttles; instead an interference-aware placement
+    /// policy live-migrates identified antagonists away.
+    MigrateOnly(PlacementConfig),
+    /// Throttle *and* migrate: full PerfCloud resource control plus the
+    /// placement runtime — caps contain the antagonist while its penalty
+    /// accrues, then migration removes the colocation entirely.
+    Hybrid(PerfCloudConfig, PlacementConfig),
 }
 
 impl Mitigation {
@@ -63,6 +74,8 @@ impl Mitigation {
             Mitigation::StaticCap(_) => "static-cap".into(),
             Mitigation::PerfCloud(_) => "perfcloud".into(),
             Mitigation::PerfCloudWithLate(_, _) => "perfcloud+late".into(),
+            Mitigation::MigrateOnly(_) => "migrate-only".into(),
+            Mitigation::Hybrid(_, _) => "hybrid".into(),
         }
     }
 }
@@ -211,6 +224,10 @@ pub struct Experiment {
     stall_snapshot: Vec<bool>,
     /// Merged `(server, finished process)` pairs from the tick phase.
     finished_buf: Vec<(usize, FinishedProcess)>,
+    /// The placement runtime, when the mitigation migrates. Runs entirely
+    /// on the coordinator: verdict ingestion and proposals at sampling
+    /// instants, phase transitions between ticks.
+    placement: Option<PlacementRuntime>,
 }
 
 impl Experiment {
@@ -230,36 +247,15 @@ impl Experiment {
         }
         let pending_antagonists: Vec<usize> = (0..antagonist_vms.len()).collect();
 
-        // The pipeline spec only applies when PerfCloud is actually in
-        // control; passive mitigations keep the paper's monitoring-only
-        // pipeline so an alternative detector can never act through them.
-        let (policy, dolly, pc_config, pipeline): (
-            Box<dyn SpeculationPolicy>,
-            Option<Dolly>,
-            PerfCloudConfig,
-            PipelineSpec,
-        ) = match config.mitigation {
-            Mitigation::Default => {
-                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
-            }
-            Mitigation::Late(l) => (Box::new(l), None, monitoring_only(), PipelineSpec::paper()),
-            Mitigation::Dolly(d) => {
-                (Box::new(NoSpeculation), Some(d), monitoring_only(), PipelineSpec::paper())
-            }
-            Mitigation::StaticCap(s) => {
-                for server in &mut tb.servers {
-                    s.apply(server);
-                }
-                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
-            }
-            Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg, config.pipeline),
-            Mitigation::PerfCloudWithLate(cfg, late) => {
-                (Box::new(late), None, cfg, config.pipeline)
-            }
-        };
+        let MitigationParts { policy, dolly, pc_config, pipeline, placement, actuation } =
+            resolve_mitigation(config.mitigation, config.pipeline, &mut tb.servers);
 
         let mut node_managers: Vec<NodeManager> = (0..tb.servers.len())
-            .map(|_| NodeManager::with_pipeline(pc_config.clone(), pipeline))
+            .map(|_| {
+                let mut nm = NodeManager::with_pipeline(pc_config.clone(), pipeline);
+                nm.set_actuation(actuation);
+                nm
+            })
             .collect();
         let chaos_seed = tb.rng.child("chaos").master_seed();
         let scenario = config.faults.clone().unwrap_or_default();
@@ -318,6 +314,7 @@ impl Experiment {
             shard_threads: None,
             stall_snapshot: Vec::new(),
             finished_buf: Vec::new(),
+            placement: placement.as_ref().map(PlacementRuntime::new),
         }
     }
 
@@ -466,6 +463,11 @@ impl Experiment {
         &self.antagonist_vms
     }
 
+    /// The placement runtime, when the mitigation migrates.
+    pub fn placement(&self) -> Option<&PlacementRuntime> {
+        self.placement.as_ref()
+    }
+
     /// Ticks executed so far. A fork inherits the parent's prefix, so a
     /// sweep that forks `n` points off one parent at this tick count saves
     /// `(n - 1) × ticks_stepped` ticks over `n` fresh runs.
@@ -524,6 +526,7 @@ impl Experiment {
             shard_threads: self.shard_threads,
             stall_snapshot: Vec::new(),
             finished_buf: Vec::new(),
+            placement: self.placement.clone(),
         }
     }
 
@@ -590,36 +593,21 @@ impl Experiment {
             self.now
         );
         self.mitigation_name = mitigation.name();
-        let (policy, dolly, pc_config, pipeline): (
-            Box<dyn SpeculationPolicy>,
-            Option<Dolly>,
-            PerfCloudConfig,
-            PipelineSpec,
-        ) = match mitigation {
-            Mitigation::Default => {
-                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
-            }
-            Mitigation::Late(l) => (Box::new(l), None, monitoring_only(), PipelineSpec::paper()),
-            Mitigation::Dolly(d) => {
-                (Box::new(NoSpeculation), Some(d), monitoring_only(), PipelineSpec::paper())
-            }
-            Mitigation::StaticCap(s) => {
-                for server in &mut self.servers {
-                    s.apply(server);
-                }
-                (Box::new(NoSpeculation), None, monitoring_only(), PipelineSpec::paper())
-            }
-            Mitigation::PerfCloud(cfg) => (Box::new(NoSpeculation), None, cfg, self.pipeline),
-            Mitigation::PerfCloudWithLate(cfg, late) => (Box::new(late), None, cfg, self.pipeline),
-        };
+        let MitigationParts { policy, dolly, pc_config, pipeline, placement, actuation } =
+            resolve_mitigation(mitigation, self.pipeline, &mut self.servers);
         assert_eq!(
             pc_config.sample_interval, self.sample_interval,
             "set_mitigation cannot change the sampling cadence"
         );
         self.policy = policy;
         self.dolly = dolly;
+        self.placement = placement.as_ref().map(PlacementRuntime::new);
         self.node_managers = (0..self.servers.len())
-            .map(|_| NodeManager::with_pipeline(pc_config.clone(), pipeline))
+            .map(|_| {
+                let mut nm = NodeManager::with_pipeline(pc_config.clone(), pipeline);
+                nm.set_actuation(actuation);
+                nm
+            })
             .collect();
         if let Some(scenario) = &self.fault_scenario {
             for (i, nm) in self.node_managers.iter_mut().enumerate() {
@@ -639,19 +627,29 @@ impl Experiment {
         self.ticks_stepped += 1;
         let now = self.now;
 
-        // Start due antagonists.
+        // Start due antagonists. The hosting server comes from the live
+        // registry, not the placement-time index — a late-starting VM may
+        // have been migrated before its workload begins.
         let antagonist_vms = &self.antagonist_vms;
         let seeds = &self.antagonist_seeds;
         let servers = &mut self.servers;
+        let cloud = &self.cloud;
         self.pending_antagonists.retain(|&i| {
             let (vm, p) = antagonist_vms[i];
             if p.start <= now {
-                servers[p.server_idx].spawn(vm, p.kind.spawn(p.duration, seeds[i]));
+                let host = cloud.record(vm).expect("antagonist registered").server.0 as usize;
+                servers[host].spawn(vm, p.kind.spawn(p.duration, seeds[i]));
                 false
             } else {
                 true
             }
         });
+
+        // Live-migration phase transitions happen between ticks: a freeze
+        // or a completed move applies to the tick crossing its deadline.
+        if let Some(rt) = self.placement.as_mut() {
+            rt.advance(now, &mut self.servers, &mut self.cloud, &mut self.plane);
+        }
 
         // Submit due jobs.
         while let Some((t, _)) = self.pending_jobs.last() {
@@ -692,6 +690,18 @@ impl Experiment {
         if sampling {
             self.sample_node_managers(now);
             self.next_sample += self.sample_interval;
+            // Placement decisions ride the same cadence, on the coordinator
+            // after the sampling barrier: identify verdicts are fresh and
+            // the decision order is shard- and thread-independent.
+            if let Some(rt) = self.placement.as_mut() {
+                rt.on_sample(
+                    now,
+                    &self.node_managers,
+                    &mut self.servers,
+                    &self.cloud,
+                    &mut self.plane,
+                );
+            }
         }
 
         if let Some(trace) = self.trace.as_mut() {
@@ -852,8 +862,10 @@ impl Experiment {
             .antagonist_vms
             .iter()
             .map(|&(vm, p)| {
-                let c =
-                    self.servers[p.server_idx].counters(vm).expect("antagonist VM exists").counters;
+                // Resolve the hosting server through the registry: the VM
+                // may have been live-migrated off its placement-time host.
+                let host = self.cloud.record(vm).expect("antagonist registered").server.0 as usize;
+                let c = self.servers[host].counters(vm).expect("antagonist VM exists").counters;
                 AntagonistStats {
                     vm,
                     kind: p.kind,
@@ -879,6 +891,65 @@ impl Experiment {
 /// non-PerfCloud mitigations.
 fn monitoring_only() -> PerfCloudConfig {
     PerfCloudConfig { h_io: f64::INFINITY, h_cpi: f64::INFINITY, ..Default::default() }
+}
+
+/// The concrete machinery a [`Mitigation`] strategy resolves to.
+struct MitigationParts {
+    policy: Box<dyn SpeculationPolicy>,
+    dolly: Option<Dolly>,
+    pc_config: PerfCloudConfig,
+    pipeline: PipelineSpec,
+    /// Placement runtime configuration, for migration-capable strategies.
+    placement: Option<PlacementConfig>,
+    /// Whether node managers may enroll VMs for throttling. `MigrateOnly`
+    /// keeps the full detect/identify pipeline but turns actuation off, so
+    /// migration is the sole mitigation.
+    actuation: bool,
+}
+
+/// Resolves a mitigation into its parts, applying immediate side effects
+/// (static caps) to `servers`. The `pipeline` spec only applies when
+/// PerfCloud's pipeline is actually in control; passive mitigations keep
+/// the paper's monitoring-only pipeline so an alternative detector can
+/// never act through them.
+fn resolve_mitigation(
+    mitigation: Mitigation,
+    pipeline: PipelineSpec,
+    servers: &mut [PhysicalServer],
+) -> MitigationParts {
+    let passive = |policy: Box<dyn SpeculationPolicy>, dolly| MitigationParts {
+        policy,
+        dolly,
+        pc_config: monitoring_only(),
+        pipeline: PipelineSpec::paper(),
+        placement: None,
+        actuation: true,
+    };
+    let active = |policy, cfg, placement, actuation| MitigationParts {
+        policy,
+        dolly: None,
+        pc_config: cfg,
+        pipeline,
+        placement,
+        actuation,
+    };
+    match mitigation {
+        Mitigation::Default => passive(Box::new(NoSpeculation), None),
+        Mitigation::Late(l) => passive(Box::new(l), None),
+        Mitigation::Dolly(d) => passive(Box::new(NoSpeculation), Some(d)),
+        Mitigation::StaticCap(s) => {
+            for server in servers {
+                s.apply(server);
+            }
+            passive(Box::new(NoSpeculation), None)
+        }
+        Mitigation::PerfCloud(cfg) => active(Box::new(NoSpeculation), cfg, None, true),
+        Mitigation::PerfCloudWithLate(cfg, late) => active(Box::new(late), cfg, None, true),
+        Mitigation::MigrateOnly(p) => {
+            active(Box::new(NoSpeculation), PerfCloudConfig::default(), Some(p), false)
+        }
+        Mitigation::Hybrid(cfg, p) => active(Box::new(NoSpeculation), cfg, Some(p), true),
+    }
 }
 
 #[cfg(test)]
@@ -1100,6 +1171,71 @@ mod tests {
         assert_eq!(get("shards"), 3.0);
         assert!(get("shard0_queue_peak_depth") >= 0.0);
         assert!(get("shard2_barrier_wait_us") >= 0.0);
+    }
+
+    fn migration_testbed(mitigation: Mitigation) -> ExperimentConfig {
+        // Two servers, the second held spare: all workers and the fio
+        // antagonist land on server 0, leaving server 1 as the migration
+        // target the placement policy should discover.
+        let mut cluster = ClusterSpec::small_scale(7);
+        cluster.servers = 2;
+        cluster.spare_servers = 1;
+        let mut cfg = ExperimentConfig::new(cluster, mitigation);
+        cfg.jobs.push((SimTime::from_secs(10), Benchmark::Terasort.job(20)));
+        cfg.antagonists.push(
+            AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(15)),
+        );
+        cfg.max_sim_time = SimTime::from_secs(2_000);
+        cfg
+    }
+
+    #[test]
+    fn migrate_only_moves_the_antagonist_and_recovers_jct() {
+        use perfcloud_place::PlacementConfig;
+        let dirty = Experiment::build(migration_testbed(Mitigation::Default)).run();
+        let mut e = Experiment::build(migration_testbed(Mitigation::MigrateOnly(
+            PlacementConfig::default(),
+        )));
+        let r = e.run();
+        assert_eq!(r.mitigation, "migrate-only");
+        let rt = e.placement().expect("placement runtime installed");
+        let vm = e.antagonist_vms()[0].0;
+        assert_eq!(rt.starts_of(vm), 1, "exactly one migration of the antagonist");
+        assert_eq!(rt.active_count(), 0, "migration completed");
+        // The registry and the host agree the VM now lives on the spare.
+        assert_eq!(e.cloud.record(vm).unwrap().server, ServerId(1));
+        assert!(e.servers[1].hosts(vm) && !e.servers[0].hosts(vm));
+        assert!(!e.servers[1].is_paused(vm), "VM resumed after stop-and-copy");
+        assert!(
+            r.sole_jct() < dirty.sole_jct(),
+            "migrating the antagonist away must beat no mitigation: {} !< {}",
+            r.sole_jct(),
+            dirty.sole_jct()
+        );
+        // The antagonist keeps running on the spare server (cluster
+        // utilization is preserved, unlike throttling).
+        assert!(r.antagonists[0].io_ops > 0.0);
+    }
+
+    #[test]
+    fn hybrid_beats_throttle_only_on_victim_jct() {
+        use perfcloud_place::PlacementConfig;
+        let throttle =
+            Experiment::build(migration_testbed(Mitigation::PerfCloud(PerfCloudConfig::default())))
+                .run();
+        let mut e = Experiment::build(migration_testbed(Mitigation::Hybrid(
+            PerfCloudConfig::default(),
+            PlacementConfig::default(),
+        )));
+        let hybrid = e.run();
+        assert_eq!(hybrid.mitigation, "hybrid");
+        assert!(e.placement().unwrap().migrations_started() >= 1);
+        assert!(
+            hybrid.sole_jct() <= throttle.sole_jct(),
+            "hybrid (throttle + migrate) must not lose to throttle-only: {} !<= {}",
+            hybrid.sole_jct(),
+            throttle.sole_jct()
+        );
     }
 
     #[test]

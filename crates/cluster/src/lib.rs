@@ -10,6 +10,9 @@
 //! * [`experiment`] — the driver loop: ticks servers, runs the framework
 //!   scheduler, fires the per-server node managers every sampling interval,
 //!   and collects results (one [`Mitigation`] strategy per run);
+//! * [`placement`] — the interference-aware placement runtime: feeds
+//!   identify verdicts into the `place` crate's decayed ledger and
+//!   executes policy-proposed live migrations through the control plane;
 //! * [`mix`] — the large-scale workload mixes (100 MapReduce + 100 Spark
 //!   jobs, 80% small) of §IV-C;
 //! * [`metrics`] — normalized JCT, degradation breakdowns and
@@ -20,6 +23,7 @@ pub mod experiment;
 pub mod labels;
 pub mod metrics;
 pub mod mix;
+pub mod placement;
 pub mod shard;
 pub mod topology;
 pub mod trace;
@@ -29,5 +33,6 @@ pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, Mitigation}
 pub use labels::{parse_trace, GroundTruth, StepObservation, TruthEntry};
 pub use metrics::{mean_efficiency, normalize_jcts, DegradationBreakdown};
 pub use mix::{MixConfig, WorkloadMix};
+pub use placement::PlacementRuntime;
 pub use topology::{ClusterSpec, Testbed};
 pub use trace::DecisionTrace;

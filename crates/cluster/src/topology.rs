@@ -23,6 +23,10 @@ pub struct ClusterSpec {
     /// Per-server relative speed factors for heterogeneous clusters
     /// (empty = homogeneous). Length must match `servers` when non-empty.
     pub speed_factors: Vec<f64>,
+    /// Trailing servers that get no worker VMs — migration headroom for
+    /// placement experiments. Must be less than `servers`; 0 (the
+    /// default) reproduces the classic fully-populated topologies.
+    pub spare_servers: usize,
 }
 
 impl ClusterSpec {
@@ -37,6 +41,7 @@ impl ClusterSpec {
             tick: SimDuration::from_millis(100),
             seed,
             speed_factors: Vec::new(),
+            spare_servers: 0,
         }
     }
 
@@ -51,12 +56,13 @@ impl ClusterSpec {
             tick: SimDuration::from_millis(100),
             seed,
             speed_factors: Vec::new(),
+            spare_servers: 0,
         }
     }
 
-    /// Total worker VM count.
+    /// Total worker VM count (spare servers host none).
     pub fn worker_count(&self) -> usize {
-        self.servers * self.workers_per_server
+        (self.servers - self.spare_servers) * self.workers_per_server
     }
 }
 
@@ -87,6 +93,10 @@ impl Testbed {
             spec.speed_factors.is_empty() || spec.speed_factors.len() == spec.servers,
             "speed_factors must be empty or one per server"
         );
+        assert!(
+            spec.spare_servers < spec.servers,
+            "spare_servers must leave at least one populated server"
+        );
         let rng = RngFactory::new(spec.seed);
         let mut servers = Vec::with_capacity(spec.servers);
         let mut workers = Vec::new();
@@ -103,7 +113,9 @@ impl Testbed {
                 rng.child_indexed("server", s as u64),
                 spec.tick,
             );
-            for _ in 0..spec.workers_per_server {
+            let workers_here =
+                if s < spec.servers - spec.spare_servers { spec.workers_per_server } else { 0 };
+            for _ in 0..workers_here {
                 let vm = VmId(next_vm);
                 next_vm += 1;
                 server.add_vm(vm, VmConfig::high_priority());
@@ -186,6 +198,28 @@ mod tests {
     fn mismatched_speed_factors_rejected() {
         let mut spec = ClusterSpec::small_scale(3);
         spec.speed_factors = vec![1.0, 0.5];
+        let _ = Testbed::build(&spec);
+    }
+
+    #[test]
+    fn spare_servers_host_no_workers() {
+        let mut spec = ClusterSpec::large_scale(4);
+        spec.servers = 3;
+        spec.spare_servers = 1;
+        assert_eq!(spec.worker_count(), 20);
+        let tb = Testbed::build(&spec);
+        assert_eq!(tb.servers.len(), 3);
+        assert_eq!(tb.workers.len(), 20);
+        assert!(tb.workers.iter().all(|w| w.server_idx < 2));
+        assert!(tb.cloud.apps_on(ServerId(2)).is_empty());
+        assert!(tb.servers[2].vm_ids().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "spare_servers")]
+    fn all_spare_topology_rejected() {
+        let mut spec = ClusterSpec::small_scale(5);
+        spec.spare_servers = 1;
         let _ = Testbed::build(&spec);
     }
 

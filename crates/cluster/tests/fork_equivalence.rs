@@ -249,3 +249,64 @@ fn premonitoring_mitigation_swap_matches_fresh_build() {
     assert_eq!(r_fresh, r_forked);
     assert_eq!(fingerprint(&fresh), fingerprint(&forked));
 }
+
+/// The migration testbed of `shard_invariance.rs`: migrate-only or hybrid
+/// placement over two populated servers plus a spare, with the fio
+/// antagonist identified around t=20 s and live-migrated right after.
+fn build_migration(seed: u64, shards: usize, hybrid: bool) -> Experiment {
+    use perfcloud_place::PlacementConfig;
+    let mitigation = if hybrid {
+        Mitigation::Hybrid(PerfCloudConfig::default(), PlacementConfig::default())
+    } else {
+        Mitigation::MigrateOnly(PlacementConfig::default())
+    };
+    let mut cluster = ClusterSpec::small_scale(seed);
+    cluster.servers = 3;
+    cluster.spare_servers = 1;
+    let mut cfg = ExperimentConfig::new(cluster, mitigation);
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(8)));
+    cfg.antagonists.push(
+        AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(15)),
+    );
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    let mut e = Experiment::build(cfg);
+    e.enable_decision_trace();
+    e.enable_observability(2048);
+    e.set_shards(shards);
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A fork taken at an arbitrary tick — before the migration epoch,
+    /// mid-pre-copy, inside the stop-and-copy stall, or after completion —
+    /// must reproduce the fresh run byte for byte: the penalty ledger,
+    /// in-flight `ActiveMigration` deadlines, paused flags, migration CPU
+    /// taxes and cooldown stamps all have to survive the deep copy.
+    #[test]
+    fn fork_around_migration_epoch_matches_fresh_run(
+        seed in 0u64..1_000_000,
+        shards in 1usize..4,
+        fork_ticks in 1u64..350,
+        hybrid_tag in 0u8..2,
+    ) {
+        let hybrid = hybrid_tag == 1;
+        let mut parent = build_migration(seed, shards, hybrid);
+        for _ in 0..fork_ticks {
+            parent.step_tick();
+        }
+        let mut forked = parent.fork();
+        let r_forked = forked.run();
+
+        let mut fresh = build_migration(seed, shards, hybrid);
+        let r_fresh = fresh.run();
+
+        prop_assert_eq!(&r_fresh, &r_forked);
+        prop_assert_eq!(fingerprint(&fresh), fingerprint(&forked));
+        let migrations = |e: &Experiment| {
+            e.placement().expect("placement runtime active").migrations_started()
+        };
+        prop_assert_eq!(migrations(&fresh), migrations(&forked));
+    }
+}

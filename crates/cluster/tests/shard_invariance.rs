@@ -97,3 +97,65 @@ proptest! {
         );
     }
 }
+
+/// The migration testbed: two populated servers plus a spare, so the
+/// placement runtime has headroom, workers spread over two shards'
+/// worth of servers, and the antagonist is live-migrated mid-run.
+fn build_migration(seed: u64, shards: usize, threads: bool, hybrid: bool) -> Experiment {
+    use perfcloud_place::PlacementConfig;
+    let mitigation = if hybrid {
+        Mitigation::Hybrid(PerfCloudConfig::default(), PlacementConfig::default())
+    } else {
+        Mitigation::MigrateOnly(PlacementConfig::default())
+    };
+    let mut cluster = ClusterSpec::small_scale(seed);
+    cluster.servers = 3;
+    cluster.spare_servers = 1;
+    let mut cfg = ExperimentConfig::new(cluster, mitigation);
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(8)));
+    cfg.antagonists.push(
+        AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(SimTime::from_secs(15)),
+    );
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    let mut e = Experiment::build(cfg);
+    e.enable_decision_trace();
+    e.set_shards(shards);
+    if threads {
+        e.set_shard_threads(Some(true));
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Live migration runs on the coordinator between ticks and after the
+    /// sampling barrier, so the whole detect → identify → migrate loop —
+    /// including the migration announcements in the trace and the final
+    /// registry state — must be byte-identical at any shard count, with
+    /// or without worker threads, for migrate-only and hybrid alike.
+    #[test]
+    fn migration_is_shard_and_thread_invariant(
+        seed in 0u64..1_000_000,
+        shard_pick in 0usize..4,
+        threads_tag in 0u8..2,
+        hybrid_tag in 0u8..2,
+    ) {
+        let shards = [2usize, 3, 4, 7][shard_pick];
+        let threads = threads_tag == 1;
+        let hybrid = hybrid_tag == 1;
+        let mut reference = build_migration(seed, 1, false, hybrid);
+        let r_ref = reference.run();
+        let mut sharded = build_migration(seed, shards, threads, hybrid);
+        let r_sharded = sharded.run();
+        prop_assert_eq!(&r_ref, &r_sharded);
+        prop_assert_eq!(
+            reference.decision_trace().expect("trace enabled").canonical(),
+            sharded.decision_trace().expect("trace enabled").canonical()
+        );
+        let migrations = |e: &Experiment| {
+            e.placement().expect("placement runtime active").migrations_started()
+        };
+        prop_assert_eq!(migrations(&reference), migrations(&sharded));
+    }
+}

@@ -476,6 +476,92 @@ mod tests {
         assert_eq!(total, cm.len());
     }
 
+    /// Regression for migration-driven churn: swap_remove deregistration
+    /// moves rows, migration relinks them, and re-registration re-homes
+    /// them — interleave all three with the sampling-path reads
+    /// (`placement_into`, `rows_on`, `record`) and check every read
+    /// against a naive map model after *each* op, not just at the end. A
+    /// stale cached row index anywhere shows up as a wrong priority, a
+    /// missorted suspect list, or a row linked under the wrong server.
+    #[test]
+    fn migration_churn_while_sampling_matches_model() {
+        const SERVERS: u32 = 5;
+        let mut cm = CloudManager::new();
+        let mut model: BTreeMap<VmId, VmRecord> = BTreeMap::new();
+        // Deterministic LCG so the op sequence is stable.
+        let mut state = 0x2545_f491u64;
+        let mut next = |bound: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        let check = |cm: &CloudManager, model: &BTreeMap<VmId, VmRecord>| {
+            assert_eq!(cm.len(), model.len());
+            let cols = cm.vm_columns();
+            let mut seen = 0;
+            for s in 0..SERVERS {
+                let server = ServerId(s);
+                let rows = cm.rows_on(server);
+                seen += rows.len();
+                assert!(
+                    rows.windows(2).all(|w| cols.ids[w[0] as usize] < cols.ids[w[1] as usize]),
+                    "row list of {server} not id-sorted"
+                );
+                for &r in rows {
+                    let vm = cols.ids[r as usize];
+                    assert_eq!(cols.servers[r as usize], server, "row of {vm} mislinked");
+                    assert_eq!(model.get(&vm), cm.record(vm).as_ref(), "record of {vm}");
+                }
+                // The node manager's sampling read.
+                let mut view = Placement::default();
+                cm.placement_into(server, &mut view);
+                let expect_suspects: Vec<VmId> = model
+                    .iter()
+                    .filter(|(_, r)| r.server == server && r.priority == Priority::Low)
+                    .map(|(&vm, _)| vm)
+                    .collect();
+                assert_eq!(view.suspects, expect_suspects, "suspects on {server}");
+                let mut expect_apps: Vec<AppId> =
+                    model.values().filter(|r| r.server == server).filter_map(|r| r.app).collect();
+                expect_apps.sort_unstable();
+                expect_apps.dedup();
+                assert_eq!(view.apps, expect_apps, "apps on {server}");
+            }
+            assert_eq!(seen, cm.len(), "row lists must partition the registry");
+        };
+        for vm in 0..20u32 {
+            let rec = if vm % 3 == 0 { lo(vm % SERVERS) } else { hi(vm % SERVERS, 1 + vm % 2) };
+            cm.register(VmId(vm), rec);
+            model.insert(VmId(vm), rec);
+        }
+        check(&cm, &model);
+        for _ in 0..400 {
+            let vm = VmId(next(24) as u32);
+            match next(4) {
+                // Live migration of an existing VM.
+                0 => {
+                    let to = ServerId(next(u64::from(SERVERS)) as u32);
+                    cm.migrate(vm, to);
+                    if let Some(r) = model.get_mut(&vm) {
+                        r.server = to;
+                    }
+                }
+                // Teardown (swap_remove path).
+                1 => {
+                    assert_eq!(cm.deregister(vm), model.remove(&vm));
+                }
+                // (Re-)registration, possibly migration-driven re-homing.
+                _ => {
+                    let server = next(u64::from(SERVERS)) as u32;
+                    let rec =
+                        if vm.0.is_multiple_of(3) { lo(server) } else { hi(server, 1 + vm.0 % 2) };
+                    cm.register(vm, rec);
+                    model.insert(vm, rec);
+                }
+            }
+            check(&cm, &model);
+        }
+    }
+
     #[test]
     fn re_registration_moves_server() {
         let mut cm = CloudManager::new();

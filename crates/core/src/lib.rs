@@ -31,7 +31,7 @@ pub mod monitor;
 pub mod node_manager;
 pub mod pipeline;
 
-pub use antagonist::AntagonistIdentifier;
+pub use antagonist::{AntagonistIdentifier, Resource};
 pub use chaos::{ManagerFault, NodeFaults};
 pub use cloud::{AppId, CloudManager, Placement, PlacementEpoch, VmColumns, VmRecord};
 pub use config::PerfCloudConfig;

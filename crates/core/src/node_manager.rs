@@ -156,6 +156,15 @@ pub struct NodeManager {
     colocation_outbox: Vec<Vec<AppId>>,
     /// Scratch for VMs leaving the controlled set in [`Self::control`].
     departed: Vec<VmId>,
+    /// Whether the control modules may actuate caps. With actuation off
+    /// the full detect/identify pipeline still runs (and its verdicts are
+    /// exported via [`Self::identified`]) but no throttle is ever
+    /// enrolled — the migrate-only mitigation mode.
+    actuation: bool,
+    /// Verdicts of the most recent decision interval, exported for
+    /// placement policies: every `(vm, resource)` the identifier fingered
+    /// this step. Cleared at the start of each step.
+    identified: Vec<(VmId, Resource)>,
 }
 
 impl NodeManager {
@@ -192,7 +201,24 @@ impl NodeManager {
             placement_fresh: false,
             colocation_outbox: Vec::new(),
             departed: Vec::new(),
+            actuation: true,
+            identified: Vec::new(),
         }
+    }
+
+    /// Enables or disables cap actuation. With actuation off the agent
+    /// still detects and identifies (feeding [`Self::identified`]) but
+    /// never enrolls a VM for throttling; caps already applied keep being
+    /// stepped and released normally.
+    pub fn set_actuation(&mut self, on: bool) {
+        self.actuation = on;
+    }
+
+    /// This interval's identify verdicts: every `(vm, resource)` pair the
+    /// identifier fingered in the most recent step, in report order (I/O
+    /// first, then CPU; VMs in identifier order within each resource).
+    pub fn identified(&self) -> &[(VmId, Resource)] {
+        &self.identified
     }
 
     /// Intervals the manager will run on a cached placement view before
@@ -311,6 +337,7 @@ impl NodeManager {
         report: &mut StepReport,
     ) {
         report.clear();
+        self.identified.clear();
 
         // (0) Manager-level faults: a crashed agent loses its in-memory
         // state and restarts. (Stalls and placement desync are control-plane
@@ -363,6 +390,7 @@ impl NodeManager {
         report: &mut StepReport,
     ) {
         report.clear();
+        self.identified.clear();
 
         // (0) A crash beats a stall, as on the direct path: the process dies
         // and restarts with clean state.
@@ -463,6 +491,11 @@ impl NodeManager {
             &self.monitor,
             &mut report.cpu_antagonists,
         );
+
+        // Export the verdicts for placement policies, independent of
+        // whether actuation will act on them.
+        self.identified.extend(report.io_antagonists.iter().map(|&vm| (vm, Resource::Io)));
+        self.identified.extend(report.cpu_antagonists.iter().map(|&vm| (vm, Resource::Cpu)));
 
         // Flight: detection transitions and newly identified antagonists
         // (ones not yet under control — enrollment records the throttle).
@@ -566,6 +599,7 @@ impl NodeManager {
         self.last_epoch = None;
         self.placement_fresh = false;
         self.colocation_outbox.clear();
+        self.identified.clear();
         for vm in server.vm_ids() {
             if server.io_throttle(vm).is_some_and(|t| t.is_throttled()) {
                 server.set_io_throttle(vm, IoThrottle::unlimited());
@@ -618,8 +652,10 @@ impl NodeManager {
                 }
             }
         }
-        // Enroll newly identified antagonists while contention persists.
-        if contended {
+        // Enroll newly identified antagonists while contention persists —
+        // unless actuation is off (migrate-only mode), in which case the
+        // verdicts are exported but no cap is ever applied.
+        if contended && self.actuation {
             for &vm in antagonists {
                 let already = match resource {
                     Resource::Io => self.io_controlled.contains_key(&vm),
@@ -1092,6 +1128,33 @@ mod tests {
         tb.run(1);
         let fl = tb.nm.flight().unwrap();
         assert!(fl.iter().any(|r| matches!(r.event, FlightEvent::Release { vm: 10, .. })));
+    }
+
+    #[test]
+    fn actuation_off_still_identifies_but_never_throttles() {
+        let mut tb = testbed((10.0, 1.0));
+        tb.nm.set_actuation(false);
+        tb.run(3);
+        tb.start_antagonist();
+        let reports = tb.run(12);
+        // The pipeline still runs end to end: detection and identification.
+        assert!(reports.iter().any(|r| r.signal.is_some_and(|s| s.io_contended)));
+        assert!(reports.iter().any(|r| r.io_antagonists.contains(&VmId(10))));
+        // The verdict export mirrors the last report's antagonist lists.
+        tb.start_antagonist(); // keep the signal hot for one more interval
+        let last = tb.run(1).pop().unwrap();
+        let exported: Vec<(VmId, Resource)> = tb.nm.identified().to_vec();
+        let expect: Vec<(VmId, Resource)> = last
+            .io_antagonists
+            .iter()
+            .map(|&vm| (vm, Resource::Io))
+            .chain(last.cpu_antagonists.iter().map(|&vm| (vm, Resource::Cpu)))
+            .collect();
+        assert_eq!(exported, expect);
+        // But nothing was ever actuated.
+        assert!(reports.iter().all(|r| r.io_caps.is_empty() && r.cpu_caps.is_empty()));
+        assert!(!tb.server.io_throttle(VmId(10)).unwrap().is_throttled());
+        assert!(!tb.server.cpu_cap(VmId(10)).unwrap().is_capped());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::election::{ElectionConfig, Replica, Role};
 use crate::net::{LinkSpec, NetStats, Partition, SimNet};
 use crate::proto::{Message, NodeId, Payload, Term};
 use perfcloud_core::{CloudManager, NodeManager, Placement, PlacementApplyOutcome, PlacementEpoch};
-use perfcloud_host::ServerId;
+use perfcloud_host::{ServerId, VmId};
 use perfcloud_obs::{FlightEvent, FlightRecorder};
 use perfcloud_sim::faults::{FaultKind, FaultScenario};
 use perfcloud_sim::{FaultInjector, SimDuration, SimTime};
@@ -71,6 +71,18 @@ impl Default for ControlPlaneSpec {
             trace_events: false,
         }
     }
+}
+
+/// Phase transition of a live migration, announced through the plane by
+/// the experiment driver (see [`ControlPlane::announce_migration`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationAnnouncement {
+    /// Pre-copy began: memory streams while the VM keeps running.
+    Start,
+    /// The VM froze for the final dirty-set copy.
+    StopCopy,
+    /// The VM resumed on the destination.
+    Complete,
 }
 
 /// Per-server endpoint bookkeeping.
@@ -242,6 +254,36 @@ impl ControlPlane {
         if self.spec.trace_events {
             self.events.push((now, make()));
         }
+    }
+
+    /// Announces a live-migration phase transition through the plane: the
+    /// line lands in the decision trace and, when a flight recorder is
+    /// attached, the matching [`FlightEvent`] is captured. Unlike the
+    /// plane's own chatter this is *not* gated on `trace_events` —
+    /// migrations are mitigation actions, on par with throttle commands,
+    /// and only occur when a placement runtime drives the experiment.
+    pub fn announce_migration(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        from: ServerId,
+        to: ServerId,
+        phase: MigrationAnnouncement,
+    ) {
+        let (word, event) = match phase {
+            MigrationAnnouncement::Start => {
+                ("start", FlightEvent::MigrationStart { vm: vm.0 as u64, from: from.0, to: to.0 })
+            }
+            MigrationAnnouncement::StopCopy => (
+                "stopcopy",
+                FlightEvent::MigrationStopCopy { vm: vm.0 as u64, from: from.0, to: to.0 },
+            ),
+            MigrationAnnouncement::Complete => {
+                ("done", FlightEvent::MigrationComplete { vm: vm.0 as u64, from: from.0, to: to.0 })
+            }
+        };
+        self.events.push((now, format!("migrate-{word} vm{} s{}->s{}", vm.0, from.0, to.0)));
+        self.flight_record(now, event);
     }
 
     /// Re-evaluates `DownReplica` windows; a heal restarts the replica with
@@ -544,6 +586,41 @@ mod tests {
     fn plane(spec: ControlPlaneSpec, scenario: FaultScenario, servers: usize) -> ControlPlane {
         let ids = (0..servers).map(|i| ServerId(i as u32)).collect();
         ControlPlane::new(spec, 42, scenario, ids, SAMPLE)
+    }
+
+    #[test]
+    fn migration_announcements_trace_and_flight_record() {
+        // Announcements bypass the trace_events gate (default spec has it
+        // off) and land in both the drained events and the flight recorder.
+        let mut p = plane(ControlPlaneSpec::default(), FaultScenario::default(), 2);
+        p.attach_flight(16);
+        let t0 = SimTime::from_secs(10);
+        p.announce_migration(t0, VmId(3), ServerId(0), ServerId(1), MigrationAnnouncement::Start);
+        p.announce_migration(
+            t0 + SimDuration::from_secs(8.0),
+            VmId(3),
+            ServerId(0),
+            ServerId(1),
+            MigrationAnnouncement::StopCopy,
+        );
+        p.announce_migration(
+            t0 + SimDuration::from_secs(9.0),
+            VmId(3),
+            ServerId(0),
+            ServerId(1),
+            MigrationAnnouncement::Complete,
+        );
+        let events: Vec<(SimTime, String)> = p.drain_events().collect();
+        assert_eq!(
+            events.iter().map(|(_, s)| s.as_str()).collect::<Vec<_>>(),
+            ["migrate-start vm3 s0->s1", "migrate-stopcopy vm3 s0->s1", "migrate-done vm3 s0->s1"],
+        );
+        let flight = p.flight().expect("recorder attached");
+        let rendered: Vec<String> = flight.iter().map(|e| e.event.to_string()).collect();
+        assert_eq!(
+            rendered,
+            ["migrate-start vm3 s0->s1", "migrate-stopcopy vm3 s0->s1", "migrate-done vm3 s0->s1"],
+        );
     }
 
     #[test]

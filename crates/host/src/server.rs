@@ -69,6 +69,9 @@ pub struct PhysicalServer {
     last_disk_rho: f64,
     last_mem_rho: f64,
     ar1_dt: f64,
+    /// Cores reserved by in-flight live migrations (source or destination
+    /// pre-copy tax). Subtracted from the CPU capacity offered to VMs.
+    migration_load: f64,
 }
 
 /// Time constant (seconds) of per-VM luck processes; a few seconds so luck
@@ -91,6 +94,7 @@ impl PhysicalServer {
             last_disk_rho: 0.0,
             last_mem_rho: 0.0,
             ar1_dt: tick_dt.as_secs_f64(),
+            migration_load: 0.0,
         }
     }
 
@@ -131,6 +135,11 @@ impl PhysicalServer {
         self.vm(vm).map(|v| v.config.priority)
     }
 
+    /// Static configuration of a hosted VM (vCPUs, guest memory, priority).
+    pub fn vm_config(&self, vm: VmId) -> Option<&VmConfig> {
+        self.vm(vm).map(|v| &v.config)
+    }
+
     fn vm(&self, id: VmId) -> Option<&Vm> {
         self.index.get(&id).map(|&i| &self.vms[i])
     }
@@ -138,6 +147,57 @@ impl PhysicalServer {
     fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
         let i = *self.index.get(&id)?;
         Some(&mut self.vms[i])
+    }
+
+    /// Removes a hosted VM and returns it intact — processes, RNG streams,
+    /// luck state, caps, and counters all travel with it, which is what
+    /// makes live migration deterministic. Removal is order-preserving:
+    /// the remaining VMs keep their relative tick order, so the
+    /// floating-point summation order of the arbitration pipeline (and
+    /// with it every downstream trace byte) is unchanged for the stayers.
+    pub fn extract_vm(&mut self, id: VmId) -> Option<Vm> {
+        let row = self.index.remove(&id)?;
+        let vm = self.vms.remove(row);
+        for idx in self.index.values_mut() {
+            if *idx > row {
+                *idx -= 1;
+            }
+        }
+        Some(vm)
+    }
+
+    /// Installs a VM extracted from another server. It joins at the tail
+    /// of the tick order, exactly like a fresh boot. Panics if the id is
+    /// already present.
+    pub fn insert_vm(&mut self, vm: Vm) {
+        assert!(!self.index.contains_key(&vm.id), "duplicate VM id {}", vm.id);
+        self.index.insert(vm.id, self.vms.len());
+        self.vms.push(vm);
+    }
+
+    /// Freezes or thaws a VM (stop-and-copy). While paused the VM demands
+    /// nothing and its processes make no progress, but its luck streams
+    /// keep stepping so RNG positions stay schedule-independent.
+    pub fn set_paused(&mut self, vm: VmId, paused: bool) {
+        if let Some(v) = self.vm_mut(vm) {
+            v.paused = paused;
+        }
+    }
+
+    /// True if the VM is currently frozen by a migration.
+    pub fn is_paused(&self, vm: VmId) -> bool {
+        self.vm(vm).is_some_and(|v| v.paused)
+    }
+
+    /// Sets the CPU tax (in cores) charged by in-flight migrations.
+    pub fn set_migration_load(&mut self, cores: f64) {
+        assert!(cores >= 0.0 && cores.is_finite(), "migration load must be finite and >= 0");
+        self.migration_load = cores;
+    }
+
+    /// Current migration CPU tax in cores.
+    pub fn migration_load(&self) -> f64 {
+        self.migration_load
     }
 
     /// Starts a process on a VM, returning its server-local id.
@@ -324,7 +384,11 @@ impl PhysicalServer {
                 }
             })
             .collect();
-        let cpu_alloc = cpu_allocate(&cpu_reqs, self.config.cores as f64 * dt_s);
+        // Live migrations steal hypervisor cores for the copy streams;
+        // with no migration in flight this is byte-identical to the
+        // untaxed capacity.
+        let cpu_capacity = (self.config.cores as f64 - self.migration_load).max(0.0) * dt_s;
+        let cpu_alloc = cpu_allocate(&cpu_reqs, cpu_capacity);
         let cpu_used: f64 = cpu_alloc.iter().sum();
 
         // 7+8. Account counters, distribute achievements, reap finished.
@@ -350,6 +414,14 @@ impl PhysicalServer {
                 llc_misses,
             };
             self.vms[i].counters.accumulate(&delta);
+
+            // A paused VM's processes are frozen mid-flight: no demand was
+            // aggregated above, and skipping `advance` here keeps even
+            // wall-clock-driven processes (duration-based antagonists)
+            // from progressing through the stop-and-copy window.
+            if self.vms[i].paused {
+                continue;
+            }
 
             // Distribute to processes proportionally to their demands.
             let instr_frac = if d.instructions > 0.0 { instructions / d.instructions } else { 0.0 };
@@ -653,6 +725,110 @@ mod tests {
         let mut s = server();
         s.add_vm(VmId(0), VmConfig::high_priority());
         s.add_vm(VmId(0), VmConfig::high_priority());
+    }
+
+    #[test]
+    fn extract_preserves_vm_and_stayer_order() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        s.add_vm(VmId(1), VmConfig::low_priority());
+        s.add_vm(VmId(2), VmConfig::high_priority());
+        let pid = s.spawn(VmId(1), Box::new(WorkProc::cpu(1e12)));
+        for _ in 0..5 {
+            s.tick(DT);
+        }
+        let before = s.counters(VmId(1)).unwrap();
+        let vm = s.extract_vm(VmId(1)).expect("hosted");
+        assert_eq!(vm.id, VmId(1));
+        assert_eq!(vm.process_count(), 1);
+        assert!(!s.hosts(VmId(1)));
+        // Stayers keep boot order and stay addressable.
+        assert_eq!(s.vm_ids(), vec![VmId(0), VmId(2)]);
+        assert!(s.counters(VmId(2)).is_some());
+        assert!(s.extract_vm(VmId(1)).is_none(), "double extract is a no-op");
+
+        let mut dst =
+            PhysicalServer::new(ServerId(1), ServerConfig::default(), RngFactory::new(8), DT);
+        dst.insert_vm(vm);
+        assert!(dst.hosts(VmId(1)));
+        assert_eq!(dst.counters(VmId(1)).unwrap(), before, "counters travel with the VM");
+        assert!(dst.process_progress(VmId(1), pid).is_some(), "processes travel with the VM");
+        for _ in 0..5 {
+            dst.tick(DT);
+        }
+        assert!(
+            dst.counters(VmId(1)).unwrap().counters.instructions > before.counters.instructions,
+            "migrated VM resumes progress on the destination"
+        );
+    }
+
+    #[test]
+    fn paused_vm_makes_no_progress_and_resumes() {
+        let mut s = server();
+        s.add_vm(VmId(0), VmConfig::high_priority());
+        let pid = s.spawn(VmId(0), Box::new(WorkProc::cpu(2.3e10)));
+        for _ in 0..3 {
+            s.tick(DT);
+        }
+        let p0 = s.process_progress(VmId(0), pid).unwrap();
+        assert!(p0 > 0.0);
+        s.set_paused(VmId(0), true);
+        assert!(s.is_paused(VmId(0)));
+        let frozen = s.counters(VmId(0)).unwrap();
+        for _ in 0..10 {
+            s.tick(DT);
+        }
+        assert_eq!(s.process_progress(VmId(0), pid).unwrap(), p0, "paused VM is frozen");
+        assert_eq!(s.counters(VmId(0)).unwrap(), frozen, "no counter motion while paused");
+        s.set_paused(VmId(0), false);
+        s.tick(DT);
+        assert!(s.process_progress(VmId(0), pid).unwrap() > p0, "resumes after thaw");
+    }
+
+    #[test]
+    fn migration_load_taxes_cpu_capacity() {
+        let run = |tax: f64| {
+            let mut s = server();
+            s.add_vm(VmId(0), VmConfig::high_priority());
+            s.set_migration_load(tax);
+            let pid = s.spawn(VmId(0), Box::new(WorkProc::cpu(2.3e9)));
+            let mut ticks = 0;
+            while s.process_progress(VmId(0), pid).is_some() {
+                s.tick(DT);
+                ticks += 1;
+                assert!(ticks < 2_000);
+            }
+            ticks
+        };
+        let untaxed = run(0.0);
+        let taxed = run(47.5);
+        assert!(
+            taxed as f64 >= 1.5 * untaxed as f64,
+            "a 47.5-of-48-core migration tax must slow a 1-core job: {untaxed} vs {taxed}"
+        );
+    }
+
+    #[test]
+    fn zero_migration_load_is_exactly_free() {
+        // The capacity expression must be bit-identical with tax 0.0 so
+        // existing goldens cannot move.
+        let run = |set_zero: bool| {
+            let mut s = server();
+            s.add_vm(VmId(0), VmConfig::high_priority());
+            s.add_vm(VmId(1), VmConfig::low_priority());
+            if set_zero {
+                s.set_migration_load(0.0);
+            }
+            s.spawn(VmId(0), Box::new(WorkProc::io(5e8, IoPattern::Random)));
+            s.spawn(VmId(1), Box::new(WorkProc::cpu(1e11)));
+            for _ in 0..40 {
+                s.tick(DT);
+            }
+            let a = s.counters(VmId(0)).unwrap().counters;
+            let b = s.counters(VmId(1)).unwrap().counters;
+            (a.io_serviced, a.io_wait_time, b.instructions, b.cpu_time)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -57,6 +57,11 @@ pub struct Vm {
     pub cpu_cap: CpuCap,
     /// Cumulative counters (the VM's cgroup view).
     pub counters: VmCounters,
+    /// True while the VM is frozen by a live migration's stop-and-copy
+    /// phase: its processes demand nothing and make no progress, but the
+    /// luck processes keep stepping so the RNG stream position is
+    /// independent of whether (or when) a pause happened elsewhere.
+    pub(crate) paused: bool,
     pub(crate) processes: Vec<(ProcessId, Box<dyn Process>)>,
     pub(crate) io_luck: Ar1,
     pub(crate) cpi_luck: Ar1,
@@ -79,6 +84,7 @@ impl Vm {
             io_throttle: IoThrottle::unlimited(),
             cpu_cap: CpuCap::unlimited(),
             counters: VmCounters::default(),
+            paused: false,
             processes: Vec::new(),
             io_luck,
             cpi_luck,
@@ -92,14 +98,17 @@ impl Vm {
         self.processes.len()
     }
 
-    /// Aggregates all process demands for a tick of length `dt`.
+    /// Aggregates all process demands for a tick of length `dt`. A paused
+    /// VM demands nothing — identical to a VM with no processes — so the
+    /// stop-and-copy stall is a pure progress freeze.
     pub(crate) fn aggregate_demand(&self, dt: perfcloud_sim::SimDuration) -> VmDemand {
         let mut agg = VmDemand::default();
         let mut w_refs = 0.0;
         let mut w_reuse = 0.0;
         let mut w_cpi = 0.0;
         let mut w_depth = 0.0;
-        for (_, p) in &self.processes {
+        let processes: &[_] = if self.paused { &[] } else { &self.processes };
+        for (_, p) in processes {
             let d = p.demand(dt);
             agg.instructions += d.cpu_instructions;
             agg.parallelism += d.cpu_parallelism;

@@ -204,6 +204,28 @@ mod tests {
     }
 
     #[test]
+    fn migration_events_render_in_both_exports() {
+        let mut fr = FlightRecorder::with_capacity(8);
+        fr.record(100, FlightEvent::MigrationStart { vm: 12, from: 0, to: 1 });
+        fr.record(900, FlightEvent::MigrationStopCopy { vm: 12, from: 0, to: 1 });
+        fr.record(950, FlightEvent::MigrationComplete { vm: 12, from: 0, to: 1 });
+        let sources = vec![ExportSource::from_recorder(0, "ctrl", &fr)];
+        let json = chrome_trace(&sources);
+        for needle in [
+            "migrate-start vm12 s0->s1",
+            "migrate-stopcopy vm12 s0->s1",
+            "migrate-done vm12 s0->s1",
+        ] {
+            assert!(json.contains(needle), "chrome trace missing {needle}");
+            assert!(jsonl(&sources).contains(needle), "jsonl missing {needle}");
+        }
+        let i_start = json.find("migrate-start").unwrap();
+        let i_stop = json.find("migrate-stopcopy").unwrap();
+        let i_done = json.find("migrate-done").unwrap();
+        assert!(i_start < i_stop && i_stop < i_done);
+    }
+
+    #[test]
     fn export_is_deterministic() {
         let a = chrome_trace(&sample_sources());
         let b = chrome_trace(&sample_sources());

@@ -228,6 +228,33 @@ pub enum FlightEvent {
         /// Epoch sequence.
         seq: u64,
     },
+    /// A live migration entered its pre-copy phase.
+    MigrationStart {
+        /// Migrating VM id.
+        vm: u64,
+        /// Source server index.
+        from: u32,
+        /// Destination server index.
+        to: u32,
+    },
+    /// A live migration froze its VM for the stop-and-copy phase.
+    MigrationStopCopy {
+        /// Migrating VM id.
+        vm: u64,
+        /// Source server index.
+        from: u32,
+        /// Destination server index.
+        to: u32,
+    },
+    /// A live migration completed and the VM resumed on the destination.
+    MigrationComplete {
+        /// Migrated VM id.
+        vm: u64,
+        /// Source server index.
+        from: u32,
+        /// Destination server index.
+        to: u32,
+    },
     /// A replica process went down (fault window opened).
     ReplicaDown {
         /// Replica index.
@@ -314,6 +341,15 @@ impl fmt::Display for FlightEvent {
             }
             EpochPublished { replica, term, seq } => {
                 write!(f, "epoch-pub m{replica} e={term}:{seq}")
+            }
+            MigrationStart { vm, from, to } => {
+                write!(f, "migrate-start vm{vm} s{from}->s{to}")
+            }
+            MigrationStopCopy { vm, from, to } => {
+                write!(f, "migrate-stopcopy vm{vm} s{from}->s{to}")
+            }
+            MigrationComplete { vm, from, to } => {
+                write!(f, "migrate-done vm{vm} s{from}->s{to}")
             }
             ReplicaDown { replica } => write!(f, "replica-down m{replica}"),
             ReplicaUp { replica } => write!(f, "replica-up m{replica}"),

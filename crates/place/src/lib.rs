@@ -1,0 +1,34 @@
+//! Interference-aware VM placement: the policy layer that closes the
+//! control loop the paper leaves as future work (§VI — "complementary
+//! solutions such as VM migration").
+//!
+//! Three layers, all deterministic:
+//!
+//! - [`score`]: usage-vector demand profiles per VM (CPU / disk / net),
+//!   VUPIC-style complementary-resource affinity scoring, and a decayed
+//!   interference-penalty ledger fed by node-manager identify verdicts.
+//! - [`policy`]: a pluggable [`PlacementPolicy`] trait with [`Spread`],
+//!   [`Packed`], [`Vupic`], and [`AntagonistAware`] implementations; the
+//!   last consumes identify history to propose rescheduling.
+//! - [`migrate`]: a pre-copy live-migration model — dirty-rate-driven
+//!   transfer time, source/destination CPU tax, and a brief
+//!   stop-and-copy stall for the migrated VM.
+//!
+//! The crate itself moves no VM: policies return [`MigrationProposal`]s
+//! and the model returns phase timelines. Execution — extracting the VM
+//! from its source server, republishing the registry through the epoch'd
+//! control plane — belongs to the experiment driver, which keeps every
+//! decision on the coordinator side of the shard barrier.
+
+#![warn(missing_docs)]
+
+pub mod migrate;
+pub mod policy;
+pub mod score;
+
+pub use migrate::{ActiveMigration, MigrationModel, MigrationPhase, MigrationPlan};
+pub use policy::{
+    AntagonistAware, MigrationCandidate, MigrationProposal, Packed, PlacementConfig, PlacementCtx,
+    PlacementPolicy, PolicyKind, Spread, Vupic,
+};
+pub use score::{affinity, conflict, InterferenceHistory, ServerLoad, UsageVector};

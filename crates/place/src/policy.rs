@@ -1,0 +1,443 @@
+//! Pluggable placement policies.
+//!
+//! A [`PlacementPolicy`] answers two questions: where to put a new VM
+//! ([`place`](PlacementPolicy::place)), and which hosted VMs to move
+//! ([`propose`](PlacementPolicy::propose)). All four implementations are
+//! pure functions of their inputs with deterministic tie-breaking (lowest
+//! server id wins), so identical runs make identical decisions.
+
+use crate::migrate::MigrationModel;
+use crate::score::{affinity, InterferenceHistory, ServerLoad, UsageVector};
+use perfcloud_host::{ServerId, VmId};
+
+/// Everything a policy sees when deciding: candidate servers (index
+/// position == `ServerId`) and the interference ledger.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementCtx<'a> {
+    /// Per-server load, indexed by `ServerId.0`.
+    pub servers: &'a [ServerLoad],
+    /// Decayed identify-verdict ledger.
+    pub history: &'a InterferenceHistory,
+}
+
+/// A hosted VM a policy may move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationCandidate {
+    /// The VM.
+    pub vm: VmId,
+    /// Its current host.
+    pub from: ServerId,
+    /// Its demand profile.
+    pub usage: UsageVector,
+}
+
+/// One proposed move, with the score improvement that motivates it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationProposal {
+    /// The VM to move.
+    pub vm: VmId,
+    /// Source server.
+    pub from: ServerId,
+    /// Destination server.
+    pub to: ServerId,
+    /// Affinity gain (destination score minus source score); always > 0.
+    pub gain: f64,
+}
+
+/// A placement policy: initial placement plus rescheduling proposals.
+pub trait PlacementPolicy {
+    /// Short stable name (used in traces and bench records).
+    fn name(&self) -> &'static str;
+
+    /// Picks a server for a new VM with profile `usage` and interference
+    /// penalty `penalty`, or `None` if no server exists.
+    fn place(&self, usage: &UsageVector, penalty: f64, ctx: &PlacementCtx<'_>) -> Option<ServerId>;
+
+    /// Proposes migrations for `candidates`. Only rescheduling policies
+    /// return anything; the default is no moves.
+    fn propose(
+        &self,
+        candidates: &[MigrationCandidate],
+        ctx: &PlacementCtx<'_>,
+    ) -> Vec<MigrationProposal> {
+        let _ = (candidates, ctx);
+        Vec::new()
+    }
+
+    /// Clones the policy behind the object (policies are tiny value types).
+    fn boxed_clone(&self) -> Box<dyn PlacementPolicy + Send>;
+}
+
+impl Clone for Box<dyn PlacementPolicy + Send> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Picks the best server by a scoring closure, lowest id winning ties
+/// (strict `>` keeps the first — lowest — index on equal scores).
+fn argmax_server(
+    ctx: &PlacementCtx<'_>,
+    mut score: impl FnMut(usize, &ServerLoad) -> f64,
+) -> Option<ServerId> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, load) in ctx.servers.iter().enumerate() {
+        let s = score(i, load);
+        if best.is_none_or(|(b, _)| s > b) {
+            best = Some((s, i));
+        }
+    }
+    best.map(|(_, i)| ServerId(i as u32))
+}
+
+/// Least-loaded placement: the server hosting the fewest VMs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Spread;
+
+impl PlacementPolicy for Spread {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+
+    fn place(
+        &self,
+        _usage: &UsageVector,
+        _penalty: f64,
+        ctx: &PlacementCtx<'_>,
+    ) -> Option<ServerId> {
+        argmax_server(ctx, |_, load| -(load.vms as f64))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PlacementPolicy + Send> {
+        Box::new(*self)
+    }
+}
+
+/// Consolidating placement: the server hosting the most VMs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Packed;
+
+impl PlacementPolicy for Packed {
+    fn name(&self) -> &'static str {
+        "packed"
+    }
+
+    fn place(
+        &self,
+        _usage: &UsageVector,
+        _penalty: f64,
+        ctx: &PlacementCtx<'_>,
+    ) -> Option<ServerId> {
+        argmax_server(ctx, |_, load| load.vms as f64)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PlacementPolicy + Send> {
+        Box::new(*self)
+    }
+}
+
+/// VUPIC-style complementary-resource placement: maximize affinity
+/// (minimal usage-vector conflict with the resident load).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Vupic;
+
+impl PlacementPolicy for Vupic {
+    fn name(&self) -> &'static str {
+        "vupic"
+    }
+
+    fn place(&self, usage: &UsageVector, penalty: f64, ctx: &PlacementCtx<'_>) -> Option<ServerId> {
+        argmax_server(ctx, |_, load| affinity(usage, penalty, load))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PlacementPolicy + Send> {
+        Box::new(*self)
+    }
+}
+
+/// Rescheduling policy driven by node-manager identify verdicts: a VM
+/// whose decayed penalty crosses `min_penalty` while colocated with a
+/// protected application is proposed for migration to the
+/// highest-affinity other server — if that actually improves its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AntagonistAware {
+    /// Ledger penalty below which a VM is left alone. The lagged
+    /// cross-correlation identifier is onset-correlated and hence
+    /// transient — it may render its verdict exactly once per contention
+    /// episode — so the default of 0.9 fires on any *fresh* verdict
+    /// (penalty 1.0) while ignoring stale decayed ones (at most 0.8 one
+    /// interval later). Flap protection is structural rather than
+    /// threshold-based: the runtime's per-VM cooldown, the ledger reset on
+    /// migration completion, and the rule that only interference with a
+    /// protected application motivates a move (a freshly migrated
+    /// antagonist lands on an unprotected server and is never proposed
+    /// again).
+    pub min_penalty: f64,
+}
+
+impl Default for AntagonistAware {
+    fn default() -> Self {
+        AntagonistAware { min_penalty: 0.9 }
+    }
+}
+
+impl PlacementPolicy for AntagonistAware {
+    fn name(&self) -> &'static str {
+        "antagonist-aware"
+    }
+
+    fn place(&self, usage: &UsageVector, penalty: f64, ctx: &PlacementCtx<'_>) -> Option<ServerId> {
+        Vupic.place(usage, penalty, ctx)
+    }
+
+    fn propose(
+        &self,
+        candidates: &[MigrationCandidate],
+        ctx: &PlacementCtx<'_>,
+    ) -> Vec<MigrationProposal> {
+        let mut out = Vec::new();
+        for cand in candidates {
+            let penalty = ctx.history.penalty(cand.vm);
+            if penalty < self.min_penalty {
+                continue;
+            }
+            let from_idx = cand.from.0 as usize;
+            let Some(source) = ctx.servers.get(from_idx) else { continue };
+            // Only interference with a protected application motivates a
+            // move; a penalized VM on an open server stays put.
+            if !source.protected {
+                continue;
+            }
+            let here = affinity(&cand.usage, penalty, source);
+            let mut best: Option<(f64, usize)> = None;
+            for (i, load) in ctx.servers.iter().enumerate() {
+                if i == from_idx {
+                    continue;
+                }
+                let s = affinity(&cand.usage, penalty, load);
+                if best.is_none_or(|(b, _)| s > b) {
+                    best = Some((s, i));
+                }
+            }
+            if let Some((score, to)) = best {
+                if score > here {
+                    out.push(MigrationProposal {
+                        vm: cand.vm,
+                        from: cand.from,
+                        to: ServerId(to as u32),
+                        gain: score - here,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PlacementPolicy + Send> {
+        Box::new(*self)
+    }
+}
+
+/// Selector for the concrete policy, so experiment configs stay plain
+/// data (mirrors `PipelineSpec` for detectors/identifiers).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PolicyKind {
+    /// [`Spread`].
+    Spread,
+    /// [`Packed`].
+    Packed,
+    /// [`Vupic`].
+    Vupic,
+    /// [`AntagonistAware`] with its default threshold.
+    #[default]
+    AntagonistAware,
+}
+
+impl PolicyKind {
+    /// Builds the policy object.
+    pub fn build(self) -> Box<dyn PlacementPolicy + Send> {
+        match self {
+            PolicyKind::Spread => Box::new(Spread),
+            PolicyKind::Packed => Box::new(Packed),
+            PolicyKind::Vupic => Box::new(Vupic),
+            PolicyKind::AntagonistAware => Box::new(AntagonistAware::default()),
+        }
+    }
+}
+
+/// Everything the experiment driver needs to run placement: which policy
+/// decides, the live-migration cost model, and the hysteresis bounds that
+/// keep a flapping antagonist from inducing migration ping-pong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementConfig {
+    /// The deciding policy.
+    pub policy: PolicyKind,
+    /// The live-migration cost model.
+    pub model: MigrationModel,
+    /// Minimum time between migration *starts* of the same VM. With the
+    /// default model a move itself takes ~8.5 s; a 60 s cooldown means a
+    /// VM flapping between guilty and quiet can bounce at most once per
+    /// minute — and in practice not at all, because its ledger penalty
+    /// decays below the policy threshold while it is quiet.
+    pub cooldown: perfcloud_sim::SimDuration,
+    /// Maximum concurrent live migrations cluster-wide (the copy streams
+    /// share management-network links).
+    pub max_active: usize,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            policy: PolicyKind::default(),
+            model: MigrationModel::default(),
+            cooldown: perfcloud_sim::SimDuration::from_secs(60.0),
+            max_active: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with<'a>(
+        servers: &'a [ServerLoad],
+        history: &'a InterferenceHistory,
+    ) -> PlacementCtx<'a> {
+        PlacementCtx { servers, history }
+    }
+
+    fn loads() -> Vec<ServerLoad> {
+        vec![
+            ServerLoad {
+                usage: UsageVector { cpu: 0.2, disk: 0.8, net: 0.0 },
+                vms: 11,
+                protected: true,
+            },
+            ServerLoad {
+                usage: UsageVector { cpu: 0.7, disk: 0.1, net: 0.0 },
+                vms: 3,
+                protected: false,
+            },
+            ServerLoad::default(),
+        ]
+    }
+
+    #[test]
+    fn spread_picks_emptiest_and_packed_fullest() {
+        let history = InterferenceHistory::new();
+        let servers = loads();
+        let ctx = ctx_with(&servers, &history);
+        let vm = UsageVector::default();
+        assert_eq!(Spread.place(&vm, 0.0, &ctx), Some(ServerId(2)));
+        assert_eq!(Packed.place(&vm, 0.0, &ctx), Some(ServerId(0)));
+        // Empty candidate list: nothing to pick.
+        let none = ctx_with(&[], &history);
+        assert_eq!(Spread.place(&vm, 0.0, &none), None);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_server_id() {
+        let history = InterferenceHistory::new();
+        let servers = vec![ServerLoad::default(); 4];
+        let ctx = ctx_with(&servers, &history);
+        let vm = UsageVector::default();
+        assert_eq!(Spread.place(&vm, 0.0, &ctx), Some(ServerId(0)));
+        assert_eq!(Packed.place(&vm, 0.0, &ctx), Some(ServerId(0)));
+        assert_eq!(Vupic.place(&vm, 0.0, &ctx), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn vupic_places_complementary() {
+        let history = InterferenceHistory::new();
+        let servers = vec![
+            ServerLoad {
+                usage: UsageVector { disk: 0.9, ..Default::default() },
+                vms: 1,
+                protected: false,
+            },
+            ServerLoad {
+                usage: UsageVector { cpu: 0.9, ..Default::default() },
+                vms: 1,
+                protected: false,
+            },
+        ];
+        let ctx = ctx_with(&servers, &history);
+        let disk_hog = UsageVector { disk: 0.8, ..Default::default() };
+        assert_eq!(Vupic.place(&disk_hog, 0.0, &ctx), Some(ServerId(1)));
+        let cpu_hog = UsageVector { cpu: 0.8, ..Default::default() };
+        assert_eq!(Vupic.place(&cpu_hog, 0.0, &ctx), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn antagonist_aware_moves_guilty_vm_off_protected_server() {
+        let mut history = InterferenceHistory::new();
+        for _ in 0..4 {
+            history.record_verdict(VmId(10));
+        }
+        let servers = loads();
+        let ctx = ctx_with(&servers, &history);
+        let cand = MigrationCandidate {
+            vm: VmId(10),
+            from: ServerId(0),
+            usage: UsageVector { disk: 0.8, ..Default::default() },
+        };
+        let proposals = AntagonistAware::default().propose(&[cand], &ctx);
+        assert_eq!(proposals.len(), 1);
+        let p = proposals[0];
+        assert_eq!((p.vm, p.from), (VmId(10), ServerId(0)));
+        assert_ne!(p.to, ServerId(0));
+        assert!(p.gain > 0.0);
+    }
+
+    #[test]
+    fn below_threshold_or_unprotected_source_proposes_nothing() {
+        let mut history = InterferenceHistory::new();
+        history.record_verdict(VmId(10));
+        history.decay(); // stale verdict: penalty 0.8 < 0.9
+        let servers = loads();
+        let ctx = ctx_with(&servers, &history);
+        let usage = UsageVector { disk: 0.8, ..Default::default() };
+        let guilty_but_mild = MigrationCandidate { vm: VmId(10), from: ServerId(0), usage };
+        assert!(AntagonistAware::default().propose(&[guilty_but_mild], &ctx).is_empty());
+        // Heavy penalty, but the source hosts no protected app.
+        for _ in 0..8 {
+            history.record_verdict(VmId(11));
+        }
+        let ctx = ctx_with(&servers, &history);
+        let open_source = MigrationCandidate { vm: VmId(11), from: ServerId(1), usage };
+        assert!(AntagonistAware::default().propose(&[open_source], &ctx).is_empty());
+    }
+
+    #[test]
+    fn spread_and_packed_never_propose() {
+        let mut history = InterferenceHistory::new();
+        for _ in 0..8 {
+            history.record_verdict(VmId(10));
+        }
+        let servers = loads();
+        let ctx = ctx_with(&servers, &history);
+        let cand = MigrationCandidate {
+            vm: VmId(10),
+            from: ServerId(0),
+            usage: UsageVector { disk: 0.8, ..Default::default() },
+        };
+        assert!(Spread.propose(&[cand], &ctx).is_empty());
+        assert!(Packed.propose(&[cand], &ctx).is_empty());
+    }
+
+    #[test]
+    fn policy_kind_builds_named_policies() {
+        for (kind, name) in [
+            (PolicyKind::Spread, "spread"),
+            (PolicyKind::Packed, "packed"),
+            (PolicyKind::Vupic, "vupic"),
+            (PolicyKind::AntagonistAware, "antagonist-aware"),
+        ] {
+            assert_eq!(kind.build().name(), name);
+        }
+        // Box<dyn> clones through boxed_clone.
+        let b = PolicyKind::AntagonistAware.build();
+        assert_eq!(b.clone().name(), "antagonist-aware");
+    }
+}

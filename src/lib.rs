@@ -22,6 +22,9 @@
 //!   network links with loss/duplication/reorder, heartbeat failure
 //!   detection and Bully election for cloud-manager failover, epoch-stamped
 //!   placement synchronization.
+//! * [`place`] — interference-aware placement: usage-vector scoring,
+//!   pluggable placement/rescheduling policies fed by identify verdicts,
+//!   and a pre-copy live-migration model.
 //! * [`baselines`] — LATE speculative execution, Dolly job cloning, static
 //!   capping and the unmanaged default.
 //! * [`cluster`] — multi-server experiment assembly, workload mixes and the
@@ -41,6 +44,7 @@ pub use perfcloud_ctrl as ctrl;
 pub use perfcloud_frameworks as frameworks;
 pub use perfcloud_host as host;
 pub use perfcloud_obs as obs;
+pub use perfcloud_place as place;
 pub use perfcloud_sim as sim;
 pub use perfcloud_stats as stats;
 pub use perfcloud_workloads as workloads;

@@ -193,3 +193,108 @@ fn antagonist_keeps_most_throughput_when_victims_are_idle() {
         "idle-cluster PerfCloud must not touch the antagonist: {default_ops} vs {pc_ops}"
     );
 }
+
+/// The placement testbed: two servers with the second held spare, one
+/// 40-task terasort on the populated server, and the accuracy suite's
+/// low-signal rate-limited fio antagonist — heavy enough to hurt the
+/// victims, too quiet for the paper's deviation thresholds.
+fn low_signal_placement_run(
+    mitigation: Mitigation,
+    pipeline: perfcloud::core::PipelineSpec,
+) -> Experiment {
+    let mut cluster = ClusterSpec::small_scale(42);
+    cluster.servers = 2;
+    cluster.spare_servers = 1;
+    let mut cfg = ExperimentConfig::new(cluster, mitigation);
+    cfg.pipeline = pipeline;
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(40)));
+    cfg.antagonists.push(
+        AntagonistPlacement::pinned(AntagonistKind::FioRate(10_000.0), 0)
+            .starting_at(SimTime::from_secs(15))
+            .lasting(SimDuration::from_secs(150.0)),
+    );
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    Experiment::build(cfg)
+}
+
+#[test]
+fn migration_beats_throttling_on_low_signal_antagonist() {
+    use perfcloud::core::{DetectorKind, IdentifierKind, PipelineSpec};
+    use perfcloud::place::PlacementConfig;
+    // The adversarial scenario is engineered at the paper's documented
+    // weakness: the across-VM deviation never crosses ℋ_io, so the paper
+    // pipeline is blind and throttle-only — the system as shipped — never
+    // caps anything.
+    let paper = PipelineSpec::default();
+    let mut throttle =
+        low_signal_placement_run(Mitigation::PerfCloud(PerfCloudConfig::default()), paper);
+    let throttle_jct = throttle.run().sole_jct();
+
+    // The placement loop paired with the learned detector (the accuracy
+    // scoreboard's alioth/paper cell, which does catch the low-signal
+    // antagonist) migrates it to the spare server and recovers the victim.
+    let alioth = PipelineSpec { detector: DetectorKind::Alioth, identifier: IdentifierKind::Paper };
+    let mut migrate =
+        low_signal_placement_run(Mitigation::MigrateOnly(PlacementConfig::default()), alioth);
+    let migrate_jct = migrate.run().sole_jct();
+    let rt = migrate.placement().expect("migrate-only runs the placement runtime");
+    let vm = migrate.antagonist_vms()[0].0;
+    assert_eq!(rt.starts_of(vm), 1, "the low-signal antagonist must be migrated exactly once");
+
+    // The antagonist is calibrated to stay under the detection threshold,
+    // so its damage is mild by construction — but it is real, and the
+    // migration claws it back. Runs are deterministic, so a strict >1%
+    // improvement is a stable assertion.
+    assert!(
+        migrate_jct < 0.99 * throttle_jct,
+        "migrating the low-signal antagonist must beat blind throttle-only: \
+         migrate {migrate_jct} !< 0.99 * {throttle_jct}"
+    );
+}
+
+#[test]
+fn flapping_antagonist_does_not_ping_pong() {
+    use perfcloud::place::PlacementConfig;
+    // Three short fio episodes flapping on the protected server: each
+    // burst re-triggers identification from scratch. The hysteresis bound:
+    // a VM is migrated at most once (after the move it sits on an
+    // unprotected server and is never proposed again), and nothing ever
+    // migrates *back* — so total starts are bounded by the episode count
+    // even though verdicts keep re-firing.
+    let mut cluster = ClusterSpec::small_scale(42);
+    cluster.servers = 2;
+    cluster.spare_servers = 1;
+    let mut cfg =
+        ExperimentConfig::new(cluster, Mitigation::MigrateOnly(PlacementConfig::default()));
+    cfg.jobs.push((SimTime::from_secs(5), Benchmark::Terasort.job(40)));
+    for onset in [15u64, 45, 75] {
+        cfg.antagonists.push(
+            AntagonistPlacement::pinned(AntagonistKind::Fio, 0)
+                .starting_at(SimTime::from_secs(onset))
+                .lasting(SimDuration::from_secs(12.0)),
+        );
+    }
+    cfg.max_sim_time = SimTime::from_secs(3_600);
+    let mut e = Experiment::build(cfg);
+    e.run();
+    // The job can drain while the last episode's migration is mid-flight;
+    // give it a minute of sim time to land before asserting quiescence.
+    e.run_for(SimDuration::from_secs(60.0));
+    let rt = e.placement().expect("placement runtime active");
+    let vms: Vec<_> = e.antagonist_vms().iter().map(|(vm, _)| *vm).collect();
+    for vm in &vms {
+        assert!(
+            rt.starts_of(*vm) <= 1,
+            "vm{} migrated {} times — ping-pong",
+            vm.0,
+            rt.starts_of(*vm)
+        );
+    }
+    assert!(
+        rt.migrations_started() <= vms.len() as u64,
+        "{} migrations for {} flapping episodes",
+        rt.migrations_started(),
+        vms.len()
+    );
+    assert_eq!(rt.active_count(), 0, "no migration may be left in flight at the end");
+}

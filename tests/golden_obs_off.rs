@@ -42,8 +42,8 @@ fn golden_traces_match_without_observability() {
 
 #[test]
 fn golden_traces_match_at_four_shards_without_observability() {
-    // Shard-count invariance and observability-purity compose: all 16
-    // goldens, recorders off, 4 in-run shards, same bytes.
+    // Shard-count invariance and observability-purity compose: every
+    // golden, recorders off, 4 in-run shards, same bytes.
     if std::env::var("BLESS").map(|v| v == "1").unwrap_or(false) {
         panic!("run this suite without BLESS=1");
     }
