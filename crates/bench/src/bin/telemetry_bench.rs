@@ -1,0 +1,84 @@
+//! Telemetry replay throughput runner with a CI regression gate.
+//!
+//! `cargo run --release -p perfcloud-bench --bin telemetry_bench -- \
+//!     [--baseline BENCH_telemetry.json] [--max-drop 0.15]`
+//!
+//! Runs the synthetic record → serialize → parse → replay-ingest probe
+//! ([`perfcloud_bench::telemetrybench`]), writes a fresh
+//! `BENCH_telemetry.json`, and — when `--baseline` names a previously
+//! committed record — exits non-zero if `replay_samples_per_sec` fell more
+//! than `--max-drop` (fraction, default 0.15) below the baseline's. The
+//! baseline is read *before* the fresh record is written, so gating
+//! against the committed file in the repo root works even when
+//! `BENCH_JSON_DIR` is unset.
+
+use perfcloud_bench::benchjson::BenchRecord;
+use perfcloud_bench::telemetrybench;
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut max_drop = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--max-drop" => {
+                max_drop = args
+                    .next()
+                    .expect("--max-drop needs a fraction")
+                    .parse()
+                    .expect("--max-drop must be a number")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: telemetry_bench [--baseline FILE] [--max-drop FRAC]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline_sps =
+        baseline.as_deref().and_then(|p| BenchRecord::read_field(p, "replay_samples_per_sec"));
+    if let Some(path) = &baseline {
+        match baseline_sps {
+            Some(sps) => println!(
+                "baseline {path}: {sps:.0} replay samples/sec (gate: -{:.0}%)",
+                max_drop * 100.0
+            ),
+            None => {
+                eprintln!("warning: no replay_samples_per_sec in baseline {path}; gate disabled")
+            }
+        }
+    }
+
+    let record = telemetrybench::probe();
+    let extra = |key: &str| record.extras.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+    println!(
+        "telemetry probe: {:.0} samples in {:.3}s ({:.0} parse/s, {:.0} replay-ingest/s, {:.0} bytes)",
+        extra("samples").unwrap_or(0.0),
+        record.wall_seconds,
+        extra("parse_samples_per_sec").unwrap_or(0.0),
+        extra("replay_samples_per_sec").unwrap_or(0.0),
+        extra("encode_bytes").unwrap_or(0.0),
+    );
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_telemetry.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let (Some(base), Some(fresh)) = (baseline_sps, extra("replay_samples_per_sec")) {
+        let floor = base * (1.0 - max_drop);
+        if fresh < floor {
+            eprintln!(
+                "REGRESSION: replay_samples_per_sec {fresh:.0} is below the gate floor \
+                 {floor:.0} (baseline {base:.0}, max drop {:.0}%)",
+                max_drop * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("telemetry gate passed: {fresh:.0} >= {floor:.0}");
+    }
+}

@@ -19,6 +19,7 @@ use crate::sweep;
 use perfcloud_baselines::{Dolly, LatePolicy};
 use perfcloud_cluster::{
     AntagonistKind, AntagonistPlacement, ClusterSpec, Experiment, ExperimentConfig, Mitigation,
+    TelemetrySpec,
 };
 use perfcloud_core::PerfCloudConfig;
 use perfcloud_ctrl::{ControlPlaneSpec, LinkSpec, NodeId, Partition};
@@ -408,6 +409,22 @@ fn ctrl_lossy_placement(shards: usize) -> String {
 /// migrating (or stops) is a one-line golden diff even before any
 /// decision drifts.
 fn placement_run(shards: usize, mitigation: Mitigation) -> String {
+    let mut e = build_placement(mitigation, TelemetrySpec::default());
+    e.set_shards(shards);
+    if OBSERVE_GOLDENS.load(Ordering::Relaxed) {
+        e.enable_observability(FLIGHT_CAPACITY);
+    }
+    let (e, r) = run_to_completion(e);
+    LAST_FLIGHT_SOURCES.with(|s| *s.borrow_mut() = e.flight_sources());
+    placement_artifact(&e, &r)
+}
+
+/// Builds the placement-testbed experiment (decision trace enabled) with
+/// an explicit telemetry spec. Public so the record/replay acceptance
+/// suite can tee the exact `placement_hybrid` golden run, replay the
+/// recording, and byte-compare both artifacts against the checked-in
+/// golden.
+pub fn build_placement(mitigation: Mitigation, telemetry: TelemetrySpec) -> Experiment {
     let mut cluster = ClusterSpec::small_scale(GOLDEN_SEED);
     cluster.servers = 2;
     cluster.spare_servers = 1;
@@ -416,14 +433,15 @@ fn placement_run(shards: usize, mitigation: Mitigation) -> String {
     cfg.antagonists
         .push(AntagonistPlacement::pinned(AntagonistKind::Fio, 0).starting_at(ANTAGONIST_ONSET));
     cfg.max_sim_time = SimTime::from_secs(7_200);
+    cfg.telemetry = telemetry;
     let mut e = Experiment::build(cfg);
-    e.set_shards(shards);
     e.enable_decision_trace();
-    if OBSERVE_GOLDENS.load(Ordering::Relaxed) {
-        e.enable_observability(FLIGHT_CAPACITY);
-    }
-    let (e, r) = run_to_completion(e);
-    LAST_FLIGHT_SOURCES.with(|s| *s.borrow_mut() = e.flight_sources());
+    e
+}
+
+/// Renders the canonical placement-golden artifact of a completed
+/// [`build_placement`] run.
+pub fn placement_artifact(e: &Experiment, r: &perfcloud_cluster::ExperimentResult) -> String {
     let trace = e.decision_trace().expect("trace enabled");
     let migrations = e.placement().map_or(0, |rt| rt.migrations_started());
     let mut out = String::new();

@@ -18,6 +18,8 @@ pub mod placementbench;
 pub mod report;
 pub mod scalebench;
 pub mod scenarios;
+pub mod shadow;
 pub mod sweep;
+pub mod telemetrybench;
 
 pub use report::Table;

@@ -27,7 +27,11 @@ use perfcloud_obs::{ExportSource, MetricsRegistry};
 use perfcloud_place::PlacementConfig;
 use perfcloud_sim::shard::{partition, shards_from_env, split_mut};
 use perfcloud_sim::{FaultScenario, SimDuration, SimTime};
+use perfcloud_telemetry::{
+    RecordingFormat, ReplaySource, Sample, TelemetryRecording, TelemetryWriter,
+};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Minimum servers per shard before the dispatch loop spawns worker
 /// threads. Below this, per-tick thread spawn/join overhead (~10µs per
@@ -80,6 +84,23 @@ impl Mitigation {
     }
 }
 
+/// Telemetry source and recording configuration of one run.
+///
+/// The default is the pure simulated path: every node manager reads its
+/// server's hypervisor counters directly and nothing is recorded — the
+/// pre-telemetry behavior, byte for byte.
+#[derive(Clone, Default)]
+pub struct TelemetrySpec {
+    /// When set, tee every raw (pre-fault) collected sample into a
+    /// recording in this encoding, retrievable via
+    /// [`Experiment::take_recording`].
+    pub tee: Option<RecordingFormat>,
+    /// When set, node managers ingest from this recording (each server
+    /// replays its own sample stream) instead of reading the simulated
+    /// hypervisor.
+    pub replay: Option<Arc<TelemetryRecording>>,
+}
+
 /// Configuration of one experiment run.
 pub struct ExperimentConfig {
     /// Cluster topology.
@@ -105,6 +126,9 @@ pub struct ExperimentConfig {
     /// paper's monitoring-only pipeline. The default (paper/paper)
     /// reproduces the pre-seam behavior byte-for-byte.
     pub pipeline: PipelineSpec,
+    /// Counter-source and recording configuration. The default (simulated
+    /// source, no tee) reproduces the pre-telemetry behavior byte-for-byte.
+    pub telemetry: TelemetrySpec,
 }
 
 impl ExperimentConfig {
@@ -119,6 +143,7 @@ impl ExperimentConfig {
             faults: None,
             control: ControlPlaneSpec::default(),
             pipeline: PipelineSpec::default(),
+            telemetry: TelemetrySpec::default(),
         }
     }
 }
@@ -228,6 +253,16 @@ pub struct Experiment {
     /// on the coordinator: verdict ingestion and proposals at sampling
     /// instants, phase transitions between ticks.
     placement: Option<PlacementRuntime>,
+    /// The telemetry spec from the build config; re-applied to rebuilt
+    /// node managers by [`Self::set_mitigation`].
+    telemetry: TelemetrySpec,
+    /// Recording writer when teeing is configured; fed in server order at
+    /// every sampling barrier.
+    tee_writer: Option<TelemetryWriter>,
+    /// Reused drain scratch for the tee barrier.
+    tee_buf: Vec<Sample>,
+    /// Sampling barriers at which the tee drained node managers.
+    tee_flushes: u64,
 }
 
 impl Experiment {
@@ -264,6 +299,11 @@ impl Experiment {
                 nm.attach_faults(NodeFaults::new(chaos_seed, scenario.clone(), i as u32));
             }
         }
+        apply_telemetry(&config.telemetry, &mut node_managers);
+        let tee_writer = config.telemetry.tee.map(|fmt| {
+            let source = node_managers.first().map_or("sim", |nm| nm.source_name());
+            TelemetryWriter::new(fmt, source)
+        });
         let server_ids: Vec<ServerId> = (0..tb.servers.len()).map(|i| ServerId(i as u32)).collect();
         let plane = ControlPlane::new(
             config.control,
@@ -315,6 +355,10 @@ impl Experiment {
             stall_snapshot: Vec::new(),
             finished_buf: Vec::new(),
             placement: placement.as_ref().map(PlacementRuntime::new),
+            telemetry: config.telemetry,
+            tee_writer,
+            tee_buf: Vec::new(),
+            tee_flushes: 0,
         }
     }
 
@@ -409,11 +453,14 @@ impl Experiment {
         total
     }
 
-    /// Current observability counters as the flat `(name, value)` pairs the
-    /// `BENCH_*.json` records use: ingest outcomes plus control-plane
-    /// network delivery counters.
-    pub fn metrics_snapshot(&self) -> Vec<(String, f64)> {
-        let mut reg = MetricsRegistry::with_capacity(16 + 2 * self.shards);
+    /// The run's observability counters assembled into a
+    /// [`MetricsRegistry`]: monitor ingest outcomes, control-plane network
+    /// delivery counters, telemetry tee tallies, and shard gauges. Every
+    /// export path — the flat snapshot, the Prometheus text exposition —
+    /// reads this one registry, so no counter can appear in one and not
+    /// the other.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::with_capacity(18 + 2 * self.shards);
         let ingest = self.ingest_stats();
         let pairs = [
             ("ingest_baselines", ingest.baselines),
@@ -437,6 +484,13 @@ impl Experiment {
             let id = reg.counter(name);
             reg.inc(id, value);
         }
+        let teed = self.tee_writer.as_ref().map_or(0, |w| w.len() as u64);
+        for (name, value) in
+            [("telemetry_teed_samples", teed), ("telemetry_flush_batches", self.tee_flushes)]
+        {
+            let id = reg.counter(name);
+            reg.inc(id, value);
+        }
         let id = reg.gauge("shards");
         reg.set(id, self.shards as i64);
         for (s, scratch) in self.shard_scratch.iter().enumerate() {
@@ -445,7 +499,18 @@ impl Experiment {
             let id = reg.gauge(&format!("shard{s}_barrier_wait_us"));
             reg.set(id, scratch.barrier_wait_us as i64);
         }
-        reg.snapshot()
+        reg
+    }
+
+    /// Current observability counters as the flat `(name, value)` pairs the
+    /// `BENCH_*.json` records use. A snapshot of [`Self::metrics_registry`].
+    pub fn metrics_snapshot(&self) -> Vec<(String, f64)> {
+        self.metrics_registry().snapshot()
+    }
+
+    /// Prometheus text exposition of [`Self::metrics_registry`].
+    pub fn prometheus_metrics(&self) -> String {
+        perfcloud_obs::prometheus_text(&self.metrics_registry())
     }
 
     /// The decision trace, if [`Self::enable_decision_trace`] was called.
@@ -527,6 +592,10 @@ impl Experiment {
             stall_snapshot: Vec::new(),
             finished_buf: Vec::new(),
             placement: self.placement.clone(),
+            telemetry: self.telemetry.clone(),
+            tee_writer: self.tee_writer.clone(),
+            tee_buf: Vec::new(),
+            tee_flushes: self.tee_flushes,
         }
     }
 
@@ -619,6 +688,7 @@ impl Experiment {
                 nm.attach_flight(capacity);
             }
         }
+        apply_telemetry(&self.telemetry, &mut self.node_managers);
     }
 
     /// Advances one tick.
@@ -772,6 +842,7 @@ impl Experiment {
                     trace.record(now, i, &self.report_buf);
                 }
             }
+            self.drain_tees();
             return;
         }
         // A stall window only changes through its own server's restart, so
@@ -823,6 +894,34 @@ impl Experiment {
                 scratch.trace.drain_into(trace);
             }
         }
+        self.drain_tees();
+    }
+
+    /// Drains every node manager's teed samples into the recording writer
+    /// in server-index order — the same order at any shard count, so the
+    /// recording bytes are shard-invariant.
+    fn drain_tees(&mut self) {
+        let Some(writer) = self.tee_writer.as_mut() else { return };
+        for (i, nm) in self.node_managers.iter_mut().enumerate() {
+            self.tee_buf.clear();
+            nm.drain_tee_into(&mut self.tee_buf);
+            for s in &self.tee_buf {
+                writer.append(i as u32, s);
+            }
+        }
+        self.tee_flushes += 1;
+    }
+
+    /// Serializes and takes the teed recording, disarming the writer.
+    /// `None` when [`TelemetrySpec::tee`] was not configured.
+    pub fn take_recording(&mut self) -> Option<Vec<u8>> {
+        self.tee_writer.take().map(TelemetryWriter::finish)
+    }
+
+    /// The in-memory recording teed so far, ready to feed back through
+    /// [`TelemetrySpec::replay`]. `None` when teeing is off.
+    pub fn recording(&self) -> Option<TelemetryRecording> {
+        self.tee_writer.as_ref().map(TelemetryWriter::recording)
     }
 
     /// True when all jobs have been submitted and completed.
@@ -882,6 +981,20 @@ impl Experiment {
             duration: self.now.saturating_since(SimTime::ZERO),
             antagonists,
             ingest: self.ingest_stats(),
+        }
+    }
+}
+
+/// Applies a telemetry spec to freshly built node managers: swaps in each
+/// server's replay stream and arms the tee. Idempotent, so rebuilds
+/// ([`Experiment::set_mitigation`]) can re-apply it.
+fn apply_telemetry(spec: &TelemetrySpec, node_managers: &mut [NodeManager]) {
+    for (i, nm) in node_managers.iter_mut().enumerate() {
+        if let Some(rec) = &spec.replay {
+            nm.set_source(Box::new(ReplaySource::for_server(rec, i as u32)));
+        }
+        if spec.tee.is_some() {
+            nm.enable_tee();
         }
     }
 }
@@ -1236,6 +1349,87 @@ mod tests {
             hybrid.sole_jct(),
             throttle.sole_jct()
         );
+    }
+
+    #[test]
+    fn tee_then_replay_reproduces_the_run() {
+        // Record a faulted PerfCloud run, replay the recording through a
+        // second build of the same config: result, decision trace, and
+        // re-teed recording bytes must all match.
+        let config = || {
+            let mut cfg = one_job_config(
+                Benchmark::Terasort,
+                10,
+                Mitigation::PerfCloud(PerfCloudConfig::default()),
+                Some(15),
+            );
+            use perfcloud_sim::{FaultKind, FaultRule};
+            cfg.faults = Some(
+                FaultScenario::named("tee-replay")
+                    .rule(
+                        FaultRule::new("drop", FaultKind::DropSample)
+                            .window(SimTime::from_secs(20), SimTime::from_secs(120))
+                            .with_probability(0.2),
+                    )
+                    .rule(
+                        FaultRule::new("delay", FaultKind::DelaySample { intervals: 2 })
+                            .window(SimTime::from_secs(20), SimTime::from_secs(120))
+                            .with_probability(0.2),
+                    ),
+            );
+            cfg
+        };
+        let mut recorded = config();
+        recorded.telemetry.tee = Some(RecordingFormat::Binary);
+        let mut a = Experiment::build(recorded);
+        a.enable_decision_trace();
+        let ra = a.run();
+        let rec = a.recording().expect("tee was armed");
+        assert!(!rec.samples.is_empty());
+        let bytes_a = a.take_recording().expect("tee was armed");
+        assert!(a.take_recording().is_none(), "take disarms the tee");
+
+        let mut replayed = config();
+        replayed.telemetry.replay = Some(Arc::new(rec));
+        replayed.telemetry.tee = Some(RecordingFormat::Binary);
+        let mut b = Experiment::build(replayed);
+        assert_eq!(b.node_managers[0].source_name(), "replay");
+        b.enable_decision_trace();
+        let rb = b.run();
+        assert_eq!(ra, rb, "replayed result diverged");
+        assert_eq!(
+            a.decision_trace().unwrap().canonical(),
+            b.decision_trace().unwrap().canonical(),
+            "replayed decision trace diverged"
+        );
+        // The replayed run re-tees the identical sample stream; only the
+        // header's source name differs.
+        let rec_b = b.recording().unwrap();
+        assert_eq!(rec_b.source, "replay");
+        let parsed_a =
+            perfcloud_telemetry::TelemetryReader::parse(&bytes_a).expect("recording parses");
+        assert_eq!(parsed_a.samples, rec_b.samples);
+    }
+
+    #[test]
+    fn telemetry_counters_surface_in_metrics() {
+        let mut cfg = one_job_config(
+            Benchmark::Terasort,
+            10,
+            Mitigation::PerfCloud(PerfCloudConfig::default()),
+            Some(0),
+        );
+        cfg.telemetry.tee = Some(RecordingFormat::Jsonl);
+        let mut e = Experiment::build(cfg);
+        e.run();
+        let snap = e.metrics_snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert!(get("telemetry_teed_samples") > 0.0);
+        assert!(get("telemetry_flush_batches") > 0.0);
+        // The Prometheus exposition reads the same registry.
+        let text = e.prometheus_metrics();
+        assert!(text.contains("# TYPE telemetry_teed_samples counter"));
+        assert!(text.contains("# TYPE ingest_recorded counter"));
     }
 
     #[test]

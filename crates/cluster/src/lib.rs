@@ -29,7 +29,7 @@ pub mod topology;
 pub mod trace;
 
 pub use antagonists::{AntagonistKind, AntagonistPlacement};
-pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, Mitigation};
+pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, Mitigation, TelemetrySpec};
 pub use labels::{parse_trace, GroundTruth, StepObservation, TruthEntry};
 pub use metrics::{mean_efficiency, normalize_jcts, DegradationBreakdown};
 pub use mix::{MixConfig, WorkloadMix};

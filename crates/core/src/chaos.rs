@@ -17,11 +17,12 @@
 //! direct-mutation duplicate here.
 
 use crate::monitor::{IngestOutcome, PerformanceMonitor, VmMetricKind};
-use perfcloud_host::{CounterSnapshot, PhysicalServer, VmId};
+use perfcloud_host::{CounterSnapshot, VmId};
 use perfcloud_obs::flight::{FaultClass, RejectReason};
 use perfcloud_obs::{FlightEvent, FlightRecorder};
 use perfcloud_sim::faults::{FaultInjector, FaultKind, FaultScenario, MetricClass};
 use perfcloud_sim::{SimDuration, SimTime};
+use perfcloud_telemetry::Sample;
 use std::collections::BTreeMap;
 
 /// Maps a rejection outcome to its flight-recorder reason, `None` for
@@ -88,16 +89,19 @@ impl NodeFaults {
         ManagerFault::None
     }
 
-    /// Samples every VM on `server` through the fault filter, in place of
-    /// `monitor.sample(now, server)`: due delayed deliveries land first, then
-    /// each fresh snapshot is dropped / delayed / duplicated / corrupted per
-    /// the scenario.
+    /// Ingests a collected sample batch through the fault filter, in place
+    /// of ingesting it directly: due delayed deliveries land first, then
+    /// each fresh sample is dropped / delayed / duplicated / corrupted per
+    /// the scenario. Fault decisions hash the sample's own timestamp, so a
+    /// replayed batch reproduces the original run's faults exactly (for
+    /// the default sim source every timestamp equals `now` and the
+    /// behavior is byte-identical to the historical direct read).
     pub fn sample(
         &mut self,
         now: SimTime,
         interval: SimDuration,
         monitor: &mut PerformanceMonitor,
-        server: &PhysicalServer,
+        samples: &[Sample],
         mut flight: Option<&mut FlightRecorder>,
     ) {
         let t = now.as_micros();
@@ -121,8 +125,9 @@ impl NodeFaults {
             }
         }
 
-        for (vm, snap) in server.snapshots() {
-            if self.sample_fault(now, vm, FaultKindTag::Drop).is_some() {
+        for s in samples {
+            let (at, vm, snap) = (s.time, s.vm, s.snapshot);
+            if self.sample_fault(at, vm, FaultKindTag::Drop).is_some() {
                 if let Some(fl) = flight.as_deref_mut() {
                     fl.record(
                         t,
@@ -136,9 +141,9 @@ impl NodeFaults {
                 continue;
             }
             if let Some(FaultKind::DelaySample { intervals }) =
-                self.sample_fault(now, vm, FaultKindTag::Delay)
+                self.sample_fault(at, vm, FaultKindTag::Delay)
             {
-                let due = now.saturating_add(interval.mul_f64(intervals as f64));
+                let due = at.saturating_add(interval.mul_f64(intervals as f64));
                 self.delayed.push((due, vm, snap));
                 if let Some(fl) = flight.as_deref_mut() {
                     fl.record(
@@ -152,7 +157,7 @@ impl NodeFaults {
                 }
                 continue;
             }
-            let duplicated = self.sample_fault(now, vm, FaultKindTag::Duplicate).is_some();
+            let duplicated = self.sample_fault(at, vm, FaultKindTag::Duplicate).is_some();
             let deliver = if duplicated {
                 if let Some(fl) = flight.as_deref_mut() {
                     fl.record(
@@ -169,7 +174,7 @@ impl NodeFaults {
                 snap
             };
             if let Some(fl) = flight.as_deref_mut() {
-                if self.corruption_fires(now, vm) {
+                if self.corruption_fires(at, vm) {
                     fl.record(
                         t,
                         FlightEvent::Fault {
@@ -180,7 +185,7 @@ impl NodeFaults {
                     );
                 }
             }
-            let outcome = self.ingest_corrupted(now, vm, deliver, monitor);
+            let outcome = self.ingest_corrupted(at, vm, deliver, monitor);
             if let (Some(fl), Some(reason)) = (flight.as_deref_mut(), reject_reason(outcome)) {
                 fl.record(
                     t,
@@ -293,6 +298,7 @@ mod tests {
     use perfcloud_host::{PhysicalServer, ServerConfig, ServerId, VmConfig};
     use perfcloud_sim::faults::FaultRule;
     use perfcloud_sim::RngFactory;
+    use perfcloud_telemetry::{CounterSource as _, SimSource};
     use perfcloud_workloads::FioRandRead;
 
     const DT: SimDuration = SimDuration::from_micros(100_000);
@@ -312,14 +318,24 @@ mod tests {
         server: &mut PhysicalServer,
         intervals: usize,
     ) {
+        let mut source = SimSource::new();
+        let mut buf = Vec::new();
+        let mut step = |faults: &mut NodeFaults,
+                        monitor: &mut PerformanceMonitor,
+                        server: &PhysicalServer,
+                        now| {
+            buf.clear();
+            source.collect_into(now, server, &mut buf);
+            faults.sample(now, INTERVAL, monitor, &buf, None);
+        };
         let mut now = SimTime::ZERO;
-        faults.sample(now, INTERVAL, monitor, server, None);
+        step(faults, monitor, server, now);
         for _ in 0..intervals {
             for _ in 0..50 {
                 server.tick(DT);
             }
             now = now.saturating_add(INTERVAL);
-            faults.sample(now, INTERVAL, monitor, server, None);
+            step(faults, monitor, server, now);
         }
     }
 

@@ -20,9 +20,10 @@ use crate::monitor::{PerformanceMonitor, VmMetricKind};
 use crate::pipeline::{Detector, Identifier, PipelineSpec};
 use perfcloud_host::throttle::{CpuCap, IoThrottle};
 use perfcloud_host::{PhysicalServer, VmId};
-use perfcloud_obs::{FlightEvent, FlightRecorder};
+use perfcloud_obs::{FlightEvent, FlightRecorder, SAMPLE_EVENT_DECIMATION};
 use perfcloud_sim::SimTime;
 use perfcloud_stats::TimeSeries;
+use perfcloud_telemetry::{CounterSource, Sample, SimSource};
 use std::collections::BTreeMap;
 
 /// Maps the agent's resource dimension onto the obs crate's copy of it
@@ -131,6 +132,20 @@ pub struct NodeManager {
     cpu_cap_trace: BTreeMap<VmId, TimeSeries>,
     controlled_app: Option<AppId>,
     faults: Option<NodeFaults>,
+    /// Where counter samples come from. Defaults to [`SimSource`] (the
+    /// direct hypervisor read); experiments can swap in a replay stream or
+    /// a host-side cgroup collector. Deliberately *not* reset on
+    /// crash-restart: the collector is a separate process from the agent.
+    source: Box<dyn CounterSource>,
+    /// Scratch for the current interval's collected batch; reused so the
+    /// steady-state sample path stays allocation-free.
+    sample_buf: Vec<Sample>,
+    /// When teeing, raw (pre-fault) samples accumulate here until the
+    /// experiment drains them into its recording writer.
+    tee: Option<Vec<Sample>>,
+    /// Samples collected since construction, for decimating
+    /// `SampleIngested` flight events.
+    collected: u64,
     /// Optional flight recorder; all hooks are a single branch when absent
     /// and record fixed-size `Copy` events when present (never allocating
     /// either way). Pure observation: attaching one changes no decision.
@@ -192,6 +207,10 @@ impl NodeManager {
             cpu_cap_trace: BTreeMap::new(),
             controlled_app: None,
             faults: None,
+            source: Box::new(SimSource::new()),
+            sample_buf: Vec::new(),
+            tee: None,
+            collected: 0,
             flight: None,
             was_contended: false,
             placement: Placement::default(),
@@ -564,17 +583,97 @@ impl NodeManager {
         report.signal = Some(signal);
     }
 
-    /// Samples all VMs, through the fault filter when one is attached.
+    /// Samples all VMs: collect from the configured [`CounterSource`], tee
+    /// the raw batch if a recording is active, then ingest through the
+    /// fault filter when one is attached.
     fn sample(&mut self, now: SimTime, server: &PhysicalServer) {
+        self.sample_buf.clear();
+        self.source.collect_into(now, server, &mut self.sample_buf);
+        if let Some(tee) = self.tee.as_mut() {
+            tee.extend_from_slice(&self.sample_buf);
+        }
+        // Collector flight events are gated on telemetry actually being in
+        // play (a tee or a non-sim source) so the default simulated path
+        // emits byte-identical flight traces to before this seam existed.
+        let telemetry_active = self.tee.is_some() || !self.source.is_sim();
+        if telemetry_active {
+            if let Some(fl) = self.flight.as_mut() {
+                let t = now.as_micros();
+                fl.record(
+                    t,
+                    FlightEvent::FlushBatch {
+                        server: server.id.0,
+                        count: self.sample_buf.len() as u64,
+                    },
+                );
+                for (vm, count) in self.source.take_drops() {
+                    fl.record(
+                        t,
+                        FlightEvent::SampleDropped {
+                            server: server.id.0,
+                            vm: u64::from(vm.0),
+                            count,
+                        },
+                    );
+                }
+                for s in &self.sample_buf {
+                    if self.collected.is_multiple_of(SAMPLE_EVENT_DECIMATION) {
+                        fl.record(
+                            t,
+                            FlightEvent::SampleIngested {
+                                server: server.id.0,
+                                vm: u64::from(s.vm.0),
+                            },
+                        );
+                    }
+                    self.collected += 1;
+                }
+            } else {
+                self.collected += self.sample_buf.len() as u64;
+                self.source.take_drops();
+            }
+        }
         match self.faults.as_mut() {
             Some(faults) => faults.sample(
                 now,
                 self.config.sample_interval,
                 &mut self.monitor,
-                server,
+                &self.sample_buf,
                 self.flight.as_mut(),
             ),
-            None => self.monitor.sample(now, server),
+            None => {
+                for s in &self.sample_buf {
+                    let _ = self.monitor.ingest(s.time, s.vm, s.snapshot);
+                }
+            }
+        }
+    }
+
+    /// Replaces the counter source. The default is [`SimSource`]; pass a
+    /// `ReplaySource` to re-drive a recording or a `HostCollector` to read
+    /// real cgroup files.
+    pub fn set_source(&mut self, source: Box<dyn CounterSource>) {
+        self.source = source;
+    }
+
+    /// Name of the active counter source (`"sim"`, `"replay"`, `"cgroup"`).
+    pub fn source_name(&self) -> &'static str {
+        self.source.name()
+    }
+
+    /// Starts teeing every raw (pre-fault) collected sample into an
+    /// internal buffer, drained by [`NodeManager::drain_tee_into`].
+    pub fn enable_tee(&mut self) {
+        if self.tee.is_none() {
+            self.tee = Some(Vec::new());
+        }
+    }
+
+    /// Appends all teed samples since the last drain to `out` and clears
+    /// the internal buffer. No-op when the tee is disabled.
+    pub fn drain_tee_into(&mut self, out: &mut Vec<Sample>) {
+        if let Some(tee) = self.tee.as_mut() {
+            out.append(tee);
         }
     }
 

@@ -12,6 +12,7 @@
 //! each throttled VM as a stepped line.
 
 use crate::flight::{FlightEvent, FlightRecorder, Record};
+use crate::metrics::MetricsRegistry;
 use std::fmt::Write as _;
 
 /// One track in an exported trace: a display name, a stable rank used to
@@ -134,6 +135,35 @@ pub fn chrome_trace(sources: &[ExportSource]) -> String {
     out
 }
 
+/// Renders a registry in the Prometheus text exposition format.
+///
+/// Deterministic: metrics are emitted sorted by name with a `# TYPE` line
+/// each, and values use the same shortest-round-trip `Display` as the
+/// decision trace, so identical registries produce identical bytes.
+/// Counters keep their registered type; gauges and flattened histogram
+/// statistics (`_count`, `_min`, `_max`, `_mean`, `_p50`, `_p99`) are
+/// exposed as gauges, matching how `metrics_snapshot()` consumers already
+/// interpret them.
+pub fn prometheus_text(reg: &MetricsRegistry) -> String {
+    let mut entries: Vec<(String, String, f64)> = Vec::new();
+    for (name, v) in reg.counters() {
+        entries.push((name.to_string(), "counter".to_string(), v as f64));
+    }
+    for (name, v) in reg.gauges() {
+        entries.push((name.to_string(), "gauge".to_string(), v as f64));
+    }
+    for (name, v) in reg.histogram_stats() {
+        entries.push((name, "gauge".to_string(), v));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (name, kind, value) in entries {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {}", json_num(value));
+    }
+    out
+}
+
 /// Renders sources as JSONL: one JSON object per event, merged in
 /// deterministic order.
 pub fn jsonl(sources: &[ExportSource]) -> String {
@@ -223,6 +253,60 @@ mod tests {
         let i_stop = json.find("migrate-stopcopy").unwrap();
         let i_done = json.find("migrate-done").unwrap();
         assert!(i_start < i_stop && i_stop < i_done);
+    }
+
+    #[test]
+    fn telemetry_events_render_in_both_exports() {
+        let mut fr = FlightRecorder::with_capacity(8);
+        fr.record(100, FlightEvent::FlushBatch { server: 0, count: 12 });
+        fr.record(100, FlightEvent::SampleIngested { server: 0, vm: 3 });
+        fr.record(200, FlightEvent::SampleDropped { server: 0, vm: 7, count: 5 });
+        let sources = vec![ExportSource::from_recorder(0, "server0", &fr)];
+        let json = chrome_trace(&sources);
+        for needle in ["flush s0 n=12", "sample-ingest s0 vm3", "sample-drop s0 vm7 n=5"] {
+            assert!(json.contains(needle), "chrome trace missing {needle}");
+            assert!(jsonl(&sources).contains(needle), "jsonl missing {needle}");
+        }
+    }
+
+    #[test]
+    fn prometheus_text_is_byte_stable() {
+        let build = || {
+            let mut m = MetricsRegistry::with_capacity(8);
+            let c = m.counter("ingest_recorded");
+            let c2 = m.counter("telemetry_teed_samples");
+            let g = m.gauge("shards");
+            let h = m.histogram("flush_batch");
+            m.inc(c, 41);
+            m.inc(c2, 7);
+            m.set(g, 4);
+            m.observe(h, 12);
+            m.observe(h, 12);
+            m
+        };
+        let text = prometheus_text(&build());
+        assert_eq!(
+            text,
+            "# TYPE flush_batch_count gauge\n\
+             flush_batch_count 2\n\
+             # TYPE flush_batch_max gauge\n\
+             flush_batch_max 12\n\
+             # TYPE flush_batch_mean gauge\n\
+             flush_batch_mean 12\n\
+             # TYPE flush_batch_min gauge\n\
+             flush_batch_min 12\n\
+             # TYPE flush_batch_p50 gauge\n\
+             flush_batch_p50 13\n\
+             # TYPE flush_batch_p99 gauge\n\
+             flush_batch_p99 13\n\
+             # TYPE ingest_recorded counter\n\
+             ingest_recorded 41\n\
+             # TYPE shards gauge\n\
+             shards 4\n\
+             # TYPE telemetry_teed_samples counter\n\
+             telemetry_teed_samples 7\n"
+        );
+        assert_eq!(text, prometheus_text(&build()), "byte-stable across builds");
     }
 
     #[test]

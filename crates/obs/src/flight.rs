@@ -12,6 +12,12 @@
 
 use std::fmt;
 
+/// One in this many collected samples emits a [`FlightEvent::SampleIngested`]
+/// event. Collection is steady-state (every VM, every interval), so
+/// undecimated sample events would evict every interesting record from the
+/// ring within a few intervals.
+pub const SAMPLE_EVENT_DECIMATION: u64 = 64;
+
 /// The resource dimension an event refers to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Resource {
@@ -188,6 +194,33 @@ pub enum FlightEvent {
         reason: RejectReason,
     },
 
+    // --- telemetry collector ---
+    /// A counter sample reached the monitor. Emitted decimated (one in
+    /// every [`SAMPLE_EVENT_DECIMATION`] collected samples) so steady-state
+    /// collection doesn't flood the ring.
+    SampleIngested {
+        /// Server index.
+        server: u32,
+        /// Sampled VM id.
+        vm: u64,
+    },
+    /// A collector ring evicted unflushed samples for a VM.
+    SampleDropped {
+        /// Server index.
+        server: u32,
+        /// VM whose samples were evicted.
+        vm: u64,
+        /// Samples lost since the previous flush.
+        count: u64,
+    },
+    /// A collector flushed a batch of samples at the sampling interval.
+    FlushBatch {
+        /// Server index.
+        server: u32,
+        /// Samples in the batch.
+        count: u64,
+    },
+
     // --- control plane ---
     /// A replica started an election round.
     Election {
@@ -333,6 +366,11 @@ impl fmt::Display for FlightEvent {
             IngestRejected { server, vm, reason } => {
                 write!(f, "ingest-reject s{server} vm{vm} {reason}")
             }
+            SampleIngested { server, vm } => write!(f, "sample-ingest s{server} vm{vm}"),
+            SampleDropped { server, vm, count } => {
+                write!(f, "sample-drop s{server} vm{vm} n={count}")
+            }
+            FlushBatch { server, count } => write!(f, "flush s{server} n={count}"),
             Election { replica, round } => write!(f, "elect m{replica} r={round}"),
             Coordinator { replica, term } => write!(f, "coord m{replica} t={term}"),
             Stepdown { replica, term } => write!(f, "stepdown m{replica} t={term}"),

@@ -27,6 +27,6 @@ pub mod export;
 pub mod flight;
 pub mod metrics;
 
-pub use export::{chrome_trace, jsonl, merged_dump, ExportSource};
-pub use flight::{FlightEvent, FlightRecorder, Record, Resource};
+pub use export::{chrome_trace, jsonl, merged_dump, prometheus_text, ExportSource};
+pub use flight::{FlightEvent, FlightRecorder, Record, Resource, SAMPLE_EVENT_DECIMATION};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};

@@ -179,6 +179,35 @@ impl MetricsRegistry {
         h.max as f64
     }
 
+    /// Registered counters as `(name, value)` pairs in registration
+    /// order — the kind-aware view exporters need for `# TYPE` lines.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Registered gauges as `(name, value)` pairs in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Flattened histogram statistics, exactly the `(name, value)` pairs
+    /// [`snapshot`](Self::snapshot) emits for histograms.
+    pub fn histogram_stats(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for h in &self.histograms {
+            out.push((format!("{}_count", h.name), h.count as f64));
+            if h.count == 0 {
+                continue;
+            }
+            out.push((format!("{}_min", h.name), h.min as f64));
+            out.push((format!("{}_max", h.name), h.max as f64));
+            out.push((format!("{}_mean", h.name), h.sum as f64 / h.count as f64));
+            out.push((format!("{}_p50", h.name), Self::quantile(h, 0.50)));
+            out.push((format!("{}_p99", h.name), Self::quantile(h, 0.99)));
+        }
+        out
+    }
+
     /// Flattens every metric into `(name, value)` pairs in registration
     /// order — the shape `BenchRecord` extras use. Histograms expand to
     /// `_count`, `_min`, `_max`, `_mean`, `_p50` and `_p99` fields
@@ -191,17 +220,7 @@ impl MetricsRegistry {
         for (name, v) in &self.gauges {
             out.push((name.clone(), *v as f64));
         }
-        for h in &self.histograms {
-            out.push((format!("{}_count", h.name), h.count as f64));
-            if h.count == 0 {
-                continue;
-            }
-            out.push((format!("{}_min", h.name), h.min as f64));
-            out.push((format!("{}_max", h.name), h.max as f64));
-            out.push((format!("{}_mean", h.name), h.sum as f64 / h.count as f64));
-            out.push((format!("{}_p50", h.name), Self::quantile(h, 0.50)));
-            out.push((format!("{}_p99", h.name), Self::quantile(h, 0.99)));
-        }
+        out.extend(self.histogram_stats());
         out
     }
 }
